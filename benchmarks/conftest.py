@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` module regenerates one table or figure of the
+paper (or an ablation from DESIGN.md §6) and prints it, so
+``pytest benchmarks/ --benchmark-only`` both times the pipelines and emits
+the paper-vs-measured artifacts.  Set ``TELS_BENCH_FULL=1`` to include the
+i10 benchmark in Table I (adds ~half a minute).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names
+
+
+def selected_benchmarks() -> list[str]:
+    """Benchmark list for the Table-I style runs."""
+    include_large = os.environ.get("TELS_BENCH_FULL", "") == "1"
+    return benchmark_names(include_large=include_large)
+
+
+@pytest.fixture(scope="session")
+def table1_names() -> list[str]:
+    return selected_benchmarks()

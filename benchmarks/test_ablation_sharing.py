@@ -1,0 +1,63 @@
+"""Ablation — fanout-node (sharing) preservation on/off (DESIGN.md §6).
+
+TELS stops collapsing at fanout nodes, so shared logic remains shared in the
+threshold network (Section V-A: "the benefit is profound when the network
+contains many fanout nodes").  Disabling preservation duplicates shared
+cones into every reader.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.area import network_stats
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.verify import verify_threshold_network
+from repro.network.scripts import prepare_tels
+
+NAMES = benchmark_names(include_large=False)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    rows = []
+    for name in NAMES:
+        source = build_benchmark(name)
+        prepared = prepare_tels(source)
+        shared = synthesize(
+            prepared, SynthesisOptions(psi=3, preserve_sharing=True)
+        )
+        duplicated = synthesize(
+            prepared, SynthesisOptions(psi=3, preserve_sharing=False)
+        )
+        assert verify_threshold_network(source, shared, vectors=256)
+        assert verify_threshold_network(source, duplicated, vectors=256)
+        rows.append((name, network_stats(shared), network_stats(duplicated)))
+    return rows
+
+
+def test_print_ablation(ablation_results):
+    print()
+    print("Sharing preservation ablation — TELS gates (area)")
+    print(f"{'benchmark':10s} {'preserved':>14s} {'duplicated':>14s}")
+    for name, shared, duplicated in ablation_results:
+        print(
+            f"{name:10s} {shared.gates:6d} ({shared.area:5d}) "
+            f"{duplicated.gates:6d} ({duplicated.area:5d})"
+        )
+
+
+def test_sharing_saves_gates_overall(ablation_results):
+    total_shared = sum(r[1].gates for r in ablation_results)
+    total_dup = sum(r[2].gates for r in ablation_results)
+    assert total_shared <= total_dup
+
+
+def test_benchmark_shared_synthesis(benchmark):
+    prepared = prepare_tels(build_benchmark("term1"))
+    benchmark(
+        lambda: synthesize(
+            prepared, SynthesisOptions(psi=3, preserve_sharing=True)
+        )
+    )

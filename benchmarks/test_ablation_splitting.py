@@ -1,0 +1,63 @@
+"""Ablation — splitting heuristic (DESIGN.md §6).
+
+The paper motivates rule 3 (split on the *most frequent* variable) via
+Theorem 1: fewer candidate literal replacements survive in the split halves,
+so they are more likely to be threshold functions.  This ablation compares
+the default heuristic against random-variable splitting across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.area import network_stats
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.network.scripts import prepare_tels
+
+NAMES = [n for n in benchmark_names(include_large=False)]
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    rows = []
+    for name in NAMES:
+        prepared = prepare_tels(build_benchmark(name))
+        default = synthesize(
+            prepared, SynthesisOptions(psi=3, split_on_most_frequent=True)
+        )
+        randomized = synthesize(
+            prepared,
+            SynthesisOptions(psi=3, split_on_most_frequent=False, seed=1),
+        )
+        rows.append(
+            (name, network_stats(default).gates, network_stats(randomized).gates)
+        )
+    return rows
+
+
+def test_print_ablation(ablation_results):
+    print()
+    print("Splitting heuristic ablation — TELS gate count")
+    print(f"{'benchmark':10s} {'most-freq':>10s} {'random':>8s}")
+    for name, default, randomized in ablation_results:
+        print(f"{name:10s} {default:10d} {randomized:8d}")
+    total_d = sum(r[1] for r in ablation_results)
+    total_r = sum(r[2] for r in ablation_results)
+    print(f"{'TOTAL':10s} {total_d:10d} {total_r:8d}")
+
+
+def test_most_frequent_no_worse_overall(ablation_results):
+    total_default = sum(r[1] for r in ablation_results)
+    total_random = sum(r[2] for r in ablation_results)
+    # The heuristic should not lose overall (small per-benchmark noise ok).
+    assert total_default <= total_random * 1.05
+
+
+def test_benchmark_default_split(benchmark):
+    prepared = prepare_tels(build_benchmark("term1"))
+    benchmark(
+        lambda: synthesize(
+            prepared, SynthesisOptions(psi=3, split_on_most_frequent=True)
+        )
+    )

@@ -1,0 +1,163 @@
+"""Ablation — splitting strategies (the paper's future-work directions).
+
+Compares the paper's Fig. 7 heuristic against the two extensions the
+conclusion suggests exploring: ILP-guided lookahead splitting and
+depth-oriented balanced splitting, across the Table-I suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.area import network_stats
+from repro.core.strategies import STRATEGIES
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.verify import verify_threshold_network
+from repro.network.scripts import prepare_tels
+
+NAMES = benchmark_names(include_large=False)
+
+
+@pytest.fixture(scope="module")
+def strategy_results():
+    rows = {}
+    for name in NAMES:
+        source = build_benchmark(name)
+        prepared = prepare_tels(source)
+        per_strategy = {}
+        for strategy in STRATEGIES:
+            th = synthesize(
+                prepared,
+                SynthesisOptions(psi=3, splitting_strategy=strategy),
+            )
+            assert verify_threshold_network(source, th, vectors=256), (
+                name,
+                strategy,
+            )
+            per_strategy[strategy] = network_stats(th)
+        rows[name] = per_strategy
+    return rows
+
+
+def test_print_ablation(strategy_results):
+    print()
+    print("Splitting strategy ablation — TELS gates (levels)")
+    header = f"{'benchmark':10s}" + "".join(
+        f" {s:>16s}" for s in STRATEGIES
+    )
+    print(header)
+    for name, per in strategy_results.items():
+        cells = "".join(
+            f" {per[s].gates:10d} ({per[s].levels:2d})" for s in STRATEGIES
+        )
+        print(f"{name:10s}{cells}")
+    totals = {
+        s: sum(per[s].gates for per in strategy_results.values())
+        for s in STRATEGIES
+    }
+    print(
+        f"{'TOTAL':10s}"
+        + "".join(f" {totals[s]:10d}     " for s in STRATEGIES)
+    )
+
+
+def test_all_strategies_verified(strategy_results):
+    assert len(strategy_results) == len(NAMES)
+
+
+def test_lookahead_not_worse_than_paper(strategy_results):
+    paper = sum(per["paper"].gates for per in strategy_results.values())
+    lookahead = sum(
+        per["lookahead"].gates for per in strategy_results.values()
+    )
+    assert lookahead <= paper * 1.05
+
+
+def test_balanced_levels_reasonable(strategy_results):
+    """Balanced splitting targets depth: total levels should not blow up."""
+    paper = sum(per["paper"].levels for per in strategy_results.values())
+    balanced = sum(
+        per["balanced"].levels for per in strategy_results.values()
+    )
+    assert balanced <= paper * 1.3
+
+
+def _unate_workload(count: int = 30, seed: int = 0):
+    """Single-node networks with wide unate covers: the workload where the
+    splitting heuristic actually decides the outcome (the benchmark suite's
+    collapsed nodes are mostly narrow enough to skip rule 3 entirely —
+    which the suite table above demonstrates)."""
+    import random
+
+    from repro.boolean.cover import Cover
+    from repro.boolean.cube import Cube
+    from repro.boolean.function import BooleanFunction
+    from repro.boolean.unate import syntactic_unateness
+    from repro.network.network import BooleanNetwork
+
+    rng = random.Random(seed)
+    nets = []
+    while len(nets) < count:
+        nvars = rng.randint(6, 9)
+        cubes = []
+        for _ in range(rng.randint(5, 9)):
+            lits = {
+                var: True
+                for var in rng.sample(range(nvars), rng.randint(2, 3))
+            }
+            cubes.append(Cube.from_literals(lits, nvars))
+        cover = Cover(cubes, nvars).scc()
+        if cover.num_cubes < 4:
+            continue
+        if not syntactic_unateness(cover).is_unate:
+            continue
+        names = tuple(f"x{i}" for i in range(nvars))
+        net = BooleanNetwork(f"unate{len(nets)}")
+        for n in names:
+            net.add_input(n)
+        net.add_node("f", BooleanFunction(cover, names).trimmed())
+        net.add_output("f")
+        nets.append(net)
+    return nets
+
+
+@pytest.fixture(scope="module")
+def synthetic_results():
+    nets = _unate_workload()
+    totals = {}
+    for strategy in STRATEGIES:
+        gates = levels = 0
+        for net in nets:
+            th = synthesize(
+                net, SynthesisOptions(psi=4, splitting_strategy=strategy)
+            )
+            assert verify_threshold_network(net, th), (net.name, strategy)
+            stats = network_stats(th)
+            gates += stats.gates
+            levels += stats.levels
+        totals[strategy] = (gates, levels)
+    return totals
+
+
+def test_print_synthetic_workload(synthetic_results):
+    print()
+    print("Wide-unate synthetic workload — total gates (total levels)")
+    for strategy, (gates, levels) in synthetic_results.items():
+        print(f"  {strategy:10s} {gates:5d} ({levels})")
+
+
+def test_lookahead_wins_on_synthetic_workload(synthetic_results):
+    assert (
+        synthetic_results["lookahead"][0] <= synthetic_results["paper"][0]
+    )
+
+
+def test_benchmark_lookahead(benchmark):
+    prepared = prepare_tels(build_benchmark("term1"))
+    benchmark(
+        lambda: synthesize(
+            prepared,
+            SynthesisOptions(psi=3, splitting_strategy="lookahead"),
+        )
+    )

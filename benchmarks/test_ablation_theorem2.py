@@ -1,0 +1,73 @@
+"""Ablation — Theorem-2 combining on/off (DESIGN.md §6).
+
+Theorem 2 lets the larger threshold half of an OR split absorb the smaller
+half through one high-weight input, saving the explicit OR root gate.  This
+ablation measures gates and area with the combining step disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.area import network_stats
+from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+from repro.core.verify import verify_threshold_network
+from repro.network.scripts import prepare_tels
+
+NAMES = benchmark_names(include_large=False)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    rows = []
+    for name in NAMES:
+        source = build_benchmark(name)
+        prepared = prepare_tels(source)
+        with_t2, report_on = synthesize_with_report(
+            prepared, SynthesisOptions(psi=3, apply_theorem2=True)
+        )
+        without_t2, report_off = synthesize_with_report(
+            prepared, SynthesisOptions(psi=3, apply_theorem2=False)
+        )
+        assert verify_threshold_network(source, with_t2, vectors=256)
+        assert verify_threshold_network(source, without_t2, vectors=256)
+        rows.append(
+            (
+                name,
+                network_stats(with_t2),
+                network_stats(without_t2),
+                report_on.theorem2_applications,
+            )
+        )
+    return rows
+
+
+def test_print_ablation(ablation_results):
+    print()
+    print("Theorem-2 combining ablation — gates (area) and applications")
+    print(f"{'benchmark':10s} {'with':>12s} {'without':>12s} {'hits':>5s}")
+    for name, on, off, hits in ablation_results:
+        print(
+            f"{name:10s} {on.gates:5d} ({on.area:5d}) {off.gates:5d} "
+            f"({off.area:5d}) {hits:5d}"
+        )
+
+
+def test_theorem2_is_applied_somewhere(ablation_results):
+    assert sum(r[3] for r in ablation_results) > 0
+
+
+def test_theorem2_never_increases_gate_count(ablation_results):
+    total_on = sum(r[1].gates for r in ablation_results)
+    total_off = sum(r[2].gates for r in ablation_results)
+    assert total_on <= total_off
+
+
+def test_benchmark_with_theorem2(benchmark):
+    prepared = prepare_tels(build_benchmark("x1"))
+    from repro.core.synthesis import synthesize
+
+    benchmark(
+        lambda: synthesize(prepared, SynthesisOptions(psi=3, apply_theorem2=True))
+    )

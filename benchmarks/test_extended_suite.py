@@ -1,0 +1,65 @@
+"""Suite-wide sweep: the paper's "about 60 benchmarks" claim, scaled here
+to 33 circuits (Table-I tier + extended tier, i10 excluded for runtime).
+
+Asserts the aggregate story: TELS wins on the overwhelming majority of
+circuits, never by accident (everything is verified), with the known
+exceptions being wiring-dominated or parity-dominated fabrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.extended import all_benchmark_names
+from repro.experiments.extended_suite import format_suite, run_suite
+
+NAMES = [n for n in all_benchmark_names() if n != "i10"]
+
+
+@pytest.fixture(scope="module")
+def suite_summary():
+    return run_suite(NAMES, psi=3)
+
+
+def test_print_suite(suite_summary):
+    print()
+    print(format_suite(suite_summary))
+
+
+def test_every_circuit_verified(suite_summary):
+    assert all(row.verified for row in suite_summary.rows)
+    assert len(suite_summary.rows) == len(NAMES)
+
+
+def test_tels_wins_on_most_circuits(suite_summary):
+    assert suite_summary.wins >= 0.7 * len(suite_summary.rows)
+
+
+def test_mean_reduction_substantial(suite_summary):
+    assert suite_summary.mean_reduction_percent > 25.0
+
+
+def test_losses_are_minority(suite_summary):
+    """The paper's Section VI-A observation: some Boolean functions need
+    more threshold gates than Boolean gates — which is why the flow keeps
+    the better of the two networks.  Losses must stay a small minority."""
+    assert suite_summary.losses <= 0.2 * len(suite_summary.rows)
+
+
+def test_delay_balance_claim(suite_summary):
+    """The paper: "the synthesized networks are well-balanced, and hence
+    delay-optimized" — TELS depth stays comparable to the one-to-one
+    network's depth on average (it should not explode from splitting)."""
+    assert (
+        suite_summary.mean_tels_levels
+        <= suite_summary.mean_one_to_one_levels * 1.25
+    )
+
+
+def test_benchmark_suite_member(benchmark):
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.core.synthesis import SynthesisOptions, synthesize
+    from repro.network.scripts import prepare_tels
+
+    prepared = prepare_tels(build_extended_benchmark("ttt2"))
+    benchmark(lambda: synthesize(prepared, SynthesisOptions(psi=3)))

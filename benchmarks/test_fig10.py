@@ -1,0 +1,54 @@
+"""E2 — Fig. 10: gate count vs fanin restriction for ``comp``.
+
+The paper's claims: relaxing ψ from 3 to 8 shrinks the one-to-one mapped
+network significantly (better Boolean decomposition) while TELS stays almost
+flat (wide functions are rarely threshold), so the TELS advantage narrows
+but persists; a fanin restriction of 3-5 is the sweet spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig10 import format_fig10, run_fig10
+
+FANINS = (3, 4, 5, 6, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def fig10_points():
+    return run_fig10("comp", fanins=FANINS)
+
+
+def test_print_fig10(fig10_points):
+    print()
+    print(format_fig10(fig10_points, "comp"))
+
+
+def test_one_to_one_improves_with_fanin(fig10_points):
+    gates = [p.one_to_one_gates for p in fig10_points]
+    assert gates[-1] < gates[0]
+
+
+def test_tels_nearly_flat(fig10_points):
+    """TELS variation across the sweep is small relative to one-to-one's."""
+    tels = [p.tels_gates for p in fig10_points]
+    oto = [p.one_to_one_gates for p in fig10_points]
+    tels_swing = max(tels) - min(tels)
+    oto_swing = max(oto) - min(oto)
+    assert tels_swing <= oto_swing
+
+
+def test_tels_wins_at_small_fanin(fig10_points):
+    by_psi = {p.psi: p for p in fig10_points}
+    assert by_psi[3].tels_gates < by_psi[3].one_to_one_gates
+
+
+def test_benchmark_fig10_point(benchmark):
+    """Time one sweep point end to end (ψ=4, cache bypassed)."""
+    from repro.benchgen.mcnc import build_benchmark
+    from repro.core.synthesis import SynthesisOptions, synthesize
+    from repro.network.scripts import prepare_tels
+
+    prepared = prepare_tels(build_benchmark("comp"))
+    benchmark(lambda: synthesize(prepared, SynthesisOptions(psi=4)))

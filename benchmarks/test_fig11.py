@@ -1,0 +1,72 @@
+"""E3 — Fig. 11: failure rate vs weight-variation multiplier.
+
+For δ_on in 0..3 (δ_off = 1) the suite is re-synthesized and disturbed with
+``w' = w + v*U(-0.5, 0.5)``.  The paper's claims: failure rate grows with
+``v`` and shrinks as δ_on grows (the network is more robust).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig11 import format_fig11, run_fig11
+
+DELTAS = (0, 1, 2, 3)
+MULTIPLIERS = (0.2, 0.6, 1.0, 1.4, 1.8)
+
+
+@pytest.fixture(scope="module")
+def fig11_points(table1_names):
+    names = [n for n in table1_names if n != "i10"]
+    return run_fig11(
+        names=names,
+        delta_ons=DELTAS,
+        multipliers=MULTIPLIERS,
+        trials=3,
+        vectors=256,
+    )
+
+
+def test_print_fig11(fig11_points):
+    print()
+    print(format_fig11(fig11_points))
+
+
+def test_rates_are_percentages(fig11_points):
+    assert all(0.0 <= p.failure_rate_percent <= 100.0 for p in fig11_points)
+
+
+def test_failure_grows_with_v(fig11_points):
+    for delta in DELTAS:
+        series = sorted(
+            (p.v, p.failure_rate_percent)
+            for p in fig11_points
+            if p.delta_on == delta
+        )
+        assert series[-1][1] >= series[0][1], delta
+
+
+def test_delta_on_improves_robustness(fig11_points):
+    """At every multiplier, delta_on=3 fails no more often than delta_on=0."""
+    by_key = {(p.delta_on, p.v): p.failure_rate_percent for p in fig11_points}
+    for v in MULTIPLIERS:
+        assert by_key[(3, v)] <= by_key[(0, v)], v
+
+
+def test_small_variation_with_tolerance_rarely_fails(fig11_points):
+    by_key = {(p.delta_on, p.v): p.failure_rate_percent for p in fig11_points}
+    assert by_key[(3, 0.2)] <= 20.0
+
+
+def test_benchmark_defect_trial(benchmark):
+    """Time one disturbed-weight simulation of a mid-size benchmark."""
+    import random
+
+    from repro.core.defects import run_defect_trial
+    from repro.experiments.flows import run_flows
+
+    flow = run_flows("cm85a", psi=3)
+    rng = random.Random(0)
+    benchmark(
+        lambda: run_defect_trial(flow.source, flow.tels, 0.8, rng, vectors=256)
+    )

@@ -1,0 +1,51 @@
+"""E4 — Fig. 12: failure rate and network area vs δ_on at v = 0.8.
+
+The robustness/area tradeoff: raising the ON-side defect tolerance makes the
+ILP leave a wider gap between true and false weighted sums, which costs RTD
+area (Eq. 14) but cuts the failure rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig12 import format_fig12, run_fig12
+
+DELTAS = (0, 1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def fig12_points(table1_names):
+    names = [n for n in table1_names if n != "i10"]
+    return run_fig12(names=names, delta_ons=DELTAS, v=0.8, trials=3, vectors=256)
+
+
+def test_print_fig12(fig12_points):
+    print()
+    print(format_fig12(fig12_points))
+
+
+def test_area_monotone_in_delta_on(fig12_points):
+    areas = [p.total_area for p in fig12_points]
+    assert areas == sorted(areas)
+
+
+def test_failure_rate_decreases(fig12_points):
+    first, last = fig12_points[0], fig12_points[-1]
+    assert last.failure_rate_percent <= first.failure_rate_percent
+
+
+def test_baseline_area_increase_zero(fig12_points):
+    assert fig12_points[0].area_increase_percent == 0.0
+
+
+def test_benchmark_robust_synthesis(benchmark):
+    """Time TELS with a nonzero defect tolerance (bigger ILPs)."""
+    from repro.benchgen.mcnc import build_benchmark
+    from repro.core.synthesis import SynthesisOptions, synthesize
+    from repro.network.scripts import prepare_tels
+
+    prepared = prepare_tels(build_benchmark("cmb"))
+    benchmark(
+        lambda: synthesize(prepared, SynthesisOptions(psi=3, delta_on=3))
+    )

@@ -1,0 +1,60 @@
+"""E1 — Table I: threshold synthesis results with fanin restriction 3.
+
+Regenerates both columns (one-to-one mapping and TELS) for the benchmark
+suite, prints the measured table next to the paper's reduction percentages,
+and asserts the paper's qualitative claims:
+
+* TELS produces substantially fewer gates overall (paper: 52% average);
+* every synthesized network is functionally verified;
+* the better-of-two selection never loses to one-to-one mapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_rows(table1_names):
+    return run_table1(table1_names, psi=3)
+
+
+def test_print_table1(table1_rows):
+    print()
+    print(format_table1(table1_rows))
+
+
+def test_all_rows_verified(table1_rows):
+    assert all(row.flow.verified for row in table1_rows)
+
+
+def test_substantial_average_reduction(table1_rows):
+    reducible = [r for r in table1_rows if r.name != "tcon"]
+    mean = sum(r.flow.gate_reduction_percent for r in reducible) / len(reducible)
+    assert mean > 25.0, mean
+
+
+def test_every_reducible_benchmark_improves(table1_rows):
+    for row in table1_rows:
+        if row.name == "tcon":
+            continue  # wiring-dominated: the paper's no-win case
+        assert row.flow.gate_reduction_percent > 0, row.name
+
+
+def test_better_of_two_guarantee(table1_rows):
+    for row in table1_rows:
+        assert row.flow.best.num_gates <= row.flow.one_to_one_stats.gates
+
+
+def test_benchmark_table1_synthesis(benchmark, table1_names):
+    """Time one full TELS run (the smallest benchmark, cache bypassed)."""
+    from repro.benchgen.mcnc import build_benchmark
+    from repro.core.synthesis import SynthesisOptions, synthesize
+    from repro.network.scripts import prepare_tels
+
+    source = build_benchmark("cmb")
+    prepared = prepare_tels(source)
+
+    benchmark(lambda: synthesize(prepared, SynthesisOptions(psi=3)))

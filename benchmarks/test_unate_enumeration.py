@@ -1,0 +1,55 @@
+"""E8 — Section VI-B: threshold-function counts among unate functions.
+
+Reproduces the Muroga counts quoted in the paper: 5/5 (3 vars), 17/20
+(4 vars), 92 threshold classes at 5 vars.  These numbers justify the
+"fanin restriction of three to five" recommendation: the threshold fraction
+collapses as fanin grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.enumeration import (
+    MEASURED_COUNTS,
+    count_positive_unate_threshold,
+    monotone_functions,
+)
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return {n: count_positive_unate_threshold(n) for n in (1, 2, 3, 4)}
+
+
+def test_print_counts(counts):
+    print()
+    print("Section VI-B — positive-unate vs threshold classes (full support)")
+    for n, result in counts.items():
+        print(
+            f"  {n} vars: {result.threshold_classes}/"
+            f"{result.positive_unate_classes} threshold"
+        )
+
+
+def test_counts_match_paper(counts):
+    for n, result in counts.items():
+        assert (
+            result.positive_unate_classes,
+            result.threshold_classes,
+        ) == MEASURED_COUNTS[n]
+
+
+def test_threshold_fraction_decreases(counts):
+    fractions = [counts[n].fraction_threshold for n in (3, 4)]
+    assert fractions[0] == 1.0
+    assert fractions[1] < 1.0
+
+
+def test_benchmark_enumeration_4vars(benchmark):
+    benchmark(lambda: count_positive_unate_threshold(4))
+
+
+def test_benchmark_dedekind_5(benchmark):
+    monotone_functions.cache_clear()
+    benchmark(lambda: len(monotone_functions(5)))

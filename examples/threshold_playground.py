@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Interactive tour of threshold-function identification and the theorems.
+
+Walks through the paper's Section IV/V-B machinery on concrete functions:
+which common functions are threshold, what their minimal-area vectors look
+like, how Theorem 1 certifies non-thresholdness, and how Theorem 2 extends
+gates.  A good first read before diving into the synthesis flow.
+
+Run:  python examples/threshold_playground.py
+"""
+
+from repro import BooleanFunction, is_threshold_function
+from repro.core.theorems import replace_literal, theorem2_extend
+
+CANDIDATES = [
+    ("AND3", "a b c"),
+    ("OR3", "a + b + c"),
+    ("majority", "a b + a c + b c"),
+    ("2-of-4 (threshold-2)", "a b + a c + a d + b c + b d + c d"),
+    ("mux-ish a b + a' c", "a b + a' c"),
+    ("paper V-B example", "x1 x2' + x1 x3'"),
+    ("a + b c", "a + b c"),
+    ("XOR", "a b' + a' b"),
+    ("x1x2 + x3x4", "x1 x2 + x3 x4"),
+    ("dominant input", "a b + a c + a d"),
+]
+
+
+def main() -> None:
+    print("Which functions are threshold functions?\n")
+    print(f"{'function':26s} {'threshold?':11s} vector (weights; T)")
+    print("-" * 62)
+    for label, expression in CANDIDATES:
+        f = BooleanFunction.parse(expression)
+        vector = is_threshold_function(f)
+        verdict = "yes" if vector else "NO"
+        print(f"{label:26s} {verdict:11s} {vector if vector else '-'}")
+
+    print("\nTheorem 1 in action:")
+    f = BooleanFunction.parse("x1 x2 + x3 x4")
+    g = replace_literal(f, "x3", "x1")
+    print(f"  f = {f.to_expression()}")
+    print(f"  replace x3 by x1': g = {g.to_expression()}")
+    print(
+        "  g is binate in x1, hence not threshold -> Theorem 1 certifies f "
+        "is not threshold\n  (no ILP call needed)."
+    )
+
+    print("\nTheorem 2 in action:")
+    base = is_threshold_function(BooleanFunction.parse("x1 x2"))
+    print(f"  x1 x2 has vector {base}")
+    extended = theorem2_extend(base, 1)
+    print(f"  x1 x2 + y  gets   {extended}  (new weight = T_pos + delta_on)")
+    neg = is_threshold_function(BooleanFunction.parse("x1 x2'"))
+    print(f"  x1 x2' has vector {neg}")
+    print(f"  x1 x2' + y gets   {theorem2_extend(neg, 1)}")
+
+    print("\nDefect tolerances change the vectors (and the area):")
+    for delta_on in (0, 1, 3):
+        vector = is_threshold_function(
+            BooleanFunction.parse("a b + a c"), delta_on=delta_on
+        )
+        print(f"  delta_on={delta_on}:  {vector}   area={vector.area}")
+
+
+if __name__ == "__main__":
+    main()

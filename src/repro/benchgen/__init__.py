@@ -1,0 +1,21 @@
+"""Benchmark circuit generation (the MCNC-suite stand-in).
+
+The MCNC benchmark netlists are not redistributable here, so
+:mod:`repro.benchgen.mcnc` builds deterministic, functionally-realistic
+stand-ins with the same names, matched I/O counts, and the same circuit
+character (comparators, multiplexers, control logic, buffer fabrics, wide
+random logic).  :mod:`repro.benchgen.circuits` provides the parametric
+building blocks (adders, comparators, muxes, decoders, ...), which are also
+reusable on their own; :mod:`repro.benchgen.random_logic` produces seeded
+random multi-level networks.
+"""
+
+from repro.benchgen.mcnc import BENCHMARKS, build_benchmark, benchmark_names
+from repro.benchgen.circuits import CircuitBuilder
+
+__all__ = [
+    "BENCHMARKS",
+    "build_benchmark",
+    "benchmark_names",
+    "CircuitBuilder",
+]

@@ -1,0 +1,216 @@
+"""Parametric combinational circuit builders.
+
+:class:`CircuitBuilder` wraps a :class:`BooleanNetwork` with gate-level
+helpers (NOT/AND/OR/XOR/MUX/majority) and mid-level generators (ripple
+comparators, carry chains, decoders, multiplexer trees).  The MCNC stand-ins
+are assembled from these blocks; they are also the raw material for the
+example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.network.network import BooleanNetwork
+
+
+class CircuitBuilder:
+    """Structured construction of Boolean networks from gate primitives."""
+
+    def __init__(self, name: str):
+        self.network = BooleanNetwork(name)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        return self.network.add_input(name)
+
+    def inputs(self, prefix: str, count: int) -> list[str]:
+        return [self.input(f"{prefix}{i}") for i in range(count)]
+
+    def output(self, signal: str, name: str | None = None) -> str:
+        """Mark ``signal`` as a primary output (aliased through a buffer if
+        a distinct output name is requested)."""
+        if name is None or name == signal:
+            self.network.add_output(signal)
+            return signal
+        buf = self._gate([[(signal, True)]], name)
+        self.network.add_output(buf)
+        return buf
+
+    def _gate(
+        self,
+        cubes: list[list[tuple[str, bool]]],
+        name: str | None = None,
+    ) -> str:
+        """Add a node from cube literal lists: [[(sig, phase), ...], ...]."""
+        order: list[str] = []
+        for cube in cubes:
+            for signal, _ in cube:
+                if signal not in order:
+                    order.append(signal)
+        index = {s: i for i, s in enumerate(order)}
+        built = [
+            Cube.from_literals(
+                {index[s]: ph for s, ph in cube}, len(order)
+            )
+            for cube in cubes
+        ]
+        function = BooleanFunction(Cover(built, len(order)).scc(), order)
+        node = name or self.network.fresh_name("u")
+        return self.network.add_node(node, function)
+
+    def not_(self, a: str, name: str | None = None) -> str:
+        return self._gate([[(a, False)]], name)
+
+    def buf(self, a: str, name: str | None = None) -> str:
+        return self._gate([[(a, True)]], name)
+
+    def and_(self, signals: Sequence[str], name: str | None = None) -> str:
+        return self._gate([[(s, True) for s in signals]], name)
+
+    def or_(self, signals: Sequence[str], name: str | None = None) -> str:
+        return self._gate([[(s, True)] for s in signals], name)
+
+    def nand_(self, signals: Sequence[str], name: str | None = None) -> str:
+        return self._gate([[(s, False)] for s in signals], name)
+
+    def nor_(self, signals: Sequence[str], name: str | None = None) -> str:
+        return self._gate([[(s, False) for s in signals]], name)
+
+    def xor2(self, a: str, b: str, name: str | None = None) -> str:
+        return self._gate([[(a, True), (b, False)], [(a, False), (b, True)]], name)
+
+    def xnor2(self, a: str, b: str, name: str | None = None) -> str:
+        return self._gate([[(a, True), (b, True)], [(a, False), (b, False)]], name)
+
+    def mux2(self, sel: str, a: str, b: str, name: str | None = None) -> str:
+        """``sel ? b : a``."""
+        return self._gate(
+            [[(sel, False), (a, True)], [(sel, True), (b, True)]], name
+        )
+
+    def maj3(self, a: str, b: str, c: str, name: str | None = None) -> str:
+        return self._gate(
+            [[(a, True), (b, True)], [(a, True), (c, True)], [(b, True), (c, True)]],
+            name,
+        )
+
+    def aoi(
+        self, groups: Sequence[Sequence[str]], name: str | None = None
+    ) -> str:
+        """AND-OR: OR of ANDs of positive literals."""
+        return self._gate([[(s, True) for s in g] for g in groups], name)
+
+    # ------------------------------------------------------------------
+    # Mid-level generators
+    # ------------------------------------------------------------------
+    def ripple_comparator(
+        self, a: Sequence[str], b: Sequence[str]
+    ) -> tuple[str, str, str]:
+        """Magnitude comparator: returns (a_gt_b, a_lt_b, a_eq_b).
+
+        Bit 0 is the least significant.  Built as a ripple chain of per-bit
+        equality/greater cells — the classic structure of the MCNC ``comp``
+        style benchmarks.
+        """
+        assert len(a) == len(b) and a
+        gt = lt = None
+        eq = None
+        for bit in range(len(a)):
+            ai, bi = a[bit], b[bit]
+            bit_gt = self._gate([[(ai, True), (bi, False)]])
+            bit_lt = self._gate([[(ai, False), (bi, True)]])
+            bit_eq = self.xnor2(ai, bi)
+            if gt is None:
+                gt, lt, eq = bit_gt, bit_lt, bit_eq
+            else:
+                # Higher bit dominates: new_gt = bit_gt + bit_eq * gt
+                gt = self._gate(
+                    [[(bit_gt, True)], [(bit_eq, True), (gt, True)]]
+                )
+                lt = self._gate(
+                    [[(bit_lt, True)], [(bit_eq, True), (lt, True)]]
+                )
+                eq = self.and_([bit_eq, eq])
+        assert gt and lt and eq
+        return gt, lt, eq
+
+    def carry_chain(
+        self, a: Sequence[str], b: Sequence[str], cin: str | None = None
+    ) -> tuple[list[str], str]:
+        """Ripple-carry adder; returns (sum bits, carry out)."""
+        assert len(a) == len(b) and a
+        sums: list[str] = []
+        carry = cin
+        for ai, bi in zip(a, b):
+            axb = self.xor2(ai, bi)
+            if carry is None:
+                sums.append(self.buf(axb))
+                carry = self.and_([ai, bi])
+            else:
+                sums.append(self.xor2(axb, carry))
+                carry = self.maj3(ai, bi, carry)
+        return sums, carry
+
+    def decoder(self, select: Sequence[str]) -> list[str]:
+        """Full decoder: 2**n one-hot outputs from n select lines."""
+        outputs = []
+        n = len(select)
+        for value in range(1 << n):
+            lits = [
+                (select[i], bool((value >> i) & 1)) for i in range(n)
+            ]
+            outputs.append(self._gate([lits]))
+        return outputs
+
+    def mux_tree(self, data: Sequence[str], select: Sequence[str]) -> str:
+        """2**n-to-1 multiplexer from n select lines."""
+        assert len(data) == 1 << len(select)
+        layer = list(data)
+        for sel in select:
+            layer = [
+                self.mux2(sel, layer[i], layer[i + 1])
+                for i in range(0, len(layer), 2)
+            ]
+        return layer[0]
+
+    def and_or_tree(
+        self, signals: Sequence[str], group: int = 3, conjunctive: bool = True
+    ) -> str:
+        """Alternating AND/OR reduction tree over ``signals``."""
+        layer = list(signals)
+        use_and = conjunctive
+        while len(layer) > 1:
+            next_layer = []
+            for i in range(0, len(layer), group):
+                chunk = layer[i : i + group]
+                if len(chunk) == 1:
+                    next_layer.append(chunk[0])
+                elif use_and:
+                    next_layer.append(self.and_(chunk))
+                else:
+                    next_layer.append(self.or_(chunk))
+            layer = next_layer
+            use_and = not use_and
+        return layer[0]
+
+    def parity_tree(self, signals: Sequence[str]) -> str:
+        """XOR reduction (binate everywhere: the hard case for TELS)."""
+        layer = list(signals)
+        while len(layer) > 1:
+            next_layer = []
+            for i in range(0, len(layer) - 1, 2):
+                next_layer.append(self.xor2(layer[i], layer[i + 1]))
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        return layer[0]
+
+    def done(self) -> BooleanNetwork:
+        self.network.check()
+        return self.network

@@ -1,0 +1,227 @@
+"""Extended MCNC-named stand-ins beyond the paper's Table I.
+
+The paper ran "about 60 multi-output benchmarks" and printed 10; this module
+adds a second tier of stand-ins with matched I/O profiles so suite-level
+experiments (Figs. 11-12 style sweeps, regression runs) can draw from a much
+larger population.  Same substitution policy as :mod:`repro.benchgen.mcnc`:
+deterministic, same names, same I/O counts, same circuit character.
+"""
+
+from __future__ import annotations
+
+from repro.benchgen.circuits import CircuitBuilder
+from repro.benchgen.mcnc import BENCHMARKS, BenchmarkSpec
+from repro.benchgen.random_logic import random_logic_network
+from repro.network.network import BooleanNetwork
+
+
+def _majority() -> BooleanNetwork:
+    """5-input majority voter (5 inputs, 1 output)."""
+    cb = CircuitBuilder("majority")
+    xs = cb.inputs("x", 5)
+    pair_sums = []
+    for i in range(len(xs)):
+        for j in range(i + 1, len(xs)):
+            for k in range(j + 1, len(xs)):
+                pair_sums.append(cb.and_([xs[i], xs[j], xs[k]]))
+    cb.output(cb.or_(pair_sums), "maj")
+    return cb.done()
+
+
+def _parity() -> BooleanNetwork:
+    """16-bit parity tree (16 inputs, 1 output) — the worst case for TELS."""
+    cb = CircuitBuilder("parity")
+    xs = cb.inputs("x", 16)
+    cb.output(cb.parity_tree(xs), "even")
+    return cb.done()
+
+
+def _mux() -> BooleanNetwork:
+    """16-to-1 multiplexer (21 inputs, 1 output)."""
+    cb = CircuitBuilder("mux")
+    data = cb.inputs("d", 16)
+    select = cb.inputs("s", 4)
+    extra = cb.input("en")
+    out = cb.and_([cb.mux_tree(data, select), extra])
+    cb.output(out, "z")
+    return cb.done()
+
+
+def _cm150a() -> BooleanNetwork:
+    """16-to-1 multiplexer variant (21 inputs, 1 output)."""
+    cb = CircuitBuilder("cm150a")
+    data = cb.inputs("a", 16)
+    select = cb.inputs("s", 4)
+    en = cb.input("en")
+    cb.output(cb.mux2(en, cb.mux_tree(data, select), data[0]), "z")
+    return cb.done()
+
+
+def _decod() -> BooleanNetwork:
+    """5-to-16 decoder with enable folded in (5 inputs, 16 outputs)."""
+    cb = CircuitBuilder("decod")
+    select = cb.inputs("s", 4)
+    en = cb.input("en")
+    for i, line in enumerate(cb.decoder(select)):
+        cb.output(cb.and_([line, en]), f"d{i}")
+    return cb.done()
+
+
+def _z4ml() -> BooleanNetwork:
+    """2-bit plus 2-bit adder with carries (7 inputs, 4 outputs)."""
+    cb = CircuitBuilder("z4ml")
+    a = cb.inputs("a", 3)
+    b = cb.inputs("b", 3)
+    cin = cb.input("cin")
+    sums, carry = cb.carry_chain(a, b, cin)
+    for i, s in enumerate(sums):
+        cb.output(s, f"s{i}")
+    cb.output(carry, "cout")
+    return cb.done()
+
+
+def _cm138a() -> BooleanNetwork:
+    """3-to-8 decoder with enables (6 inputs, 8 outputs)."""
+    cb = CircuitBuilder("cm138a")
+    select = cb.inputs("s", 3)
+    enables = cb.inputs("e", 3)
+    gate = cb.nor_(enables)
+    for i, line in enumerate(cb.decoder(select)):
+        cb.output(cb.and_([line, gate]), f"q{i}")
+    return cb.done()
+
+
+def _cm162a() -> BooleanNetwork:
+    """Synchronous-counter style carry logic (14 inputs, 5 outputs)."""
+    cb = CircuitBuilder("cm162a")
+    xs = cb.inputs("x", 14)
+    chain = xs[0]
+    outs = []
+    for i in range(1, 6):
+        chain = cb.and_([chain, xs[i]])
+        outs.append(cb.xor2(chain, xs[i + 5]))
+    for i, o in enumerate(outs[:5]):
+        cb.output(o, f"y{i}")
+    return cb.done()
+
+
+def _cm163a() -> BooleanNetwork:
+    """Variant carry/compare logic (16 inputs, 5 outputs)."""
+    cb = CircuitBuilder("cm163a")
+    a = cb.inputs("a", 8)
+    b = cb.inputs("b", 8)
+    gt, lt, eq = cb.ripple_comparator(a[:4], b[:4])
+    sums, carry = cb.carry_chain(a[4:], b[4:])
+    cb.output(gt, "y0")
+    cb.output(cb.or_([lt, carry]), "y1")
+    cb.output(cb.and_([eq, sums[0]]), "y2")
+    cb.output(sums[2], "y3")
+    cb.output(cb.xor2(sums[1], sums[3]), "y4")
+    return cb.done()
+
+
+def _count() -> BooleanNetwork:
+    """Ripple-increment logic of a 16-bit counter (35 inputs, 16 outputs)."""
+    cb = CircuitBuilder("count")
+    state = cb.inputs("q", 16)
+    controls = cb.inputs("c", 19)
+    enable = cb.and_([controls[0], controls[1]])
+    carry = enable
+    for i in range(16):
+        nxt = cb.xor2(state[i], carry)
+        carry = cb.and_([state[i], carry])
+        cb.output(cb.mux2(controls[2], nxt, state[i]), f"n{i}")
+    return cb.done()
+
+
+_RANDOM_SPECS: list[tuple[str, int, int, int, int]] = [
+    # (name, inputs, outputs, nodes, seed)
+    ("alu2", 10, 6, 60, 22),
+    ("b9", 41, 21, 90, 23),
+    ("c8", 28, 18, 70, 24),
+    ("cc", 21, 20, 55, 25),
+    ("cht", 47, 36, 100, 26),
+    ("cu", 14, 11, 45, 27),
+    ("frg1", 28, 3, 95, 28),
+    ("lal", 26, 19, 75, 29),
+    ("pcle", 19, 9, 55, 30),
+    ("pcler8", 27, 17, 70, 31),
+    ("sct", 19, 15, 60, 32),
+    ("ttt2", 24, 21, 80, 33),
+    ("unreg", 36, 16, 70, 34),
+    ("x2", 10, 7, 40, 35),
+]
+
+
+def _random_builder(name, inputs, outputs, nodes, seed):
+    def build() -> BooleanNetwork:
+        return random_logic_network(
+            name,
+            num_inputs=inputs,
+            num_outputs=outputs,
+            num_nodes=nodes,
+            seed=seed,
+            max_fanin=4,
+            max_cubes=4,
+            locality=max(12, inputs // 2 + 8),
+        )
+
+    return build
+
+
+EXTENDED_BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec("majority", 5, 1, "majority voter", _majority),
+        BenchmarkSpec("parity", 16, 1, "XOR tree (TELS worst case)", _parity),
+        BenchmarkSpec("mux", 21, 1, "16-to-1 multiplexer", _mux),
+        BenchmarkSpec("cm150a", 21, 1, "multiplexer variant", _cm150a),
+        BenchmarkSpec("decod", 5, 16, "decoder", _decod),
+        BenchmarkSpec("z4ml", 7, 4, "small adder", _z4ml),
+        BenchmarkSpec("cm138a", 6, 8, "decoder with enables", _cm138a),
+        BenchmarkSpec("cm162a", 14, 5, "counter carry logic", _cm162a),
+        BenchmarkSpec("cm163a", 16, 5, "carry/compare logic", _cm163a),
+        BenchmarkSpec("count", 35, 16, "counter increment logic", _count),
+    ]
+    + [
+        BenchmarkSpec(
+            name, ins, outs, "random control logic",
+            _random_builder(name, ins, outs, nodes, seed),
+        )
+        for name, ins, outs, nodes, seed in _RANDOM_SPECS
+    ]
+}
+
+
+def extended_benchmark_names() -> list[str]:
+    """Names of the second-tier benchmarks (no overlap with Table I)."""
+    return sorted(EXTENDED_BENCHMARKS)
+
+
+def all_benchmark_names() -> list[str]:
+    """Table I names followed by the extended tier."""
+    from repro.benchgen.mcnc import benchmark_names
+
+    return benchmark_names() + extended_benchmark_names()
+
+
+def build_extended_benchmark(name: str) -> BooleanNetwork:
+    """Build a benchmark from either tier by name."""
+    if name in EXTENDED_BENCHMARKS:
+        spec = EXTENDED_BENCHMARKS[name]
+        network = spec.builder()
+        if len(network.inputs) != spec.num_inputs or len(
+            network.outputs
+        ) != spec.num_outputs:
+            raise AssertionError(
+                f"{name}: I/O profile mismatch "
+                f"({len(network.inputs)}/{len(network.outputs)} vs "
+                f"{spec.num_inputs}/{spec.num_outputs})"
+            )
+        return network
+    if name in BENCHMARKS:
+        from repro.benchgen.mcnc import build_benchmark
+
+        return build_benchmark(name)
+    known = ", ".join(all_benchmark_names())
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")

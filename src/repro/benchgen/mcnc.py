@@ -1,0 +1,233 @@
+"""MCNC-named benchmark stand-ins (see DESIGN.md §4 for the substitution).
+
+Each builder returns a deterministic combinational network with the same
+name, the same I/O counts, and the same circuit *character* as its MCNC
+namesake.  Gate counts land in the same ballpark as the paper's Table I
+"one-to-one" column after optimization + decomposition, so the relative
+behaviour of the two flows is comparable, though absolute numbers differ
+(the real netlists are not redistributable here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchgen.circuits import CircuitBuilder
+from repro.benchgen.random_logic import random_logic_network
+from repro.network.network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Descriptor of one benchmark stand-in."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    character: str
+    builder: Callable[[], BooleanNetwork]
+
+
+def _cm152a() -> BooleanNetwork:
+    """8-to-1 multiplexer with 3 select lines (11 inputs, 1 output)."""
+    cb = CircuitBuilder("cm152a")
+    data = cb.inputs("a", 8)
+    select = cb.inputs("s", 3)
+    out = cb.mux_tree(data, select)
+    cb.output(out, "z0")
+    return cb.done()
+
+
+def _cm85a() -> BooleanNetwork:
+    """5-bit magnitude comparator with enable (11 inputs, 3 outputs)."""
+    cb = CircuitBuilder("cm85a")
+    a = cb.inputs("a", 5)
+    b = cb.inputs("b", 5)
+    en = cb.input("en")
+    gt, lt, eq = cb.ripple_comparator(a, b)
+    cb.output(cb.and_([gt, en]), "a_gt_b")
+    cb.output(cb.and_([lt, en]), "a_lt_b")
+    cb.output(cb.and_([eq, en]), "a_eq_b")
+    return cb.done()
+
+
+def _comp() -> BooleanNetwork:
+    """16-bit magnitude comparator (32 inputs, 3 outputs)."""
+    cb = CircuitBuilder("comp")
+    a = cb.inputs("a", 16)
+    b = cb.inputs("b", 16)
+    gt, lt, eq = cb.ripple_comparator(a, b)
+    cb.output(gt, "a_gt_b")
+    cb.output(lt, "a_lt_b")
+    cb.output(eq, "a_eq_b")
+    return cb.done()
+
+
+def _cordic() -> BooleanNetwork:
+    """Arithmetic rotation-decision slice (23 inputs, 2 outputs).
+
+    A CORDIC iteration decides the rotation direction from the sign of the
+    residual angle and derives the next control state; we model one such
+    decision: an 10-bit compare, a short carry chain, and mux-selected
+    control terms.
+    """
+    cb = CircuitBuilder("cordic")
+    x = cb.inputs("x", 10)
+    y = cb.inputs("y", 10)
+    c = cb.inputs("c", 3)
+    gt, lt, eq = cb.ripple_comparator(x, y)
+    sums, carry = cb.carry_chain(x[:5], y[:5])
+    direction = cb.mux2(c[0], gt, lt)
+    rotate = cb.and_([direction, c[1]])
+    residual = cb.aoi([[carry, c[2]], [eq, sums[4]], [rotate, sums[0]]])
+    cb.output(cb.or_([rotate, cb.and_([eq, c[2]])]), "d0")
+    cb.output(residual, "d1")
+    return cb.done()
+
+
+def _cmb() -> BooleanNetwork:
+    """Address match / combine logic (16 inputs, 4 outputs)."""
+    cb = CircuitBuilder("cmb")
+    addr = cb.inputs("a", 12)
+    ctl = cb.inputs("c", 4)
+    hi_all_ones = cb.and_(addr[6:])
+    lo_all_zero = cb.nor_(addr[:6])
+    window = cb.and_([addr[0], addr[2], addr[4]])
+    match = cb.and_([hi_all_ones, lo_all_zero])
+    cb.output(cb.and_([match, ctl[0]]), "hit")
+    cb.output(cb.aoi([[window, ctl[1]], [match, ctl[2]]]), "sel")
+    cb.output(cb.or_([lo_all_zero, cb.and_([ctl[3], window])]), "low")
+    cb.output(cb.nand_([hi_all_ones, ctl[0], ctl[1]]), "busy")
+    return cb.done()
+
+
+def _tcon() -> BooleanNetwork:
+    """Buffer/inverter fabric (17 inputs, 16 outputs).
+
+    The real ``tcon`` is wiring-dominated: this is the benchmark class on
+    which threshold synthesis cannot beat one-to-one mapping (Table I shows
+    TELS *losing* on tcon), because each output needs its own trivial gate
+    either way.
+    """
+    cb = CircuitBuilder("tcon")
+    data = cb.inputs("d", 16)
+    en = cb.input("en")
+    for i in range(8):
+        cb.output(cb.not_(data[i]), f"q{i}")
+    for i in range(8, 16):
+        cb.output(cb.and_([data[i], en]), f"q{i}")
+    return cb.done()
+
+
+def _pm1() -> BooleanNetwork:
+    """Small multi-output control logic (16 inputs, 13 outputs)."""
+    return random_logic_network(
+        "pm1",
+        num_inputs=16,
+        num_outputs=13,
+        num_nodes=42,
+        seed=41,
+        max_fanin=3,
+        max_cubes=3,
+        locality=14,
+    )
+
+
+def _term1() -> BooleanNetwork:
+    """Terminal controller style random logic (34 inputs, 10 outputs)."""
+    return random_logic_network(
+        "term1",
+        num_inputs=34,
+        num_outputs=10,
+        num_nodes=130,
+        seed=1721,
+        max_fanin=4,
+        max_cubes=4,
+        locality=26,
+    )
+
+
+def _x1() -> BooleanNetwork:
+    """Wide random logic (51 inputs, 35 outputs)."""
+    return random_logic_network(
+        "x1",
+        num_inputs=51,
+        num_outputs=35,
+        num_nodes=170,
+        seed=51,
+        max_fanin=4,
+        max_cubes=4,
+        locality=30,
+    )
+
+
+def _i10() -> BooleanNetwork:
+    """Very large random logic (257 inputs, 224 outputs)."""
+    return random_logic_network(
+        "i10",
+        num_inputs=257,
+        num_outputs=224,
+        num_nodes=3400,
+        seed=1010,
+        max_fanin=4,
+        max_cubes=4,
+        locality=200,
+    )
+
+
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec("cm152a", 11, 1, "multiplexer selector", _cm152a),
+        BenchmarkSpec("cordic", 23, 2, "arithmetic rotation slice", _cordic),
+        BenchmarkSpec("cm85a", 11, 3, "5-bit comparator", _cm85a),
+        BenchmarkSpec("comp", 32, 3, "16-bit magnitude comparator", _comp),
+        BenchmarkSpec("cmb", 16, 4, "address match logic", _cmb),
+        BenchmarkSpec("term1", 34, 10, "random control logic", _term1),
+        BenchmarkSpec("pm1", 16, 13, "small control logic", _pm1),
+        BenchmarkSpec("x1", 51, 35, "wide random logic", _x1),
+        BenchmarkSpec("i10", 257, 224, "very large random logic", _i10),
+        BenchmarkSpec("tcon", 17, 16, "buffer/inverter fabric", _tcon),
+    ]
+}
+
+
+def benchmark_names(include_large: bool = True) -> list[str]:
+    """Table-I benchmark order; ``include_large=False`` drops i10."""
+    names = [
+        "cm152a",
+        "cordic",
+        "cm85a",
+        "comp",
+        "cmb",
+        "term1",
+        "pm1",
+        "x1",
+        "i10",
+        "tcon",
+    ]
+    if not include_large:
+        names.remove("i10")
+    return names
+
+
+def build_benchmark(name: str) -> BooleanNetwork:
+    """Build a benchmark stand-in by MCNC name."""
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    network = spec.builder()
+    if len(network.inputs) != spec.num_inputs:
+        raise AssertionError(
+            f"{name}: built {len(network.inputs)} inputs, "
+            f"spec says {spec.num_inputs}"
+        )
+    if len(network.outputs) != spec.num_outputs:
+        raise AssertionError(
+            f"{name}: built {len(network.outputs)} outputs, "
+            f"spec says {spec.num_outputs}"
+        )
+    return network

@@ -1,0 +1,60 @@
+"""Circuits drawn directly from the paper's figures.
+
+These are used by the documentation, the examples, and the test suite; the
+motivational network is exactly Fig. 2(a) (7 gates, 5 levels counting the
+inverter) and Fig. 5's collapsing demonstration network.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.function import BooleanFunction
+from repro.io.blif import parse_blif
+from repro.network.network import BooleanNetwork
+
+#: Fig. 2(a): the Section III motivational Boolean network.
+MOTIVATIONAL_BLIF = """\
+.model motivational
+.inputs x1 x2 x3 x4 x5 x6 x7
+.outputs f
+.names x1 inv1
+0 1
+.names x1 x2 x3 n4
+111 1
+.names inv1 x4 n5
+11 1
+.names n4 n5 n3
+1- 1
+-1 1
+.names n3 x5 n1
+11 1
+.names x6 x7 n2
+11 1
+.names n1 n2 f
+1- 1
+-1 1
+.end
+"""
+
+
+def motivational_network() -> BooleanNetwork:
+    """The Fig. 2(a) network: 7 gates, 5 levels."""
+    return parse_blif(MOTIVATIONAL_BLIF)
+
+
+def fig5_network() -> BooleanNetwork:
+    """The Fig. 5 network used to demonstrate node collapsing.
+
+    ``f = n1 + n2`` with ``n1 = x1 n3``, ``n2 = n3 x4``, and the shared
+    node ``n3 = x2 + x3``; collapsing f with ψ = 4 and n3 preserved yields
+    ``f = x1 n3 + n3 x4``.
+    """
+    net = BooleanNetwork("fig5")
+    for name in ("x1", "x2", "x3", "x4"):
+        net.add_input(name)
+    net.add_node("n3", BooleanFunction.parse("x2 + x3"))
+    net.add_node("n1", BooleanFunction.parse("x1 n3"))
+    net.add_node("n2", BooleanFunction.parse("n3 x4"))
+    net.add_node("f", BooleanFunction.parse("n1 + n2"))
+    net.add_output("f")
+    net.check()
+    return net

@@ -1,0 +1,89 @@
+"""Seeded random multi-level logic generation.
+
+Stand-ins for the MCNC random/control-logic benchmarks (term1, pm1, x1,
+i10) are produced here: a deterministic DAG of small SOP nodes over random
+fanin subsets, with locality bias so that realistic sharing and reconvergence
+appear (which is what exercises TELS's fanout-preservation machinery).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.network.network import BooleanNetwork
+
+
+def random_logic_network(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_nodes: int,
+    seed: int,
+    max_fanin: int = 4,
+    max_cubes: int = 4,
+    locality: int = 24,
+    negate_probability: float = 0.3,
+) -> BooleanNetwork:
+    """Build a deterministic random multi-level network.
+
+    Args:
+        name: network (model) name.
+        num_inputs / num_outputs / num_nodes: target dimensions; outputs are
+            drawn from the most recently created nodes so depth accumulates.
+        seed: RNG seed — same arguments always give the same circuit.
+        max_fanin: per-node fanin bound of the generated SOPs.
+        max_cubes: per-node cube-count bound.
+        locality: candidate fanins are drawn from the last ``locality``
+            signals (plus a global escape), biasing toward reconvergent,
+            share-heavy structure.
+        negate_probability: probability a literal appears complemented.
+    """
+    rng = random.Random(seed)
+    net = BooleanNetwork(name)
+    signals = [net.add_input(f"pi{i}") for i in range(num_inputs)]
+
+    for j in range(num_nodes):
+        window = signals[-locality:]
+        k = rng.randint(2, max_fanin)
+        k = min(k, len(window))
+        if rng.random() < 0.2 and len(signals) > len(window):
+            # Global escape: occasionally reach far back for a fanin.
+            pool = signals
+        else:
+            pool = window
+        fanins = rng.sample(pool, k)
+        cubes = []
+        num_cubes = rng.randint(1, max_cubes)
+        for _ in range(num_cubes):
+            lits: dict[int, bool] = {}
+            size = rng.randint(1, k)
+            for var in rng.sample(range(k), size):
+                lits[var] = rng.random() >= negate_probability
+            cubes.append(Cube.from_literals(lits, k))
+        cover = Cover(cubes, k).scc()
+        if cover.is_zero():
+            cover = Cover((Cube.from_literals({0: True}, k),), k)
+        func = BooleanFunction(cover, fanins).trimmed()
+        if func.nvars == 0:
+            continue
+        node = net.add_node(f"n{j}", func)
+        signals.append(node)
+
+    internal = [s for s in signals if net.has_node(s)]
+    # Prefer late (deep) nodes as outputs, but keep determinism.
+    candidates = internal[::-1]
+    outputs = candidates[:num_outputs]
+    if len(outputs) < num_outputs:
+        # Degenerate case: expose inputs to reach the requested count.
+        for s in net.inputs:
+            if len(outputs) == num_outputs:
+                break
+            outputs.append(s)
+    for out in outputs:
+        net.add_output(out)
+    net.cleanup()
+    net.check()
+    return net

@@ -1,0 +1,17 @@
+"""Two-level Boolean function substrate.
+
+This subpackage implements the sum-of-products machinery the TELS algorithms
+sit on: positional-notation cubes (:mod:`repro.boolean.cube`), SOP covers with
+cofactor / tautology / complement (:mod:`repro.boolean.cover`), unateness
+analysis (:mod:`repro.boolean.unate`), an espresso-style two-level minimizer
+(:mod:`repro.boolean.minimize`), algebraic division / kernels / factoring
+(:mod:`repro.boolean.divide`, :mod:`repro.boolean.kernels`,
+:mod:`repro.boolean.factor`), and a named-variable wrapper
+(:mod:`repro.boolean.function`).
+"""
+
+from repro.boolean.cube import Cube
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+
+__all__ = ["Cube", "Cover", "BooleanFunction"]

@@ -1,0 +1,250 @@
+"""Algebraic factoring of SOP covers into factored-form trees.
+
+A factored form is an AND/OR tree over literals — the representation a
+multi-level decomposition consumes.  ``factor`` implements the classic
+literal-divisor quick-factoring (SIS's ``quick_factor``): repeatedly divide by
+the most frequent literal, factoring quotient and remainder recursively, and
+strip common cubes first.  The resulting tree drives the one-to-one mapping
+baseline's technology decomposition into bounded-fanin simple gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.divide import divide_by_cube, make_cube_free
+
+
+class FactorForm:
+    """Base class of factored-form tree nodes."""
+
+    def num_literals(self) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, point: int) -> bool:
+        raise NotImplementedError
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FactorConst(FactorForm):
+    value: bool
+
+    def num_literals(self) -> int:
+        return 0
+
+    def evaluate(self, point: int) -> bool:
+        return self.value
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class FactorLit(FactorForm):
+    var: int
+    phase: bool
+
+    def num_literals(self) -> int:
+        return 1
+
+    def evaluate(self, point: int) -> bool:
+        value = bool((point >> self.var) & 1)
+        return value if self.phase else not value
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        return names[self.var] + ("" if self.phase else "'")
+
+
+@dataclass(frozen=True)
+class FactorAnd(FactorForm):
+    children: tuple[FactorForm, ...]
+
+    def num_literals(self) -> int:
+        return sum(c.num_literals() for c in self.children)
+
+    def evaluate(self, point: int) -> bool:
+        return all(c.evaluate(point) for c in self.children)
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        parts = []
+        for child in self.children:
+            text = child.to_expression(names)
+            if isinstance(child, FactorOr):
+                text = f"({text})"
+            parts.append(text)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FactorOr(FactorForm):
+    children: tuple[FactorForm, ...]
+
+    def num_literals(self) -> int:
+        return sum(c.num_literals() for c in self.children)
+
+    def evaluate(self, point: int) -> bool:
+        return any(c.evaluate(point) for c in self.children)
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        return " + ".join(c.to_expression(names) for c in self.children)
+
+
+def _and(children: list[FactorForm]) -> FactorForm:
+    flat: list[FactorForm] = []
+    for child in children:
+        if isinstance(child, FactorConst):
+            if not child.value:
+                return FactorConst(False)
+            continue  # drop AND-identity
+        if isinstance(child, FactorAnd):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return FactorConst(True)
+    if len(flat) == 1:
+        return flat[0]
+    return FactorAnd(tuple(flat))
+
+
+def _or(children: list[FactorForm]) -> FactorForm:
+    flat: list[FactorForm] = []
+    for child in children:
+        if isinstance(child, FactorConst):
+            if child.value:
+                return FactorConst(True)
+            continue  # drop OR-identity
+        if isinstance(child, FactorOr):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if not flat:
+        return FactorConst(False)
+    if len(flat) == 1:
+        return flat[0]
+    return FactorOr(tuple(flat))
+
+
+def _cube_to_and(cube: Cube) -> FactorForm:
+    return _and([FactorLit(var, phase) for var, phase in cube.literals()])
+
+
+def _best_literal(cover: Cover) -> tuple[int, bool] | None:
+    """Most frequent literal appearing in at least two cubes."""
+    best = None
+    best_count = 1
+    for var in range(cover.nvars):
+        pos, neg = cover.column_phases(var)
+        if pos > best_count:
+            best, best_count = (var, True), pos
+        if neg > best_count:
+            best, best_count = (var, False), neg
+    return best
+
+
+def factor(cover: Cover) -> FactorForm:
+    """Factor a cover into an AND/OR tree (literal quick-factoring)."""
+    cover = cover.scc()
+    if cover.is_zero():
+        return FactorConst(False)
+    if any(c.is_full() for c in cover.cubes):
+        return FactorConst(True)
+    return _factor_rec(cover)
+
+
+def _factor_rec(cover: Cover) -> FactorForm:
+    stripped, cc = make_cube_free(cover)
+    prefix = [FactorLit(var, phase) for var, phase in cc.literals()]
+    body = _factor_cube_free(stripped)
+    return _and(prefix + [body])
+
+
+def _factor_cube_free(cover: Cover) -> FactorForm:
+    if cover.num_cubes == 1:
+        return _cube_to_and(cover.cubes[0])
+    kernel_form = _factor_by_kernel(cover)
+    if kernel_form is not None:
+        return kernel_form
+    lit = _best_literal(cover)
+    if lit is None:
+        return _or([_cube_to_and(c) for c in cover.cubes])
+    var, phase = lit
+    divisor = Cube.from_literals({var: phase}, cover.nvars)
+    quotient = divide_by_cube(cover, divisor)
+    product = {q.intersect(divisor) for q in quotient.cubes}
+    remainder = Cover(
+        [c for c in cover.cubes if c not in product], cover.nvars
+    )
+    left = _and([FactorLit(var, phase), _factor_rec(quotient)])
+    if remainder.is_zero():
+        return left
+    return _or([left, _factor_rec(remainder)])
+
+
+_KERNEL_FACTOR_CUBE_CAP = 24
+
+
+def _factor_by_kernel(cover: Cover) -> FactorForm | None:
+    """Try dividing by the most valuable proper kernel (GFACTOR step).
+
+    Returns None when no kernel divisor yields a nontrivial quotient, in
+    which case the caller falls back to literal quick-factoring.
+    """
+    from repro.boolean.divide import divide
+    from repro.boolean.kernels import kernels
+
+    if cover.num_cubes > _KERNEL_FACTOR_CUBE_CAP:
+        return None
+    best: tuple[int, Cover, Cover, Cover] | None = None
+    for kern in kernels(cover, include_self=False):
+        if kern.cover.num_cubes < 2:
+            continue
+        quotient, remainder = divide(cover, kern.cover)
+        if quotient.num_cubes < 1:
+            continue
+        if quotient.num_cubes == 1 and quotient.cubes[0].is_full():
+            continue  # F = 1 * D + R: no structure gained
+        saved = (quotient.num_cubes - 1) * kern.cover.num_literals
+        if saved <= 0:
+            continue
+        if best is None or saved > best[0]:
+            best = (saved, quotient, kern.cover, remainder)
+    if best is None:
+        return None
+    _, quotient, divisor, remainder = best
+    product = _and([_factor_rec(quotient), _factor_rec(divisor)])
+    if remainder.is_zero():
+        return product
+    return _or([product, _factor_rec(remainder)])
+
+
+_LITERAL_COUNT_CACHE: dict[tuple, int] = {}
+
+
+def factored_literal_count(cover: Cover) -> int:
+    """Literal count of the factored form (multi-level area proxy).
+
+    Memoized on the canonical cover key: the eliminate transform queries
+    this for the same node functions over and over.
+    """
+    key = cover.canonical_key()
+    cached = _LITERAL_COUNT_CACHE.get(key)
+    if cached is None:
+        cached = factor(cover).num_literals()
+        if len(_LITERAL_COUNT_CACHE) > 100_000:
+            _LITERAL_COUNT_CACHE.clear()
+        _LITERAL_COUNT_CACHE[key] = cached
+    return cached
+
+
+def verify_factoring(cover: Cover, form: FactorForm) -> bool:
+    """Exhaustively check a factored form against its cover (small n only)."""
+    return all(
+        form.evaluate(p) == cover.evaluate(p) for p in range(1 << cover.nvars)
+    )

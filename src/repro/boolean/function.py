@@ -1,0 +1,244 @@
+"""Boolean functions over named variables.
+
+:class:`BooleanFunction` pairs a positional :class:`~repro.boolean.cover.Cover`
+with an ordered tuple of variable names.  Network nodes store their local
+function this way: the cover's variable *i* is the node's fanin *i*.  The
+class provides name-aware substitution (the workhorse of node collapsing),
+support trimming, and re-basing onto a different variable ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.unate import UnatenessReport, syntactic_unateness
+from repro.errors import CoverError
+
+
+class BooleanFunction:
+    """An SOP function whose variables carry names."""
+
+    __slots__ = ("cover", "variables", "_index")
+
+    def __init__(self, cover: Cover, variables: Sequence[str]):
+        variables = tuple(variables)
+        if len(variables) != cover.nvars:
+            raise CoverError(
+                f"{len(variables)} names for a cover over {cover.nvars} variables"
+            )
+        if len(set(variables)) != len(variables):
+            raise CoverError(f"duplicate variable names in {variables}")
+        object.__setattr__(self, "cover", cover)
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(variables)})
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("BooleanFunction is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: bool) -> "BooleanFunction":
+        """The constant 0 or 1 function of no variables."""
+        return cls(Cover.one(0) if value else Cover.zero(0), ())
+
+    @classmethod
+    def from_sop(cls, rows: Sequence[str], variables: Sequence[str]) -> "BooleanFunction":
+        """Build from positional-notation rows and a matching name list."""
+        if not rows:
+            return cls(Cover.zero(len(variables)), variables)
+        return cls(Cover.from_strings(rows), variables)
+
+    @classmethod
+    def parse(cls, expression: str) -> "BooleanFunction":
+        """Parse a small SOP expression, e.g. ``"a b' + c"``.
+
+        Grammar: cubes separated by ``+`` or ``|``; literals separated by
+        whitespace or ``*`` or ``&``; a trailing ``'`` or leading ``~``/``!``
+        complements a literal.  Variables are ordered by first appearance.
+        The constants ``0`` and ``1`` are accepted.
+        """
+        expression = expression.strip()
+        if expression == "0":
+            return cls.constant(False)
+        if expression == "1":
+            return cls.constant(True)
+        order: list[str] = []
+        cube_literals: list[dict[str, bool]] = []
+        for term in expression.replace("|", "+").split("+"):
+            term = term.strip()
+            if not term:
+                raise CoverError(f"empty product term in {expression!r}")
+            literals: dict[str, bool] = {}
+            for token in term.replace("*", " ").replace("&", " ").split():
+                phase = True
+                if token.startswith(("~", "!")):
+                    phase = False
+                    token = token[1:]
+                if token.endswith("'"):
+                    phase = not phase
+                    token = token[:-1]
+                if not token.isidentifier():
+                    raise CoverError(f"invalid literal {token!r} in {expression!r}")
+                if token in literals and literals[token] != phase:
+                    raise CoverError(f"contradictory literal {token!r} in one cube")
+                literals[token] = phase
+                if token not in order:
+                    order.append(token)
+            cube_literals.append(literals)
+        nvars = len(order)
+        index = {v: i for i, v in enumerate(order)}
+        cubes = [
+            Cube.from_literals({index[v]: ph for v, ph in lits.items()}, nvars)
+            for lits in cube_literals
+        ]
+        return cls(Cover(cubes, nvars), order)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def nvars(self) -> int:
+        return self.cover.nvars
+
+    @property
+    def num_cubes(self) -> int:
+        return self.cover.num_cubes
+
+    @property
+    def num_literals(self) -> int:
+        return self.cover.num_literals
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CoverError(f"unknown variable {name!r}") from None
+
+    def depends_on(self, name: str) -> bool:
+        """True when ``name`` appears in some cube (syntactic support)."""
+        if name not in self._index:
+            return False
+        return bool((self.cover.support >> self._index[name]) & 1)
+
+    def support_names(self) -> list[str]:
+        """Names of variables in the syntactic support, in variable order."""
+        return [self.variables[i] for i in self.cover.support_vars()]
+
+    def unateness(self) -> UnatenessReport:
+        return syntactic_unateness(self.cover)
+
+    def evaluate(self, assignment: Mapping[str, bool | int]) -> bool:
+        """Evaluate under a name -> value assignment."""
+        point = 0
+        for i, name in enumerate(self.variables):
+            if assignment.get(name):
+                point |= 1 << i
+        return self.cover.evaluate(point)
+
+    def to_expression(self) -> str:
+        """Render as a human-readable SOP string."""
+        if self.cover.is_zero():
+            return "0"
+        terms = []
+        for cube in self.cover.cubes:
+            if cube.is_full():
+                return "1"
+            lits = [
+                self.variables[var] + ("" if phase else "'")
+                for var, phase in cube.literals()
+            ]
+            terms.append(" ".join(lits))
+        return " + ".join(terms)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def trimmed(self) -> "BooleanFunction":
+        """Drop variables outside the syntactic support (after SCC)."""
+        cover = self.cover.scc()
+        keep = cover.support_vars()
+        if len(keep) == self.nvars:
+            return BooleanFunction(cover, self.variables)
+        mapping = {old: new for new, old in enumerate(keep)}
+        cubes = [c.permute(mapping, len(keep)) for c in cover.cubes]
+        names = tuple(self.variables[i] for i in keep)
+        return BooleanFunction(Cover(cubes, len(keep)), names)
+
+    def rebased(self, variables: Sequence[str]) -> "BooleanFunction":
+        """Re-express over a (super)set ordering of variables."""
+        variables = tuple(variables)
+        index = {v: i for i, v in enumerate(variables)}
+        missing = [v for v in self.support_names() if v not in index]
+        if missing:
+            raise CoverError(f"rebased target misses support variables {missing}")
+        mapping = {
+            i: index[name]
+            for i, name in enumerate(self.variables)
+            if name in index
+        }
+        cubes = []
+        for cube in self.cover.cubes:
+            if any(var not in mapping for var, _ in cube.literals()):
+                raise CoverError("cube references a variable outside the target")
+            cubes.append(cube.permute(mapping, len(variables)))
+        return BooleanFunction(Cover(cubes, len(variables)), variables)
+
+    def renamed(self, renames: Mapping[str, str]) -> "BooleanFunction":
+        """Rename variables without touching the cover."""
+        names = tuple(renames.get(v, v) for v in self.variables)
+        return BooleanFunction(self.cover, names)
+
+    def substitute(self, name: str, g: "BooleanFunction") -> "BooleanFunction":
+        """Replace variable ``name`` with function ``g`` (node collapsing).
+
+        The result is expressed over the union of both variable sets (minus
+        ``name``), support-trimmed.
+        """
+        if name not in self._index:
+            return self
+        target_vars = [v for v in self.variables if v != name]
+        for v in g.variables:
+            if v not in target_vars:
+                target_vars.append(v)
+        # Work in a space that still contains `name` so compose() can run.
+        work_vars = target_vars + [name]
+        f_w = self.rebased(work_vars)
+        g_w = g.rebased(work_vars)
+        composed = f_w.cover.compose(f_w.index_of(name), g_w.cover)
+        return BooleanFunction(composed, work_vars).trimmed()
+
+    def complement(self) -> "BooleanFunction":
+        return BooleanFunction(self.cover.complement(), self.variables)
+
+    def equivalent(self, other: "BooleanFunction") -> bool:
+        """Semantic equality, aligning variables by name."""
+        union = list(self.variables)
+        for v in other.variables:
+            if v not in union:
+                union.append(v)
+        return self.rebased(union).cover.equivalent(other.rebased(union).cover)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return self.variables == other.variables and self.cover == other.cover
+
+    def __hash__(self) -> int:
+        return hash((self.variables, self.cover))
+
+    def __repr__(self) -> str:
+        return f"BooleanFunction({self.to_expression()!r})"
+
+
+def iter_assignments(names: Iterable[str]):
+    """Yield every full truth assignment over ``names`` as dicts."""
+    names = list(names)
+    for point in range(1 << len(names)):
+        yield {name: bool((point >> i) & 1) for i, name in enumerate(names)}

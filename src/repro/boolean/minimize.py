@@ -1,0 +1,110 @@
+"""A compact espresso-style two-level minimizer.
+
+Implements the EXPAND / IRREDUNDANT / REDUCE loop over the cover engine.  It
+is not the full espresso (no MINI-style blocking matrices, no LASTGASP), but
+it produces irredundant prime covers, honours a don't-care set, and is more
+than adequate for the node-simplification duty the ``script.boolean``
+stand-in needs and for preparing benchmark functions.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+_MAX_PASSES = 8
+
+
+def expand(cover: Cover, offset: Cover) -> Cover:
+    """Expand every cube to a prime against ``offset`` (greedy per literal).
+
+    A literal may be dropped from a cube whenever the grown cube still
+    intersects no OFF-set cube.  Cubes are processed largest-first so big
+    primes get the chance to absorb smaller cubes via the final SCC.
+    """
+    expanded: list[Cube] = []
+    for cube in sorted(cover.cubes, key=lambda c: c.num_literals):
+        current = cube
+        for var, phase in list(cube.literals()):
+            candidate = current.without_var(var)
+            if not any(candidate.intersects(off) for off in offset.cubes):
+                current = candidate
+        expanded.append(current)
+    return Cover(expanded, cover.nvars).scc()
+
+
+def irredundant(cover: Cover, dcset: Cover | None = None) -> Cover:
+    """Drop cubes covered by the union of the remaining cubes and DC-set."""
+    cubes = list(cover.cubes)
+    # Try to drop the largest cubes last so primes are preferentially kept.
+    order = sorted(range(len(cubes)), key=lambda i: cubes[i].num_literals, reverse=True)
+    alive = [True] * len(cubes)
+    for i in order:
+        rest = [cubes[j] for j in range(len(cubes)) if alive[j] and j != i]
+        if dcset is not None:
+            rest = rest + list(dcset.cubes)
+        if Cover(rest, cover.nvars).contains_cube(cubes[i]):
+            alive[i] = False
+    return Cover([c for i, c in enumerate(cubes) if alive[i]], cover.nvars)
+
+
+def reduce_cover(cover: Cover, dcset: Cover | None = None) -> Cover:
+    """Shrink each cube to the supercube of its essential part."""
+    cubes = list(cover.cubes)
+    out: list[Cube] = []
+    for i, cube in enumerate(cubes):
+        rest = out + cubes[i + 1 :]
+        if dcset is not None:
+            rest = rest + list(dcset.cubes)
+        blocked = Cover(rest, cover.nvars)
+        # Essential part of `cube`: minterms of cube not covered by the rest.
+        essential = Cover([cube], cover.nvars).product(blocked.complement())
+        if essential.is_zero():
+            continue  # fully redundant
+        shrunk = essential.cubes[0]
+        for c in essential.cubes[1:]:
+            shrunk = shrunk.supercube(c)
+        out.append(shrunk)
+    return Cover(out, cover.nvars)
+
+
+def minimize(cover: Cover, dcset: Cover | None = None) -> Cover:
+    """Espresso-lite: iterate expand / irredundant / reduce to a fixpoint.
+
+    Args:
+        cover: the ON-set cover to minimize.
+        dcset: optional don't-care cover the result may freely use.
+
+    Returns:
+        An irredundant cover of prime implicants equivalent to ``cover`` on
+        the care set, with (heuristically) few cubes and literals.
+    """
+    cover = cover.scc()
+    if cover.is_zero() or cover.is_tautology():
+        return Cover.one(cover.nvars) if cover.is_tautology() else cover
+    care_on = cover
+    if dcset is None:
+        offset = cover.complement()
+    else:
+        offset = cover.union(dcset).complement()
+    best = irredundant(expand(cover, offset), dcset)
+    best_cost = (best.num_cubes, best.num_literals)
+    for _ in range(_MAX_PASSES):
+        reduced = reduce_cover(best, dcset)
+        candidate = irredundant(expand(reduced, offset), dcset)
+        cost = (candidate.num_cubes, candidate.num_literals)
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+        else:
+            break
+    assert _covers_care_set(best, care_on, dcset)
+    return best
+
+
+def _covers_care_set(result: Cover, onset: Cover, dcset: Cover | None) -> bool:
+    """Sanity check: result equals the ON-set everywhere outside the DC-set."""
+    if dcset is None:
+        return result.equivalent(onset)
+    care_result = result.product(dcset.complement())
+    care_on = onset.product(dcset.complement())
+    return care_result.equivalent(care_on)

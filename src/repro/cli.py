@@ -1,0 +1,350 @@
+"""The ``tels`` command line — the Fig. 9 TELS command set, plus experiments.
+
+Commands mirroring the five commands of the original tool:
+
+* ``tels stats FILE``       — network information (gates, levels, literals);
+* ``tels map FILE``         — one-to-one threshold mapping of the optimized
+  decomposed network;
+* ``tels synth FILE``       — TELS threshold synthesis;
+* ``tels simulate FILE``    — synthesize and simulate against the source for
+  functional correctness;
+* ``tels print-th FILE``    — display a synthesized threshold network.
+
+Extras for the reproduction:
+
+* ``tels bench NAME``       — emit a benchmark stand-in as BLIF;
+* ``tels table1`` / ``fig10`` / ``fig11`` / ``fig12`` — regenerate the
+  paper's experiments;
+* ``tels enumerate N``      — the Section VI-B function counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.area import boolean_stats, network_stats
+from repro.core.mapping import one_to_one_map
+from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+from repro.core.threshold import gate_table
+from repro.core.verify import verify_threshold_network
+from repro.io.blif import read_blif, to_blif, write_blif
+from repro.io.thblif import read_thblif, to_thblif, write_thblif
+from repro.network.scripts import prepare_one_to_one, prepare_tels
+
+
+def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--psi", type=int, default=3, help="fanin restriction")
+    parser.add_argument("--delta-on", type=int, default=0, help="ON tolerance")
+    parser.add_argument("--delta-off", type=int, default=1, help="OFF tolerance")
+    parser.add_argument("--seed", type=int, default=0, help="tie-break seed")
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "exact", "scipy"),
+        help="ILP backend",
+    )
+
+
+def _options(args: argparse.Namespace) -> SynthesisOptions:
+    return SynthesisOptions(
+        psi=args.psi,
+        delta_on=args.delta_on,
+        delta_off=args.delta_off,
+        seed=args.seed,
+        backend=args.backend,
+    )
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    network = read_blif(args.file)
+    stats = boolean_stats(network)
+    print(f"model:    {network.name}")
+    print(f"inputs:   {len(network.inputs)}")
+    print(f"outputs:  {len(network.outputs)}")
+    print(f"nodes:    {stats.gates}")
+    print(f"levels:   {stats.levels}")
+    print(f"literals: {stats.area}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    network = read_blif(args.file)
+    prepared = prepare_tels(network)
+    threshold_net, report = synthesize_with_report(prepared, _options(args))
+    ok = verify_threshold_network(network, threshold_net)
+    stats = network_stats(threshold_net)
+    print(f"TELS: {stats} verified={ok}")
+    print(
+        f"processed={report.nodes_processed} binate_splits="
+        f"{report.binate_splits} unate_splits={report.unate_splits} "
+        f"theorem2={report.theorem2_applications}"
+    )
+    if args.output:
+        write_thblif(threshold_net, args.output)
+        print(f"wrote {args.output}")
+    elif args.print_network:
+        print(to_thblif(threshold_net), end="")
+    return 0 if ok else 1
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    network = read_blif(args.file)
+    prepared = prepare_one_to_one(network, max_fanin=args.psi)
+    threshold_net = one_to_one_map(
+        prepared, delta_on=args.delta_on, delta_off=args.delta_off,
+        backend=args.backend,
+    )
+    ok = verify_threshold_network(network, threshold_net)
+    print(f"one-to-one: {network_stats(threshold_net)} verified={ok}")
+    if args.output:
+        write_thblif(threshold_net, args.output)
+        print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    network = read_blif(args.file)
+    prepared = prepare_tels(network)
+    threshold_net, _ = synthesize_with_report(prepared, _options(args))
+    ok = verify_threshold_network(network, threshold_net, vectors=args.vectors)
+    mode = (
+        "exhaustively"
+        if len(network.inputs) <= 14
+        else f"with {args.vectors} random vectors"
+    )
+    print(f"simulated {mode}: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def cmd_print_th(args: argparse.Namespace) -> int:
+    network = read_thblif(args.file)
+    stats = network_stats(network)
+    print(f"model: {network.name}  ({stats})")
+    for name, inputs, vector in gate_table(network):
+        print(f"  {name:24s} <- [{inputs}]  {vector}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analysis import analyze_network, format_analysis
+    from repro.core.technology import format_mobile_report, mobile_report
+
+    if args.file.endswith(".th"):
+        network = read_thblif(args.file)
+    else:
+        source = read_blif(args.file)
+        prepared = prepare_tels(source)
+        network, _ = synthesize_with_report(prepared, _options(args))
+    print(format_analysis(analyze_network(network)))
+    print()
+    print(format_mobile_report(mobile_report(network)))
+    return 0
+
+
+def cmd_verilog(args: argparse.Namespace) -> int:
+    from repro.io.verilog import threshold_to_verilog
+
+    if args.file.endswith(".th"):
+        network = read_thblif(args.file)
+    else:
+        source = read_blif(args.file)
+        prepared = prepare_tels(source)
+        network, _ = synthesize_with_report(prepared, _options(args))
+    text = threshold_to_verilog(network)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.benchgen.extended import all_benchmark_names
+    from repro.experiments.extended_suite import format_suite, run_suite
+
+    names = [n for n in all_benchmark_names() if args.full or n != "i10"]
+    summary = run_suite(names, psi=args.psi, seed=args.seed)
+    print(format_suite(summary))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchgen.extended import build_extended_benchmark
+
+    network = build_extended_benchmark(args.name)
+    text = to_blif(network)
+    if args.output:
+        write_blif(network, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    names = args.benchmarks or benchmark_names(include_large=not args.small)
+    rows = run_table1(names, psi=args.psi, seed=args.seed)
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.experiments.fig10 import format_fig10, run_fig10
+
+    points = run_fig10(args.benchmark, seed=args.seed)
+    print(format_fig10(points, args.benchmark))
+    return 0
+
+
+def cmd_fig11(args: argparse.Namespace) -> int:
+    from repro.experiments.fig11 import format_fig11, run_fig11
+
+    points = run_fig11(trials=args.trials, seed=args.seed)
+    print(format_fig11(points))
+    return 0
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from repro.experiments.fig12 import format_fig12, run_fig12
+
+    points = run_fig12(trials=args.trials, seed=args.seed)
+    print(format_fig12(points))
+    return 0
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    from repro.experiments.enumeration import (
+        PAPER_COUNTS,
+        count_positive_unate_threshold,
+    )
+
+    result = count_positive_unate_threshold(args.nvars)
+    paper = PAPER_COUNTS.get(args.nvars)
+    print(
+        f"{args.nvars} variables: {result.threshold_classes} threshold / "
+        f"{result.positive_unate_classes} positive-unate classes"
+        + (f"  (paper: {paper[1]}/{paper[0]})" if paper else "")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tels",
+        description="Threshold logic network synthesis (TELS reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print network information")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("synth", help="TELS threshold synthesis")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="write BLIF-TH here")
+    p.add_argument(
+        "--print-network", action="store_true", help="dump BLIF-TH to stdout"
+    )
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("map", help="one-to-one threshold mapping")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", help="write BLIF-TH here")
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("simulate", help="synthesize and verify by simulation")
+    p.add_argument("file")
+    p.add_argument("--vectors", type=int, default=2048)
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("print-th", help="display a BLIF-TH network")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_print_th)
+
+    p = sub.add_parser(
+        "analyze", help="structural analysis of a network (.blif or .th)"
+    )
+    p.add_argument("file")
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "verilog", help="export a threshold network as structural Verilog"
+    )
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("bench", help="emit a benchmark stand-in as BLIF")
+    from repro.benchgen.extended import all_benchmark_names
+
+    p.add_argument("name", choices=sorted(all_benchmark_names()))
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "suite", help="run both flows over the full benchmark population"
+    )
+    p.add_argument("--full", action="store_true", help="include i10")
+    p.add_argument("--psi", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("--benchmarks", nargs="*", help="subset of benchmarks")
+    p.add_argument("--small", action="store_true", help="skip i10")
+    p.add_argument("--psi", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig10", help="regenerate Fig. 10 (fanin sweep)")
+    p.add_argument("--benchmark", default="comp")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fig11", help="regenerate Fig. 11 (failure rates)")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig11)
+
+    p = sub.add_parser("fig12", help="regenerate Fig. 12 (robustness/area)")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser("enumerate", help="Section VI-B function counts")
+    p.add_argument("nvars", type=int, choices=range(1, 6))
+    p.set_defaults(func=cmd_enumerate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early: not an error.
+        import os
+
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Structural analysis of threshold networks.
+
+Beyond the Table-I metrics, a designer targeting RTD/QCA wants to know the
+distributions that determine manufacturability: fanin per gate, weight
+magnitudes, thresholds, and the switching margins that predict robustness
+(Section VI-C's failure behaviour correlates directly with the ON-side
+margin).  ``analyze_network`` gathers these; ``format_analysis`` renders the
+report the ``tels analyze`` command prints.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.threshold import ThresholdNetwork
+
+
+@dataclass
+class NetworkAnalysis:
+    """Aggregate structural statistics of a threshold network."""
+
+    gates: int
+    levels: int
+    area: int
+    max_fanin: int
+    fanin_histogram: dict[int, int] = field(default_factory=dict)
+    weight_histogram: dict[int, int] = field(default_factory=dict)
+    threshold_histogram: dict[int, int] = field(default_factory=dict)
+    max_abs_weight: int = 0
+    negative_weight_gates: int = 0
+    min_on_margin: int | None = None
+    min_off_margin: int | None = None
+    critical_path: list[str] = field(default_factory=list)
+
+    @property
+    def mean_fanin(self) -> float:
+        total = sum(k * v for k, v in self.fanin_histogram.items())
+        return total / self.gates if self.gates else 0.0
+
+
+def analyze_network(network: ThresholdNetwork) -> NetworkAnalysis:
+    """Compute structural statistics (margins are exact, per gate)."""
+    fanins: Counter[int] = Counter()
+    weights: Counter[int] = Counter()
+    thresholds: Counter[int] = Counter()
+    max_abs = 0
+    negative_gates = 0
+    min_on: int | None = None
+    min_off: int | None = None
+    for gate in network.gates():
+        fanins[gate.fanin] += 1
+        thresholds[gate.threshold] += 1
+        if any(w < 0 for w in gate.weights):
+            negative_gates += 1
+        for w in gate.weights:
+            weights[w] += 1
+            max_abs = max(max_abs, abs(w))
+        on, off = gate.margins()
+        if on is not None:
+            min_on = on if min_on is None else min(min_on, on)
+        if off is not None:
+            min_off = off if min_off is None else min(min_off, off)
+    return NetworkAnalysis(
+        gates=network.num_gates,
+        levels=network.depth(),
+        area=network.area(),
+        max_fanin=network.max_fanin(),
+        fanin_histogram=dict(sorted(fanins.items())),
+        weight_histogram=dict(sorted(weights.items())),
+        threshold_histogram=dict(sorted(thresholds.items())),
+        max_abs_weight=max_abs,
+        negative_weight_gates=negative_gates,
+        min_on_margin=min_on,
+        min_off_margin=min_off,
+        critical_path=_critical_path(network),
+    )
+
+
+def _critical_path(network: ThresholdNetwork) -> list[str]:
+    """One longest PI-to-PO gate path (by level)."""
+    levels = network.levels()
+    if not network.outputs:
+        return []
+    end = max(network.outputs, key=lambda o: levels.get(o, 0))
+    path: list[str] = []
+    current = end
+    while network.has_gate(current):
+        path.append(current)
+        gate = network.gate(current)
+        if not gate.inputs:
+            break
+        current = max(gate.inputs, key=lambda s: levels.get(s, 0))
+    path.reverse()
+    return path
+
+
+def format_analysis(analysis: NetworkAnalysis) -> str:
+    """Render an analysis as the multi-section text report."""
+    lines = [
+        f"gates: {analysis.gates}  levels: {analysis.levels}  "
+        f"area: {analysis.area}",
+        f"fanin: max {analysis.max_fanin}, mean {analysis.mean_fanin:.2f}",
+        "fanin histogram:     "
+        + "  ".join(f"{k}:{v}" for k, v in analysis.fanin_histogram.items()),
+        "weight histogram:    "
+        + "  ".join(f"{k:+d}:{v}" for k, v in analysis.weight_histogram.items()),
+        "threshold histogram: "
+        + "  ".join(
+            f"{k}:{v}" for k, v in analysis.threshold_histogram.items()
+        ),
+        f"max |weight|: {analysis.max_abs_weight}   gates with negative "
+        f"weights: {analysis.negative_weight_gates}",
+        f"tightest margins: ON {analysis.min_on_margin}, "
+        f"OFF {analysis.min_off_margin}",
+        "critical path: " + " -> ".join(analysis.critical_path),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Gate-count / level / area metrics (Table I columns, Eq. 14).
+
+Works on both :class:`ThresholdNetwork` (gates, levels, RTD area) and
+:class:`BooleanNetwork` (gates and levels of the decomposed Boolean
+baseline, for sanity comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.threshold import ThresholdNetwork
+from repro.network.network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """The three Table-I columns for one network."""
+
+    gates: int
+    levels: int
+    area: int
+
+    def __str__(self) -> str:
+        return f"gates={self.gates} levels={self.levels} area={self.area}"
+
+
+def network_stats(network: ThresholdNetwork) -> NetworkStats:
+    """Gate count, level count, and Eq.-(14) RTD area of a threshold network."""
+    return NetworkStats(
+        gates=network.num_gates,
+        levels=network.depth(),
+        area=network.area(),
+    )
+
+
+def boolean_stats(network: BooleanNetwork) -> NetworkStats:
+    """Gate count and levels of a Boolean network (area = literal count)."""
+    return NetworkStats(
+        gates=network.num_nodes,
+        levels=network.depth(),
+        area=network.num_literals(),
+    )
+
+
+def reduction(before: int, after: int) -> float:
+    """Percentage reduction from ``before`` to ``after`` (positive = better)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before

@@ -1,0 +1,111 @@
+"""Node collapsing (Fig. 4 of the paper).
+
+A node is repeatedly expanded by substituting in the local functions of its
+fanins, stopping at primary inputs and at *fanout nodes* (members of the
+preserved-sharing set S), and never letting the fanin count exceed the fanin
+restriction ψ — a substitution that would is undone.  The result is the
+widest function the threshold check is allowed to attempt for this node.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.function import BooleanFunction
+from repro.network.network import BooleanNetwork
+
+
+def collapse_node(
+    network: BooleanNetwork,
+    node: str,
+    psi: int,
+    preserved: frozenset[str] | set[str],
+    max_cubes: int = 128,
+) -> BooleanFunction:
+    """Collapse ``node`` per Fig. 4; returns the collapsed local function.
+
+    Args:
+        network: the Boolean network being synthesized.
+        node: name of the node to collapse.
+        psi: fanin restriction (ψ > 0).
+        preserved: the sharing set S — fanout nodes (and primary-output
+            nodes) whose boundaries must survive into the threshold network.
+        max_cubes: guard against SOP blow-up during substitution; a
+            substitution growing the cover beyond this is undone exactly
+            like a fanin-restriction violation.
+
+    Returns:
+        The collapsed function; its variables are all primary inputs,
+        preserved nodes, or nodes that could not be substituted without
+        violating ψ.
+    """
+    current = network.function(node).trimmed()
+    blocked: set[str] = set()
+
+    def eligible(name: str) -> bool:
+        return (
+            name not in blocked
+            and name not in preserved
+            and not network.is_input(name)
+        )
+
+    while current.nvars <= psi:
+        substituted = False
+        for name in list(current.variables):
+            if not eligible(name):
+                continue
+            candidate = current.substitute(name, network.function(name))
+            if candidate.nvars <= psi and candidate.num_cubes <= max_cubes:
+                current = candidate
+                substituted = True
+                continue
+            # Fig. 4 would undo here.  But the bound may only be violated
+            # transiently: substituting the *other* eligible fanins too can
+            # bring the support back under psi (e.g. collapsing both halves
+            # of an AND/OR pair into a single majority gate).  Look ahead by
+            # eagerly collapsing the candidate before giving up.
+            eager = _eager_collapse(
+                network, candidate, eligible, psi, max_cubes
+            )
+            if eager is not None:
+                current = eager
+                substituted = True
+            else:
+                blocked.add(name)  # undo: keep `current` unchanged
+        frontier = [n for n in current.variables if eligible(n)]
+        if not substituted or not frontier:
+            break
+    return current
+
+
+_EAGER_VAR_CAP_FACTOR = 3
+
+
+def _eager_collapse(
+    network: BooleanNetwork,
+    function: BooleanFunction,
+    eligible,
+    psi: int,
+    max_cubes: int,
+) -> BooleanFunction | None:
+    """Fully substitute eligible fanins; accept only a <= psi result.
+
+    Intermediate supports may exceed psi (that is the point), but are capped
+    at a small multiple of psi so runaway cones abort quickly.
+    """
+    var_cap = max(psi * _EAGER_VAR_CAP_FACTOR, psi + 4)
+    current = function
+    changed = True
+    while changed:
+        changed = False
+        if current.nvars > var_cap or current.num_cubes > max_cubes:
+            return None
+        for name in list(current.variables):
+            if not eligible(name):
+                continue
+            candidate = current.substitute(name, network.function(name))
+            if candidate.nvars > var_cap or candidate.num_cubes > max_cubes:
+                return None
+            current = candidate
+            changed = True
+    if current.nvars <= psi and current.num_cubes <= max_cubes:
+        return current
+    return None

@@ -1,0 +1,115 @@
+"""Parametric weight-variation Monte Carlo (Section VI-C, Figs. 11-12).
+
+The disturbed weight is ``w' = w + v * U(-0.5, 0.5)`` where ``v`` is the
+variation multiplier.  A circuit *fails* when any simulated input vector
+produces a wrong output value under the disturbed weights; the suite failure
+rate is the fraction of benchmark circuits that fail (the paper's Fig. 11
+definition).  Thresholds are left undisturbed, matching the paper's "
+variations in the input weights".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.threshold import ThresholdNetwork
+from repro.core.verify import _pi_matrix_from_words
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import (
+    EXHAUSTIVE_LIMIT,
+    exhaustive_pi_words,
+    random_pi_words,
+    simulate_words,
+)
+
+
+@dataclass(frozen=True)
+class DefectTrialResult:
+    """Outcome of one disturbed-weight simulation of one circuit."""
+
+    failed: bool
+    wrong_vectors: int
+    total_vectors: int
+
+
+def perturb_weights(
+    network: ThresholdNetwork, v: float, rng: random.Random
+) -> dict[str, np.ndarray]:
+    """One disturbed-weight instance: per-gate additive noise arrays."""
+    noise: dict[str, np.ndarray] = {}
+    for gate in network.gates():
+        noise[gate.name] = np.array(
+            [v * (rng.random() - 0.5) for _ in gate.inputs]
+        )
+    return noise
+
+
+def run_defect_trial(
+    source: BooleanNetwork,
+    synthesized: ThresholdNetwork,
+    v: float,
+    rng: random.Random,
+    vectors: int = 1024,
+) -> DefectTrialResult:
+    """Disturb every weight once and simulate the whole vector set."""
+    if len(source.inputs) <= EXHAUSTIVE_LIMIT:
+        words, width = exhaustive_pi_words(source)
+    else:
+        width = vectors
+        words = random_pi_words(source, width, rng)
+    golden = simulate_words(source, words, width)
+    matrix = _pi_matrix_from_words(source, words, width)
+    noise = perturb_weights(synthesized, v, rng)
+    outputs = synthesized.simulate_matrix(matrix, weight_noise=noise)
+    wrong = 0
+    for name in source.outputs:
+        want = np.array(
+            [(golden[name] >> k) & 1 for k in range(width)], dtype=bool
+        )
+        wrong += int(np.count_nonzero(outputs[name] != want))
+    return DefectTrialResult(wrong > 0, wrong, width * len(source.outputs))
+
+
+def circuit_failure_probability(
+    source: BooleanNetwork,
+    synthesized: ThresholdNetwork,
+    v: float,
+    trials: int = 20,
+    seed: int = 0,
+    vectors: int = 1024,
+) -> float:
+    """Fraction of disturbed-weight instances under which the circuit fails."""
+    rng = random.Random(seed)
+    failures = sum(
+        run_defect_trial(source, synthesized, v, rng, vectors).failed
+        for _ in range(trials)
+    )
+    return failures / trials
+
+
+def suite_failure_rate(
+    circuits: list[tuple[BooleanNetwork, ThresholdNetwork]],
+    v: float,
+    trials: int = 5,
+    seed: int = 0,
+    vectors: int = 1024,
+) -> float:
+    """Paper's failure-rate metric: % of benchmarks that fail simulation.
+
+    Each benchmark is disturbed ``trials`` times; it counts as failed when
+    any disturbed instance produces any wrong output vector.
+    """
+    failed = 0
+    for index, (source, synthesized) in enumerate(circuits):
+        rng = random.Random(seed * 7919 + index)
+        if any(
+            run_defect_trial(source, synthesized, v, rng, vectors).failed
+            for _ in range(trials)
+        ):
+            failed += 1
+    if not circuits:
+        return 0.0
+    return 100.0 * failed / len(circuits)

@@ -1,0 +1,219 @@
+"""ILP-based threshold-function identification (Fig. 6 of the paper).
+
+Given a unate SOP, the checker:
+
+1. rewrites it in positive-unate form (negative-phase variables substituted,
+   Section IV);
+2. emits one ON-set inequality per cube of the irredundant cover —
+   ``sum of cube weights >= T + delta_on``;
+3. complements the function (the complement of a positive-unate function is
+   negative-unate); each complement cube is a maximal false point and emits
+   ``sum of don't-care weights <= T - delta_off``;
+4. minimizes ``sum(w) + T`` over non-negative integers (gate area, Eq. 14);
+5. maps weights back through the phase substitution: a variable that was
+   negative gets weight ``-w`` and the threshold drops by ``w`` (Section IV).
+
+Don't-care positions generate no inequalities — this is the paper's
+"redundant constraint elimination" (each dropped constraint is dominated by
+the cube's own constraint).  Results are memoized on the canonical cover so
+structurally repeated nodes — ubiquitous during synthesis — are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.boolean.minimize import minimize
+from repro.boolean.unate import Phase, syntactic_unateness, to_positive_unate
+from repro.core.threshold import WeightThresholdVector
+from repro.errors import CoverError
+from repro.ilp.model import IlpProblem
+from repro.ilp.solve import solve_ilp
+
+
+@dataclass
+class CheckStats:
+    """Counters for instrumentation and the ILP ablation benchmarks."""
+
+    calls: int = 0
+    cache_hits: int = 0
+    ilp_solved: int = 0
+    ilp_feasible: int = 0
+    constraints_emitted: int = 0
+    constraints_without_elimination: int = 0
+
+
+@dataclass
+class ThresholdChecker:
+    """Memoized threshold-function identification engine.
+
+    Attributes:
+        delta_on: ON-side defect tolerance (paper default 0).
+        delta_off: OFF-side defect tolerance (paper default 1).
+        backend: ILP backend passed to :func:`repro.ilp.solve.solve_ilp`.
+        minimize_cover: run espresso-lite before checking, which both
+            canonicalizes the cover (unique irredundant prime cover for a
+            unate function) and exposes semantic unateness that a redundant
+            cover can hide.
+        max_weight: optional upper bound on every |w_i| (RTD/QCA processes
+            realize weights as device areas, so practical weight ranges are
+            small); functions needing a larger weight are declared
+            non-threshold and split instead.
+    """
+
+    delta_on: int = 0
+    delta_off: int = 1
+    backend: str = "auto"
+    minimize_cover: bool = True
+    max_weight: int | None = None
+    stats: CheckStats = field(default_factory=CheckStats)
+    _cache: dict[tuple, WeightThresholdVector | None] = field(
+        default_factory=dict, repr=False
+    )
+
+    def check_function(
+        self, function: BooleanFunction
+    ) -> WeightThresholdVector | None:
+        """Weights aligned to ``function.variables`` order, or None.
+
+        Variables outside the function's support get weight 0.
+        """
+        vector = self.check(function.cover)
+        return vector
+
+    def check(self, cover: Cover) -> WeightThresholdVector | None:
+        """Return a weight–threshold vector for ``cover`` or None.
+
+        None means the function is not a threshold function (binate, or the
+        ILP is infeasible).  Weights are positionally aligned with the
+        cover's variables; absent variables get weight 0.
+        """
+        self.stats.calls += 1
+        cover = cover.scc()
+        key = (
+            cover.canonical_key(),
+            self.delta_on,
+            self.delta_off,
+            self.max_weight,
+        )
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        result = self._check_uncached(cover)
+        self._cache[key] = result
+        return result
+
+    def _check_uncached(self, cover: Cover) -> WeightThresholdVector | None:
+        nvars = cover.nvars
+        # Constants: vacuous threshold gates.
+        if cover.is_zero():
+            return WeightThresholdVector((0,) * nvars, self.delta_on + 1)
+        if cover.is_tautology():
+            return WeightThresholdVector((0,) * nvars, -self.delta_on if self.delta_on else 0)
+        if self.minimize_cover and nvars <= 12:
+            cover = minimize(cover)
+        report = syntactic_unateness(cover)
+        if not report.is_unate:
+            return None
+        positive, flipped = to_positive_unate(cover)
+        off_cubes = minimize(positive.complement())
+        if any(c.pos for c in off_cubes.cubes):
+            # The complement of a positive-unate function is negative-unate;
+            # a positive literal here means the cover was only syntactically
+            # unate, not semantically, so it cannot be a threshold function.
+            return None
+        problem, support = self._formulate(positive, off_cubes)
+        self.stats.ilp_solved += 1
+        result = solve_ilp(problem, backend=self.backend)
+        if not result.is_optimal:
+            return None
+        self.stats.ilp_feasible += 1
+        solution = result.int_values()
+        weights = [0] * nvars
+        threshold = solution[-1]
+        for slot, var in enumerate(support):
+            weights[var] = solution[slot]
+        # Map back through the phase substitution (Section IV).
+        for var in range(nvars):
+            if flipped[var] and weights[var]:
+                threshold -= weights[var]
+                weights[var] = -weights[var]
+        return WeightThresholdVector(tuple(weights), threshold)
+
+    def _formulate(
+        self, positive: Cover, off_cubes: Cover
+    ) -> tuple[IlpProblem, list[int]]:
+        """Build the Fig. 6 ILP for a positive-unate cover."""
+        support = positive.support_vars()
+        slot = {var: i for i, var in enumerate(support)}
+        n = len(support)
+        problem = IlpProblem(
+            num_vars=n + 1,
+            objective=[1] * (n + 1),
+            names=[f"w{v}" for v in support] + ["T"],
+        )
+        # ON-set: each cube's literal weights must reach T + delta_on.
+        for cube in positive.cubes:
+            coeffs = [0] * (n + 1)
+            for var, phase in cube.literals():
+                if not phase:
+                    raise CoverError("positive-unate cover has negative literal")
+                coeffs[slot[var]] = 1
+            coeffs[n] = -1
+            problem.add_constraint(coeffs, ">=", self.delta_on)
+            self.stats.constraints_emitted += 1
+            free = n - cube.num_literals
+            self.stats.constraints_without_elimination += 1 << free
+        # OFF-set: for each maximal false point (complement cube), the sum of
+        # the *unconstrained* (don't care) weights must stay below T.
+        for cube in off_cubes.cubes:
+            coeffs = [0] * (n + 1)
+            for var in support:
+                bit = 1 << var
+                if not (cube.neg & bit):
+                    coeffs[slot[var]] = 1
+            coeffs[n] = -1
+            problem.add_constraint(coeffs, "<=", -self.delta_off)
+            self.stats.constraints_emitted += 1
+            fixed = sum(1 for var in support if cube.neg & (1 << var))
+            self.stats.constraints_without_elimination += 1 << fixed
+        if self.max_weight is not None:
+            for slot_index in range(n):
+                coeffs = [0] * (n + 1)
+                coeffs[slot_index] = 1
+                problem.add_constraint(coeffs, "<=", self.max_weight)
+        return problem, support
+
+    def formulate_only(self, cover: Cover) -> IlpProblem | None:
+        """Expose the ILP for a unate cover (diagnostics / ablations)."""
+        cover = cover.scc()
+        if cover.is_zero() or cover.is_tautology():
+            return None
+        if self.minimize_cover and cover.nvars <= 12:
+            cover = minimize(cover)
+        if not syntactic_unateness(cover).is_unate:
+            return None
+        positive, _ = to_positive_unate(cover)
+        off_cubes = minimize(positive.complement())
+        problem, _ = self._formulate(positive, off_cubes)
+        return problem
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+def is_threshold_function(
+    function: BooleanFunction | Cover,
+    delta_on: int = 0,
+    delta_off: int = 1,
+    backend: str = "auto",
+) -> WeightThresholdVector | None:
+    """One-shot convenience wrapper around :class:`ThresholdChecker`."""
+    checker = ThresholdChecker(
+        delta_on=delta_on, delta_off=delta_off, backend=backend
+    )
+    if isinstance(function, BooleanFunction):
+        return checker.check_function(function)
+    return checker.check(function)

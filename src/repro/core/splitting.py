@@ -1,0 +1,196 @@
+"""Unate and binate node splitting (Figs. 7 and 8 of the paper).
+
+When a collapsed node is not a threshold function it is split into smaller
+nodes that are more likely to be.  The unate rules (Fig. 7):
+
+1. every variable appears exactly once → halve the cube set (OR split);
+2. some variable appears in every cube → factor the common cube out
+   (AND split);
+3. otherwise → group the cubes containing the most frequent variable
+   (OR split), which per Theorem 1 leaves fewer literal-replacement
+   opportunities that could certify non-thresholdness;
+4. ties among most-frequent variables break randomly (seeded RNG).
+
+The binate algorithm (Fig. 8) first splits on the most frequent binate
+variable — cubes with the negative literal go to one part, everything else
+to the other — and falls back to OR-style unate splitting until exactly
+``k = min(ψ, |K_n|)`` parts exist; the parts are OR-combined by a
+``<1, ..., 1; 1>`` gate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.boolean.unate import Phase, syntactic_unateness
+from repro.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class UnateSplit:
+    """Result of a two-way unate split: ``mode`` is how parts recombine."""
+
+    mode: Literal["or", "and"]
+    parts: tuple[BooleanFunction, BooleanFunction]
+
+    @property
+    def larger_index(self) -> int:
+        """Index of the part with more cubes (paper: 'choose the larger')."""
+        a, b = self.parts
+        return 0 if a.num_cubes >= b.num_cubes else 1
+
+
+def split_unate(
+    function: BooleanFunction, rng: random.Random
+) -> UnateSplit:
+    """Split a unate node per the Fig. 7 rules."""
+    cover = function.cover.scc()
+    if cover.num_cubes < 2:
+        raise SynthesisError(
+            "cannot split a node with fewer than two cubes"
+        )
+    function = BooleanFunction(cover, function.variables)
+
+    # Rule 2: a variable present in every cube → factor out the common cube.
+    common_pos = common_neg = ~0
+    for cube in cover.cubes:
+        common_pos &= cube.pos
+        common_neg &= cube.neg
+    mask = (1 << cover.nvars) - 1
+    common_pos &= mask
+    common_neg &= mask
+    if common_pos or common_neg:
+        common = Cube(common_pos, common_neg, cover.nvars)
+        quotient = Cover(
+            [
+                Cube(c.pos & ~common_pos, c.neg & ~common_neg, cover.nvars)
+                for c in cover.cubes
+            ],
+            cover.nvars,
+        ).scc()
+        part_a = BooleanFunction(
+            Cover((common,), cover.nvars), function.variables
+        ).trimmed()
+        part_b = BooleanFunction(quotient, function.variables).trimmed()
+        return UnateSplit("and", (part_a, part_b))
+
+    # Rule 1: every variable appears exactly once → halve the cubes.
+    occurrences = [0] * cover.nvars
+    for cube in cover.cubes:
+        for var, _ in cube.literals():
+            occurrences[var] += 1
+    present = [c for c in occurrences if c]
+    if all(c == 1 for c in present):
+        half = (cover.num_cubes + 1) // 2
+        return _or_split(function, cover.cubes[:half], cover.cubes[half:])
+
+    # Rule 3 (+ 4): group on the most frequent variable, random tie-break.
+    top = max(occurrences)
+    candidates = [v for v, c in enumerate(occurrences) if c == top]
+    var = candidates[0] if len(candidates) == 1 else rng.choice(candidates)
+    bit = 1 << var
+    with_var = [c for c in cover.cubes if (c.pos | c.neg) & bit]
+    without = [c for c in cover.cubes if not ((c.pos | c.neg) & bit)]
+    if not without:
+        # Only reachable off-contract (a binate cover, where the variable
+        # appears in every cube but in mixed phases): partition by phase.
+        with_var = [c for c in cover.cubes if c.pos & bit]
+        without = [c for c in cover.cubes if not (c.pos & bit)]
+    return _or_split(function, with_var, without)
+
+
+def _or_split(
+    function: BooleanFunction, cubes_a: list[Cube], cubes_b: list[Cube]
+) -> UnateSplit:
+    nvars = function.nvars
+    part_a = BooleanFunction(Cover(cubes_a, nvars), function.variables).trimmed()
+    part_b = BooleanFunction(Cover(cubes_b, nvars), function.variables).trimmed()
+    return UnateSplit("or", (part_a, part_b))
+
+
+def split_k_way(
+    function: BooleanFunction, k: int
+) -> list[BooleanFunction]:
+    """Partition the cubes into ``k`` balanced OR-parts (last-resort split)."""
+    cover = function.cover.scc()
+    k = min(k, cover.num_cubes)
+    if k < 1:
+        raise SynthesisError("k-way split needs at least one part")
+    groups: list[list[Cube]] = [[] for _ in range(k)]
+    for i, cube in enumerate(cover.cubes):
+        groups[i % k].append(cube)
+    return [
+        BooleanFunction(Cover(g, cover.nvars), function.variables).trimmed()
+        for g in groups
+    ]
+
+
+def split_binate(
+    function: BooleanFunction, psi: int, rng: random.Random
+) -> list[BooleanFunction]:
+    """Split a binate node into ``min(ψ, |K_n|)`` OR-parts (Fig. 8)."""
+    cover = function.cover.scc()
+    function = BooleanFunction(cover, function.variables)
+    k = min(psi, cover.num_cubes)
+    if k < 2:
+        k = 2 if cover.num_cubes >= 2 else 1
+    parts: list[BooleanFunction] = [function]
+
+    def find_binate(parts: list[BooleanFunction]) -> int:
+        for i, p in enumerate(parts):
+            if p.num_cubes >= 2 and not syntactic_unateness(p.cover).is_unate:
+                return i
+        return -1
+
+    while len(parts) < k:
+        idx = find_binate(parts)
+        if idx < 0:
+            break
+        part = parts.pop(idx)
+        var = _most_frequent_binate(part, rng)
+        bit = 1 << var
+        negatives = [c for c in part.cover.cubes if c.neg & bit]
+        others = [c for c in part.cover.cubes if not (c.neg & bit)]
+        nvars = part.nvars
+        parts.append(
+            BooleanFunction(Cover(others, nvars), part.variables).trimmed()
+        )
+        parts.append(
+            BooleanFunction(Cover(negatives, nvars), part.variables).trimmed()
+        )
+    while len(parts) < k:
+        idx = next(
+            (i for i, p in enumerate(parts) if p.num_cubes >= 2), -1
+        )
+        if idx < 0:
+            break
+        part = parts.pop(idx)
+        half = (part.num_cubes + 1) // 2
+        cubes = part.cover.cubes
+        nvars = part.nvars
+        parts.append(
+            BooleanFunction(Cover(cubes[:half], nvars), part.variables).trimmed()
+        )
+        parts.append(
+            BooleanFunction(Cover(cubes[half:], nvars), part.variables).trimmed()
+        )
+    return parts
+
+
+def _most_frequent_binate(part: BooleanFunction, rng: random.Random) -> int:
+    report = syntactic_unateness(part.cover)
+    counts = []
+    for var, phase in enumerate(report.phases):
+        if phase is Phase.BINATE:
+            pos, neg = part.cover.column_phases(var)
+            counts.append((pos + neg, var))
+    if not counts:
+        raise SynthesisError("no binate variable in a binate part")
+    top = max(c for c, _ in counts)
+    candidates = [v for c, v in counts if c == top]
+    return candidates[0] if len(candidates) == 1 else rng.choice(candidates)

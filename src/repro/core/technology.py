@@ -1,0 +1,95 @@
+"""RTD/MOBILE technology model (the paper's Fig. 1 target device).
+
+A monostable-bistable logic element (MOBILE) realizes an LTG with two
+serially connected RTDs; each input contributes an RTD/HFET branch whose
+peak current is proportional to its weight — positive weights on the load
+side, negative weights on the driver side — and the threshold is set by the
+relative areas of the two clocked RTDs.  MOBILEs are *clocked*: each logic
+level evaluates in one clock phase, so network depth is the pipeline's
+phase count.
+
+This module turns a synthesized :class:`ThresholdNetwork` into the numbers
+an RTD designer asks about: device counts, total RTD area (Eq. 14), clock
+phases, and per-gate branch composition.  It is a costing model, not a
+SPICE view — consistent with the paper's use of Eq. (14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.threshold import ThresholdGate, ThresholdNetwork
+
+
+@dataclass(frozen=True)
+class MobileGateCost:
+    """Device composition of one MOBILE gate."""
+
+    name: str
+    positive_branches: int
+    negative_branches: int
+    rtd_area: int  # sum of |w| plus |T| in unit-RTD areas
+
+    @property
+    def input_rtds(self) -> int:
+        return self.positive_branches + self.negative_branches
+
+    @property
+    def total_devices(self) -> int:
+        # Input branches (one RTD + one HFET each) plus the two clocked
+        # load/driver RTDs of the MOBILE core.
+        return 2 * self.input_rtds + 2
+
+
+@dataclass(frozen=True)
+class MobileReport:
+    """Technology cost of a whole threshold network."""
+
+    gates: tuple[MobileGateCost, ...]
+    clock_phases: int
+
+    @property
+    def total_rtd_area(self) -> int:
+        return sum(g.rtd_area for g in self.gates)
+
+    @property
+    def total_devices(self) -> int:
+        return sum(g.total_devices for g in self.gates)
+
+    @property
+    def total_negative_branches(self) -> int:
+        return sum(g.negative_branches for g in self.gates)
+
+
+def gate_cost(gate: ThresholdGate) -> MobileGateCost:
+    """Branch composition and RTD area of one gate."""
+    positive = sum(1 for w in gate.weights if w > 0)
+    negative = sum(1 for w in gate.weights if w < 0)
+    return MobileGateCost(
+        name=gate.name,
+        positive_branches=positive,
+        negative_branches=negative,
+        rtd_area=gate.area,
+    )
+
+
+def mobile_report(network: ThresholdNetwork) -> MobileReport:
+    """Cost the whole network; clock phases = logic depth."""
+    gates = tuple(
+        gate_cost(network.gate(name))
+        for name in network.topological_order()
+    )
+    return MobileReport(gates=gates, clock_phases=network.depth())
+
+
+def format_mobile_report(report: MobileReport) -> str:
+    """Short text summary for the CLI."""
+    lines = [
+        f"MOBILE gates:        {len(report.gates)}",
+        f"clock phases:        {report.clock_phases}",
+        f"total RTD area:      {report.total_rtd_area} (unit RTDs, Eq. 14)",
+        f"total devices:       {report.total_devices} "
+        "(input RTD+HFET pairs + clocked RTD pair per gate)",
+        f"inverting branches:  {report.total_negative_branches}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Executable forms of the paper's Theorems 1 and 2.
+
+Theorem 1: replacing a literal ``x_i`` by ``x̄_j`` in a unate expression
+yields a function ``g`` such that if ``g`` is not threshold, neither is
+``f``.  TELS uses it as justification for the most-frequent-variable
+splitting heuristic; here it is also directly executable so tests can verify
+the implication on enumerated functions.
+
+Theorem 2: if ``f`` is threshold then ``f ∨ x_{l+1} ∨ ... ∨ x_{l+k}`` is
+threshold, with each new weight equal to the positive-form threshold plus
+``delta_on``.  TELS applies it as the *combining* step after unate splitting:
+the larger split half keeps its gate and the smaller half enters the same
+gate through a single high-weight input.
+"""
+
+from __future__ import annotations
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.core.threshold import WeightThresholdVector
+from repro.errors import CoverError
+
+
+def replace_literal(
+    function: BooleanFunction, source: str, target: str
+) -> BooleanFunction:
+    """Theorem 1 transformation: replace literal ``source`` by ``target'``.
+
+    Every occurrence of ``source`` (in whichever phase it appears) is
+    replaced by the *complemented* corresponding phase of ``target``.
+    ``target`` must already be a variable of the function and differ from
+    ``source``.
+    """
+    if source == target:
+        raise CoverError("source and target must differ")
+    i = function.index_of(source)
+    j = function.index_of(target)
+    cubes = []
+    for cube in function.cover.cubes:
+        pos, neg = cube.pos, cube.neg
+        bit_i, bit_j = 1 << i, 1 << j
+        if pos & bit_i:
+            pos &= ~bit_i
+            if pos & bit_j:
+                # x_j x̄_j: contradictory cube, drops out.
+                continue
+            neg |= bit_j
+        elif neg & bit_i:
+            neg &= ~bit_i
+            if neg & bit_j:
+                continue
+            pos |= bit_j
+        cubes.append(Cube(pos, neg, cube.nvars))
+    return BooleanFunction(Cover(cubes, function.nvars), function.variables).trimmed()
+
+
+def theorem2_extend(
+    vector: WeightThresholdVector, extra_inputs: int, delta_on: int = 0
+) -> WeightThresholdVector:
+    """Theorem 2: extend ``f``'s vector to ``f ∨ y_1 ∨ ... ∨ y_k``.
+
+    Each new input gets weight ``T_pos + delta_on`` where ``T_pos`` is the
+    threshold of the positive-unate form (i.e. ``T`` plus the magnitudes of
+    the negative weights), which guarantees any single new input firing the
+    gate regardless of the other inputs.
+    """
+    if extra_inputs < 0:
+        raise CoverError("extra_inputs must be non-negative")
+    t_pos = vector.to_positive_threshold()
+    # For genuine (non-degenerate) gates T_pos >= 1; the clamp keeps the
+    # construction correct even for constant-true vectors, where multiple
+    # negative-weight extras could otherwise push the sum below T.
+    new_weight = max(t_pos + delta_on, 0)
+    return WeightThresholdVector(
+        vector.weights + (new_weight,) * extra_inputs, vector.threshold
+    )
+
+
+def or_with_inputs(
+    function: BooleanFunction, extra: list[str]
+) -> BooleanFunction:
+    """The function ``f ∨ x_1 ∨ ... ∨ x_k`` of Theorem 2 (for validation)."""
+    variables = list(function.variables) + [v for v in extra if v not in function.variables]
+    base = function.rebased(variables)
+    cubes = list(base.cover.cubes)
+    for name in extra:
+        idx = variables.index(name)
+        cubes.append(Cube.from_literals({idx: True}, len(variables)))
+    return BooleanFunction(Cover(cubes, len(variables)).scc(), variables)

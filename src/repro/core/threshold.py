@@ -1,0 +1,355 @@
+"""Linear threshold gates and threshold networks.
+
+A linear threshold gate (LTG) computes ``1`` when the weighted sum of its
+inputs reaches its threshold ``T`` (Eq. 1 of the paper).  Synthesized gates
+carry the defect tolerances ``delta_on`` / ``delta_off`` they were solved
+with: the gate's weight–threshold vector guarantees every true input vector
+sums to at least ``T + delta_on`` and every false one to at most
+``T - delta_off``, which is what makes the network robust to weight
+perturbation (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class WeightThresholdVector:
+    """The vector ``<w1, ..., wl; T>`` defining a threshold function."""
+
+    weights: tuple[int, ...]
+    threshold: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", tuple(int(w) for w in self.weights))
+        object.__setattr__(self, "threshold", int(self.threshold))
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.weights)
+
+    @property
+    def area(self) -> int:
+        """RTD area model, Eq. (14): sum of |w_i| plus |T| (A_u = 1)."""
+        return sum(abs(w) for w in self.weights) + abs(self.threshold)
+
+    def evaluate(self, inputs: Sequence[bool | int]) -> bool:
+        """Exact gate evaluation: fire when the weighted sum reaches T."""
+        total = sum(w for w, x in zip(self.weights, inputs) if x)
+        return total >= self.threshold
+
+    def to_positive_threshold(self) -> int:
+        """Threshold of the positive-unate form (negative weights absorbed)."""
+        return self.threshold + sum(-w for w in self.weights if w < 0)
+
+    def __str__(self) -> str:
+        ws = ", ".join(str(w) for w in self.weights)
+        return f"<{ws}; {self.threshold}>"
+
+
+@dataclass(frozen=True)
+class ThresholdGate:
+    """A named LTG instance inside a threshold network."""
+
+    name: str
+    inputs: tuple[str, ...]
+    vector: WeightThresholdVector
+    delta_on: int = 0
+    delta_off: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.vector.num_inputs:
+            raise NetworkError(
+                f"gate {self.name!r}: {len(self.inputs)} inputs but "
+                f"{self.vector.num_inputs} weights"
+            )
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetworkError(f"gate {self.name!r}: duplicate input names")
+
+    @property
+    def weights(self) -> tuple[int, ...]:
+        return self.vector.weights
+
+    @property
+    def threshold(self) -> int:
+        return self.vector.threshold
+
+    @property
+    def fanin(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def area(self) -> int:
+        return self.vector.area
+
+    def evaluate(self, values: Mapping[str, bool | int]) -> bool:
+        total = sum(
+            w for w, name in zip(self.vector.weights, self.inputs) if values[name]
+        )
+        return total >= self.vector.threshold
+
+    def local_function(self) -> BooleanFunction:
+        """The Boolean function this gate implements, as an SOP.
+
+        Built by enumerating input combinations — gates are small (fanin is
+        bounded by the synthesis fanin restriction), so this is cheap.
+        """
+        n = len(self.inputs)
+        bits = []
+        for point in range(1 << n):
+            total = sum(
+                self.vector.weights[i]
+                for i in range(n)
+                if (point >> i) & 1
+            )
+            bits.append(int(total >= self.vector.threshold))
+        return BooleanFunction(Cover.from_truth_table(bits, n), self.inputs)
+
+    def implements(self, function: BooleanFunction) -> bool:
+        """Exhaustively check this gate against ``function`` (small fanin)."""
+        if tuple(function.variables) != self.inputs:
+            function = function.rebased(self.inputs)
+        n = len(self.inputs)
+        for point in range(1 << n):
+            total = sum(
+                self.vector.weights[i] for i in range(n) if (point >> i) & 1
+            )
+            if (total >= self.vector.threshold) != function.cover.evaluate(point):
+                return False
+        return True
+
+    def margins(self) -> tuple[int | None, int | None]:
+        """(ON margin, OFF margin): distance of the tightest true vector sum
+        above ``T`` and of the tightest false vector sum below ``T``.
+
+        None when the gate has no true (respectively false) vectors.
+        """
+        n = len(self.inputs)
+        on_margin: int | None = None
+        off_margin: int | None = None
+        for point in range(1 << n):
+            total = sum(
+                self.vector.weights[i] for i in range(n) if (point >> i) & 1
+            )
+            if total >= self.vector.threshold:
+                slack = total - self.vector.threshold
+                on_margin = slack if on_margin is None else min(on_margin, slack)
+            else:
+                slack = self.vector.threshold - total
+                off_margin = slack if off_margin is None else min(off_margin, slack)
+        return on_margin, off_margin
+
+
+class ThresholdNetwork:
+    """A DAG of threshold gates: the output of TELS."""
+
+    def __init__(self, name: str = "threshold_network"):
+        self.name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._gates: dict[str, ThresholdGate] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name in self._inputs or name in self._gates:
+            raise NetworkError(f"duplicate signal {name!r}")
+        self._inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> str:
+        if name in self._outputs:
+            raise NetworkError(f"duplicate primary output {name!r}")
+        self._outputs.append(name)
+        return name
+
+    def add_gate(self, gate: ThresholdGate) -> str:
+        if gate.name in self._gates or gate.name in self._inputs:
+            raise NetworkError(f"duplicate signal {gate.name!r}")
+        self._gates[gate.name] = gate
+        return gate.name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    def gates(self) -> Iterator[ThresholdGate]:
+        return iter(self._gates.values())
+
+    def gate(self, name: str) -> ThresholdGate:
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetworkError(f"unknown gate {name!r}") from None
+
+    def has_gate(self, name: str) -> bool:
+        return name in self._gates
+
+    def is_input(self, name: str) -> bool:
+        return name in self._inputs
+
+    def area(self) -> int:
+        """Total RTD area, Eq. (14)."""
+        return sum(g.area for g in self._gates.values())
+
+    def max_fanin(self) -> int:
+        return max((g.fanin for g in self._gates.values()), default=0)
+
+    def topological_order(self) -> list[str]:
+        indegree: dict[str, int] = {}
+        readers: dict[str, list[str]] = {}
+        for name, gate in self._gates.items():
+            count = 0
+            for fanin in gate.inputs:
+                if fanin in self._gates:
+                    count += 1
+                    readers.setdefault(fanin, []).append(name)
+                elif fanin not in self._inputs:
+                    raise NetworkError(
+                        f"gate {name!r} reads undefined signal {fanin!r}"
+                    )
+            indegree[name] = count
+        ready = [n for n, d in indegree.items() if d == 0]
+        order = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for reader in readers.get(node, ()):
+                indegree[reader] -= 1
+                if indegree[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self._gates):
+            raise NetworkError("cycle in threshold network")
+        return order
+
+    def levels(self) -> dict[str, int]:
+        level = {name: 0 for name in self._inputs}
+        for name in self.topological_order():
+            fanins = self._gates[name].inputs
+            level[name] = 1 + max((level[f] for f in fanins), default=0)
+        return level
+
+    def depth(self) -> int:
+        level = self.levels()
+        return max((level[o] for o in self._outputs), default=0)
+
+    def check(self) -> None:
+        for out in self._outputs:
+            if out not in self._gates and out not in self._inputs:
+                raise NetworkError(f"primary output {out!r} undefined")
+        self.topological_order()
+
+    def cleanup(self) -> int:
+        """Drop gates not reachable from any primary output."""
+        live: set[str] = set()
+        stack = [o for o in self._outputs if o in self._gates]
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            for fanin in self._gates[name].inputs:
+                if fanin in self._gates:
+                    stack.append(fanin)
+        dead = [n for n in self._gates if n not in live]
+        for name in dead:
+            del self._gates[name]
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool | int]) -> dict[str, bool]:
+        values: dict[str, bool] = {}
+        for name in self._inputs:
+            if name not in assignment:
+                raise NetworkError(f"missing value for primary input {name!r}")
+            values[name] = bool(assignment[name])
+        for name in self.topological_order():
+            values[name] = self._gates[name].evaluate(values)
+        return {o: values[o] for o in self._outputs}
+
+    def simulate_matrix(
+        self,
+        pi_matrix: Mapping[str, np.ndarray],
+        weight_noise: Mapping[str, np.ndarray] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized simulation over many input vectors at once.
+
+        Args:
+            pi_matrix: per-input 0/1 arrays, all the same shape.
+            weight_noise: optional per-gate additive weight perturbation,
+                shaped ``(fanin,)`` (one disturbed instance applied to all
+                vectors) — this is the Section VI-C experiment.
+
+        Returns:
+            Per-output boolean arrays.
+        """
+        values: dict[str, np.ndarray] = {}
+        shape: tuple[int, ...] = (1,)
+        for name in self._inputs:
+            values[name] = np.asarray(pi_matrix[name], dtype=np.float64)
+            shape = values[name].shape
+        for name in self.topological_order():
+            gate = self._gates[name]
+            weights = np.array(gate.vector.weights, dtype=np.float64)
+            if weight_noise is not None and name in weight_noise:
+                weights = weights + np.asarray(weight_noise[name])
+            total = np.zeros(shape, dtype=np.float64)
+            for w, fanin in zip(weights, gate.inputs):
+                total = total + w * values[fanin]
+            fired = total >= gate.vector.threshold
+            values[name] = fired.astype(np.float64)
+        return {o: values[o].astype(bool) for o in self._outputs}
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdNetwork({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, gates={len(self._gates)})"
+        )
+
+
+def make_or_vector(
+    k: int, delta_on: int = 0, delta_off: int = 1
+) -> WeightThresholdVector:
+    """The k-input OR gate vector, honoring the defect tolerances.
+
+    With the paper's defaults this is the classic ``<1, ..., 1; 1>``; for
+    larger tolerances the threshold rises to ``delta_off`` and each weight
+    to ``delta_off + delta_on`` so every true vector clears ``T + delta_on``
+    and the false vector stays at ``T - delta_off``.
+    """
+    threshold = max(delta_off, 1)
+    return WeightThresholdVector((threshold + delta_on,) * k, threshold)
+
+
+def make_and_vector(k: int) -> WeightThresholdVector:
+    """The k-input AND gate vector ``<1, ..., 1; k>``."""
+    return WeightThresholdVector((1,) * k, k)
+
+
+def gate_table(network: ThresholdNetwork) -> Iterable[tuple[str, str, str]]:
+    """(gate, inputs, vector) rows for pretty-printing (CLI ``print_th``)."""
+    for name in network.topological_order():
+        gate = network.gate(name)
+        yield name, " ".join(gate.inputs), str(gate.vector)

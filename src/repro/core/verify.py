@@ -1,0 +1,105 @@
+"""Functional validation of synthesized threshold networks (Section VI).
+
+The paper simulates every synthesized network against its source for
+functional correctness; this module does the same.  Small-input networks are
+checked exhaustively (exact equivalence); larger ones with a batch of random
+vectors (a strong randomized check).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.threshold import ThresholdNetwork
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import (
+    EXHAUSTIVE_LIMIT,
+    exhaustive_pi_words,
+    random_pi_words,
+    simulate_words,
+)
+
+
+def _pi_matrix_from_words(
+    network: BooleanNetwork, words: dict[str, int], width: int
+) -> dict[str, np.ndarray]:
+    matrix: dict[str, np.ndarray] = {}
+    for name in network.inputs:
+        word = words[name]
+        bits = np.frombuffer(
+            word.to_bytes((width + 7) // 8, "little"), dtype=np.uint8
+        )
+        matrix[name] = np.unpackbits(bits, bitorder="little")[:width].astype(
+            np.float64
+        )
+    return matrix
+
+
+def verify_threshold_network(
+    source: BooleanNetwork,
+    synthesized: ThresholdNetwork,
+    vectors: int = 2048,
+    seed: int = 0,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+) -> bool:
+    """Check that ``synthesized`` matches ``source`` on all primary outputs.
+
+    Exhaustive when the network has at most ``exhaustive_limit`` inputs,
+    randomized otherwise.
+    """
+    if set(source.inputs) != set(synthesized.inputs):
+        return False
+    if set(source.outputs) != set(synthesized.outputs):
+        return False
+    if len(source.inputs) <= exhaustive_limit:
+        words, width = exhaustive_pi_words(source)
+    else:
+        width = vectors
+        words = random_pi_words(source, width, random.Random(seed))
+    golden = simulate_words(source, words, width)
+    matrix = _pi_matrix_from_words(source, words, width)
+    outputs = synthesized.simulate_matrix(matrix)
+    for name in source.outputs:
+        got = outputs[name]
+        want_word = golden[name]
+        want = np.array(
+            [(want_word >> k) & 1 for k in range(width)], dtype=bool
+        )
+        if not np.array_equal(got, want):
+            return False
+    return True
+
+
+def first_mismatch(
+    source: BooleanNetwork,
+    synthesized: ThresholdNetwork,
+    vectors: int = 2048,
+    seed: int = 0,
+) -> dict[str, bool] | None:
+    """Return a PI assignment on which the two disagree, or None.
+
+    Debugging helper: exhaustive for small input counts, random otherwise.
+    """
+    if len(source.inputs) <= EXHAUSTIVE_LIMIT:
+        points = range(1 << len(source.inputs))
+        assignments = (
+            {
+                name: bool((p >> i) & 1)
+                for i, name in enumerate(source.inputs)
+            }
+            for p in points
+        )
+    else:
+        rng = random.Random(seed)
+        assignments = (
+            {name: bool(rng.getrandbits(1)) for name in source.inputs}
+            for _ in range(vectors)
+        )
+    for assignment in assignments:
+        want = source.evaluate(assignment)
+        got = synthesized.evaluate(assignment)
+        if any(want[o] != got[o] for o in source.outputs):
+            return assignment
+    return None

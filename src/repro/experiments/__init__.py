@@ -1,0 +1,44 @@
+"""Reproduction harnesses for every table and figure in the paper.
+
+* :mod:`repro.experiments.flows` — the two synthesis flows (TELS and
+  one-to-one) packaged end-to-end, with caching;
+* :mod:`repro.experiments.table1` — Table I (gates / levels / area at ψ=3);
+* :mod:`repro.experiments.fig10` — Fig. 10 (gate count vs fanin restriction
+  for ``comp``);
+* :mod:`repro.experiments.fig11` — Fig. 11 (failure rate vs variation
+  multiplier for δ_on = 0..3);
+* :mod:`repro.experiments.fig12` — Fig. 12 (failure rate and area vs δ_on at
+  v = 0.8);
+* :mod:`repro.experiments.enumeration` — Section VI-B's counts of threshold
+  functions among positive-unate functions of up to five variables.
+"""
+
+from repro.experiments.flows import FlowResult, run_flows, clear_flow_cache
+from repro.experiments.table1 import Table1Row, run_table1, format_table1
+from repro.experiments.fig10 import Fig10Point, run_fig10, format_fig10
+from repro.experiments.fig11 import Fig11Point, run_fig11, format_fig11
+from repro.experiments.fig12 import Fig12Point, run_fig12, format_fig12
+from repro.experiments.enumeration import (
+    count_positive_unate_threshold,
+    EnumerationResult,
+)
+
+__all__ = [
+    "FlowResult",
+    "run_flows",
+    "clear_flow_cache",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Fig10Point",
+    "run_fig10",
+    "format_fig10",
+    "Fig11Point",
+    "run_fig11",
+    "format_fig11",
+    "Fig12Point",
+    "run_fig12",
+    "format_fig12",
+    "count_positive_unate_threshold",
+    "EnumerationResult",
+]

@@ -1,0 +1,138 @@
+"""Suite-wide sweep over the full (34-circuit) benchmark population.
+
+The paper synthesized "about 60 multi-output benchmarks" and reported 10.
+This harness runs both flows over every stand-in (Table-I tier plus the
+extended tier), verifies each result by simulation, and aggregates the same
+statistics the paper summarizes in prose: average reduction, how often TELS
+wins / ties / loses, and worst cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen.extended import build_extended_benchmark
+from repro.core.area import NetworkStats, network_stats
+from repro.core.mapping import one_to_one_map
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.verify import verify_threshold_network
+from repro.errors import SynthesisError
+from repro.network.scripts import prepare_one_to_one, prepare_tels
+
+
+@dataclass(frozen=True)
+class SuiteRow:
+    """One benchmark's outcome in the suite sweep."""
+
+    name: str
+    one_to_one: NetworkStats
+    tels: NetworkStats
+    verified: bool
+
+    @property
+    def reduction_percent(self) -> float:
+        if not self.one_to_one.gates:
+            return 0.0
+        return (
+            100.0
+            * (self.one_to_one.gates - self.tels.gates)
+            / self.one_to_one.gates
+        )
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Aggregate over all rows."""
+
+    rows: tuple[SuiteRow, ...]
+
+    @property
+    def mean_reduction_percent(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.reduction_percent for r in self.rows) / len(self.rows)
+
+    @property
+    def wins(self) -> int:
+        return sum(1 for r in self.rows if r.tels.gates < r.one_to_one.gates)
+
+    @property
+    def ties(self) -> int:
+        return sum(1 for r in self.rows if r.tels.gates == r.one_to_one.gates)
+
+    @property
+    def losses(self) -> int:
+        return sum(1 for r in self.rows if r.tels.gates > r.one_to_one.gates)
+
+    def worst(self) -> SuiteRow | None:
+        return min(self.rows, key=lambda r: r.reduction_percent, default=None)
+
+    def best(self) -> SuiteRow | None:
+        return max(self.rows, key=lambda r: r.reduction_percent, default=None)
+
+    @property
+    def mean_tels_levels(self) -> float:
+        """Average depth of the TELS networks ("well-balanced" claim)."""
+        if not self.rows:
+            return 0.0
+        return sum(r.tels.levels for r in self.rows) / len(self.rows)
+
+    @property
+    def mean_one_to_one_levels(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.one_to_one.levels for r in self.rows) / len(self.rows)
+
+
+def run_suite(
+    names: list[str],
+    psi: int = 3,
+    seed: int = 0,
+    verify_vectors: int = 512,
+) -> SuiteSummary:
+    """Run both flows over every named benchmark; verify everything."""
+    rows = []
+    for name in names:
+        source = build_extended_benchmark(name)
+        one_net = one_to_one_map(prepare_one_to_one(source, max_fanin=psi))
+        tels_net = synthesize(
+            prepare_tels(source), SynthesisOptions(psi=psi, seed=seed)
+        )
+        verified = verify_threshold_network(
+            source, tels_net, vectors=verify_vectors
+        ) and verify_threshold_network(
+            source, one_net, vectors=verify_vectors
+        )
+        if not verified:
+            raise SynthesisError(f"suite verification failed on {name!r}")
+        rows.append(
+            SuiteRow(
+                name,
+                network_stats(one_net),
+                network_stats(tels_net),
+                verified,
+            )
+        )
+    return SuiteSummary(tuple(rows))
+
+
+def format_suite(summary: SuiteSummary) -> str:
+    """Render the sweep as aligned text plus the aggregate line."""
+    lines = [
+        f"{'benchmark':10s} {'1-to-1':>8s} {'TELS':>6s} {'red%':>7s}",
+    ]
+    for row in sorted(summary.rows, key=lambda r: -r.reduction_percent):
+        lines.append(
+            f"{row.name:10s} {row.one_to_one.gates:8d} {row.tels.gates:6d} "
+            f"{row.reduction_percent:6.1f}"
+        )
+    worst = summary.worst()
+    lines.append(
+        f"\n{len(summary.rows)} circuits: mean reduction "
+        f"{summary.mean_reduction_percent:.1f}%  "
+        f"(W/T/L = {summary.wins}/{summary.ties}/{summary.losses}; "
+        f"worst: {worst.name} {worst.reduction_percent:.1f}%)"
+        if worst
+        else "no rows"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Fig. 10: gate count vs fanin restriction for ``comp``.
+
+The paper relaxes ψ from 3 to 8 and observes that one-to-one mapping keeps
+improving markedly (larger allowed fanin → better Boolean decomposition)
+while TELS barely moves, because the fraction of wide functions that are
+threshold drops steeply with fanin (Section VI-B).  The sweep here
+regenerates both series for any benchmark (default ``comp``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.flows import run_flows
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    """One ψ sample: both flows' gate counts."""
+
+    psi: int
+    one_to_one_gates: int
+    tels_gates: int
+
+
+def run_fig10(
+    name: str = "comp",
+    fanins: tuple[int, ...] = (3, 4, 5, 6, 7, 8),
+    seed: int = 0,
+) -> list[Fig10Point]:
+    """Sweep the fanin restriction and collect both flows' gate counts."""
+    points = []
+    for psi in fanins:
+        flow = run_flows(name, psi=psi, seed=seed)
+        points.append(
+            Fig10Point(
+                psi=psi,
+                one_to_one_gates=flow.one_to_one_stats.gates,
+                tels_gates=flow.tels_stats.gates,
+            )
+        )
+    return points
+
+
+def format_fig10(points: list[Fig10Point], name: str = "comp") -> str:
+    """Render the sweep as an aligned text table."""
+    lines = [
+        f"Fig. 10 — gate count vs fanin restriction ({name})",
+        f"{'psi':>4s} {'one-to-one':>11s} {'TELS':>6s}",
+    ]
+    for p in points:
+        lines.append(f"{p.psi:4d} {p.one_to_one_gates:11d} {p.tels_gates:6d}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Fig. 11: suite failure rate under parametric weight variation.
+
+For each defect tolerance δ_on in 0..3 (δ_off fixed at 1), re-synthesize the
+suite with those tolerances and sweep the variation multiplier ``v``; the
+failure rate is the percentage of benchmarks for which some disturbed-weight
+instance produces a wrong output during simulation (Section VI-C).  The
+expected shape: failure rises with ``v`` and falls as δ_on grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen.mcnc import benchmark_names
+from repro.core.defects import suite_failure_rate
+from repro.experiments.flows import run_flows
+
+DEFAULT_V = (0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    """Failure rate of the suite at one (δ_on, v) configuration."""
+
+    delta_on: int
+    v: float
+    failure_rate_percent: float
+
+
+def run_fig11(
+    names: list[str] | None = None,
+    delta_ons: tuple[int, ...] = (0, 1, 2, 3),
+    multipliers: tuple[float, ...] = DEFAULT_V,
+    psi: int = 3,
+    trials: int = 3,
+    vectors: int = 256,
+    seed: int = 0,
+) -> list[Fig11Point]:
+    """Regenerate the Fig. 11 series (all δ_on curves)."""
+    if names is None:
+        names = benchmark_names(include_large=False)
+    points = []
+    for delta_on in delta_ons:
+        circuits = []
+        for name in names:
+            flow = run_flows(name, psi=psi, delta_on=delta_on, seed=seed)
+            circuits.append((flow.source, flow.tels))
+        for v in multipliers:
+            rate = suite_failure_rate(
+                circuits, v, trials=trials, seed=seed, vectors=vectors
+            )
+            points.append(Fig11Point(delta_on, v, rate))
+    return points
+
+
+def format_fig11(points: list[Fig11Point]) -> str:
+    """Render the curves as a (δ_on × v) text matrix."""
+    delta_ons = sorted({p.delta_on for p in points})
+    multipliers = sorted({p.v for p in points})
+    by_key = {(p.delta_on, p.v): p.failure_rate_percent for p in points}
+    lines = ["Fig. 11 — failure rate (%) vs variation multiplier v"]
+    lines.append(
+        f"{'v':>5s} " + " ".join(f"d_on={d:<4d}" for d in delta_ons)
+    )
+    for v in multipliers:
+        cells = " ".join(f"{by_key[(d, v)]:8.1f}" for d in delta_ons)
+        lines.append(f"{v:5.2f} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Fig. 12: failure rate and network area vs defect tolerance at v = 0.8.
+
+The tradeoff figure: raising δ_on makes the synthesized networks more robust
+(failure rate drops) but costs RTD area, because the ILP must leave a larger
+gap between ON-set and OFF-set weighted sums (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen.mcnc import benchmark_names
+from repro.core.defects import suite_failure_rate
+from repro.experiments.flows import run_flows
+
+
+@dataclass(frozen=True)
+class Fig12Point:
+    """One δ_on sample at fixed v: failure rate plus total suite area."""
+
+    delta_on: int
+    v: float
+    failure_rate_percent: float
+    total_area: int
+    area_increase_percent: float
+
+
+def run_fig12(
+    names: list[str] | None = None,
+    delta_ons: tuple[int, ...] = (0, 1, 2, 3),
+    v: float = 0.8,
+    psi: int = 3,
+    trials: int = 3,
+    vectors: int = 256,
+    seed: int = 0,
+) -> list[Fig12Point]:
+    """Regenerate Fig. 12 (failure and area vs δ_on at one v)."""
+    if names is None:
+        names = benchmark_names(include_large=False)
+    base_area: int | None = None
+    points = []
+    for delta_on in delta_ons:
+        circuits = []
+        total_area = 0
+        for name in names:
+            flow = run_flows(name, psi=psi, delta_on=delta_on, seed=seed)
+            circuits.append((flow.source, flow.tels))
+            total_area += flow.tels_stats.area
+        if base_area is None:
+            base_area = total_area
+        rate = suite_failure_rate(
+            circuits, v, trials=trials, seed=seed, vectors=vectors
+        )
+        increase = 100.0 * (total_area - base_area) / base_area
+        points.append(Fig12Point(delta_on, v, rate, total_area, increase))
+    return points
+
+
+def format_fig12(points: list[Fig12Point]) -> str:
+    """Render the tradeoff as an aligned text table."""
+    lines = [
+        f"Fig. 12 — failure rate and area vs delta_on (v={points[0].v})"
+        if points
+        else "Fig. 12 — (no points)",
+        f"{'d_on':>5s} {'failure%':>9s} {'area':>8s} {'area+%':>7s}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.delta_on:5d} {p.failure_rate_percent:9.1f} "
+            f"{p.total_area:8d} {p.area_increase_percent:7.1f}"
+        )
+    return "\n".join(lines)

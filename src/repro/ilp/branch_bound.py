@@ -1,0 +1,174 @@
+"""Branch & bound integer programming on top of the exact simplex.
+
+Depth-first search with best-incumbent pruning.  Branching adds simple bound
+cuts (``x_j <= floor(v)`` / ``x_j >= ceil(v)``) as extra constraints, so the
+base LP is never mutated.  All arithmetic is rational, so "integral" means
+exactly integral — no epsilon rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import IlpError
+from repro.ilp.model import Constraint, IlpProblem, IlpResult, Sense, Status
+from repro.ilp.simplex import solve_lp
+
+# Far above anything the threshold-identification ILPs need (they solve in
+# tens of nodes), but low enough that an adversarial divisibility trap the
+# GCD presolve cannot see (e.g. one encoded through inequalities) gives up
+# in a couple of seconds rather than minutes.
+DEFAULT_NODE_LIMIT = 1_000
+
+
+def solve_bb(
+    problem: IlpProblem, node_limit: int = DEFAULT_NODE_LIMIT
+) -> IlpResult:
+    """Solve an ILP by branch & bound; exact rational arithmetic.
+
+    Mirrors the paper's practical stance on NP-completeness: if the search
+    exceeds ``node_limit`` LP nodes the problem is declared infeasible (the
+    synthesis flow then simply splits the node further).
+    """
+    if _gcd_infeasible(problem):
+        return IlpResult(Status.INFEASIBLE)
+    root = solve_lp(problem)
+    if root.status is Status.INFEASIBLE:
+        return root
+    if root.status is Status.UNBOUNDED:
+        # The relaxation is unbounded.  With all-integer variables the ILP is
+        # unbounded too (integral points exist arbitrarily far along the ray).
+        return root
+
+    incumbent: IlpResult | None = None
+    nodes_used = 0
+    # Each node carries per-variable integer bounds (lo, hi); branching
+    # *tightens* a bound instead of stacking a new cut row, so the LP at
+    # every node has at most 2 extra rows per variable regardless of depth.
+    Bounds = dict[int, tuple[int | None, int | None]]
+    stack: list[Bounds] = [{}]
+    seen: set[tuple] = set()
+
+    while stack:
+        bounds = stack.pop()
+        key = tuple(sorted(bounds.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        nodes_used += 1
+        if nodes_used > node_limit:
+            if incumbent is not None:
+                return IlpResult(
+                    incumbent.status,
+                    incumbent.objective,
+                    incumbent.values,
+                    limit_hit=True,
+                )
+            return IlpResult(Status.INFEASIBLE, limit_hit=True)
+        cuts = _bounds_to_cuts(problem.num_vars, bounds)
+        relaxed = solve_lp(problem, cuts) if cuts else root
+        if relaxed.status is not Status.OPTIMAL:
+            continue
+        assert relaxed.objective is not None and relaxed.values is not None
+        if incumbent is not None and relaxed.objective >= incumbent.objective:
+            continue  # bound: cannot beat the incumbent
+        fractional = _first_fractional(problem, relaxed.values)
+        if fractional is None:
+            incumbent = relaxed
+            continue
+        j, value = fractional
+        lo, hi = bounds.get(j, (None, None))
+        floor_bounds = dict(bounds)
+        floor_bounds[j] = (lo, math.floor(value))
+        ceil_bounds = dict(bounds)
+        ceil_bounds[j] = (math.ceil(value), hi)
+        stack.append(floor_bounds)
+        stack.append(ceil_bounds)
+
+    if incumbent is None:
+        return IlpResult(Status.INFEASIBLE)
+    return incumbent
+
+
+def _bounds_to_cuts(num_vars: int, bounds) -> list[Constraint]:
+    cuts: list[Constraint] = []
+    for var, (lo, hi) in bounds.items():
+        if lo is not None:
+            cuts.append(_bound_cut(num_vars, var, Sense.GE, lo))
+        if hi is not None:
+            cuts.append(_bound_cut(num_vars, var, Sense.LE, hi))
+    return cuts
+
+
+def _gcd_infeasible(problem: IlpProblem) -> bool:
+    """Presolve: an equality over integer variables with integer
+    coefficients is integrally infeasible when gcd(coefficients) does not
+    divide the right-hand side.  Without this cut, branch & bound grinds to
+    its node limit on such constraints (the LP stays feasible forever)."""
+    for con in problem.constraints:
+        if con.sense is not Sense.EQ:
+            continue
+        if any(
+            c != 0 and not problem.integer[j]
+            for j, c in enumerate(con.coefficients)
+        ):
+            continue
+        # Scale to integers (coefficients are exact Fractions).
+        denominators = [c.denominator for c in con.coefficients] + [
+            con.rhs.denominator
+        ]
+        scale = 1
+        for d in denominators:
+            scale = scale * d // math.gcd(scale, d)
+        coeffs = [int(c * scale) for c in con.coefficients]
+        rhs = con.rhs * scale
+        if rhs.denominator != 1:
+            return True  # cannot happen after scaling, defensive
+        g = 0
+        for c in coeffs:
+            g = math.gcd(g, abs(c))
+        if g == 0:
+            if rhs != 0:
+                return True
+            continue
+        if int(rhs) % g != 0:
+            return True
+    return False
+
+
+def _first_fractional(
+    problem: IlpProblem, values: tuple[Fraction, ...]
+) -> tuple[int, Fraction] | None:
+    """Most-fractional integer variable, or None when integral."""
+    best: tuple[int, Fraction] | None = None
+    best_dist = Fraction(0)
+    for j, value in enumerate(values):
+        if not problem.integer[j]:
+            continue
+        frac = value - math.floor(value)
+        if frac == 0:
+            continue
+        dist = min(frac, 1 - frac)
+        if dist > best_dist:
+            best_dist = dist
+            best = (j, value)
+    return best
+
+
+def _bound_cut(num_vars: int, var: int, sense: Sense, bound: int) -> Constraint:
+    coeffs = [Fraction(0)] * num_vars
+    coeffs[var] = Fraction(1)
+    return Constraint(tuple(coeffs), sense, Fraction(bound))
+
+
+def verify_integral_solution(problem: IlpProblem, result: IlpResult) -> None:
+    """Raise IlpError if an OPTIMAL result is not a feasible integral point."""
+    if result.status is not Status.OPTIMAL:
+        return
+    assert result.values is not None
+    for j, v in enumerate(result.values):
+        if problem.integer[j] and v.denominator != 1:
+            raise IlpError(f"variable {problem.names[j]} = {v} not integral")
+    if not problem.is_feasible_point(result.values):
+        raise IlpError("solution violates a constraint")

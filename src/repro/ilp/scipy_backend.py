@@ -1,0 +1,69 @@
+"""HiGHS mixed-integer backend via :func:`scipy.optimize.milp`.
+
+Float-based but fast; results are rationalized back to exact Fractions and
+re-verified against the model, so a numerically sloppy answer can never leak
+into the synthesis flow (an invalid point falls back to the exact solver at
+the dispatch layer).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.ilp.model import IlpProblem, IlpResult, Sense, Status
+
+
+def have_scipy() -> bool:
+    """True when scipy.optimize.milp is importable."""
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def solve_scipy(problem: IlpProblem) -> IlpResult:
+    """Solve with HiGHS; returns INFEASIBLE on any numerical doubt."""
+    import numpy as np
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = problem.num_vars
+    c = np.array([float(v) for v in problem.objective])
+    constraints = []
+    for con in problem.constraints:
+        row = np.array([[float(v) for v in con.coefficients]])
+        rhs = float(con.rhs)
+        if con.sense is Sense.LE:
+            constraints.append(LinearConstraint(row, -np.inf, rhs))
+        elif con.sense is Sense.GE:
+            constraints.append(LinearConstraint(row, rhs, np.inf))
+        else:
+            constraints.append(LinearConstraint(row, rhs, rhs))
+    integrality = np.array([1 if flag else 0 for flag in problem.integer])
+    bounds = Bounds(lb=0.0, ub=np.inf)
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+    )
+    if result.status == 2:  # infeasible
+        return IlpResult(Status.INFEASIBLE)
+    if result.status == 3:  # unbounded
+        return IlpResult(Status.UNBOUNDED)
+    if not result.success or result.x is None:
+        return IlpResult(Status.INFEASIBLE)
+    values = []
+    for j, x in enumerate(result.x):
+        if problem.integer[j]:
+            values.append(Fraction(round(x)))
+        else:
+            values.append(Fraction(x).limit_denominator(10**9))
+    values_t = tuple(values)
+    if not problem.is_feasible_point(values_t):
+        # Rounding produced an invalid point; report infeasible so the
+        # dispatcher can fall back to the exact solver.
+        return IlpResult(Status.INFEASIBLE)
+    return IlpResult(
+        Status.OPTIMAL, problem.objective_value(values_t), values_t
+    )

@@ -1,0 +1,219 @@
+"""Exact two-phase primal simplex over rational arithmetic.
+
+Solves ``min c.x  s.t.  A x (<=|>=|==) b,  x >= 0`` with
+:class:`fractions.Fraction` coefficients throughout, so there are no
+tolerances to tune and feasibility answers are exact — which matters because
+TELS uses ILP *feasibility* as the definition of "is a threshold function".
+Bland's anti-cycling rule guarantees termination.  The models this library
+generates are tiny (one variable per fanin plus the threshold), so clarity
+wins over sparse-matrix engineering.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import IlpError
+from repro.ilp.model import Constraint, IlpProblem, IlpResult, Sense, Status
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def solve_lp(
+    problem: IlpProblem,
+    extra_constraints: list[Constraint] | None = None,
+) -> IlpResult:
+    """Solve the LP relaxation (integrality ignored) of ``problem``.
+
+    ``extra_constraints`` lets branch & bound push bound cuts without
+    mutating the shared problem object.
+    """
+    constraints = list(problem.constraints)
+    if extra_constraints:
+        constraints.extend(extra_constraints)
+    tableau = _Tableau(problem.num_vars, constraints, problem.objective)
+    return tableau.solve()
+
+
+class _Tableau:
+    """Dense rational simplex tableau with Bland's rule."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        constraints: list[Constraint],
+        objective: list[Fraction],
+    ):
+        self.n = num_vars
+        self.objective = list(objective)
+        rows: list[list[Fraction]] = []
+        senses: list[Sense] = []
+        rhs: list[Fraction] = []
+        for con in constraints:
+            coeffs = list(con.coefficients)
+            sense, b = con.sense, con.rhs
+            if b < 0:
+                coeffs = [-c for c in coeffs]
+                b = -b
+                if sense is Sense.LE:
+                    sense = Sense.GE
+                elif sense is Sense.GE:
+                    sense = Sense.LE
+            rows.append(coeffs)
+            senses.append(sense)
+            rhs.append(b)
+        self.m = len(rows)
+
+        # Column layout: structural | slack/surplus | artificial.
+        slack_count = sum(1 for s in senses if s is not Sense.EQ)
+        self.num_slack = slack_count
+        total = self.n + slack_count + self.m  # upper bound on artificials
+        self.cols = total
+        self.a: list[list[Fraction]] = []
+        self.b: list[Fraction] = []
+        self.basis: list[int] = []
+        self.artificial: list[int] = []
+
+        slack_index = self.n
+        art_index = self.n + slack_count
+        for i in range(self.m):
+            row = [ZERO] * total
+            for j, c in enumerate(rows[i]):
+                row[j] = Fraction(c)
+            if senses[i] is Sense.LE:
+                row[slack_index] = ONE
+                self.basis.append(slack_index)
+                slack_index += 1
+            elif senses[i] is Sense.GE:
+                row[slack_index] = -ONE
+                slack_index += 1
+                row[art_index] = ONE
+                self.basis.append(art_index)
+                self.artificial.append(art_index)
+                art_index += 1
+            else:
+                row[art_index] = ONE
+                self.basis.append(art_index)
+                self.artificial.append(art_index)
+                art_index += 1
+            self.a.append(row)
+            self.b.append(Fraction(rhs[i]))
+        self.used_cols = art_index
+
+    # ------------------------------------------------------------------
+    def solve(self) -> IlpResult:
+        if self.artificial:
+            status = self._phase(
+                [ONE if j in set(self.artificial) else ZERO for j in range(self.cols)],
+                phase_one=True,
+            )
+            if status == "unbounded":
+                raise IlpError("phase-1 LP cannot be unbounded")
+            infeasibility = self._phase_objective_value(
+                [ONE if j in set(self.artificial) else ZERO for j in range(self.cols)]
+            )
+            if infeasibility > 0:
+                return IlpResult(Status.INFEASIBLE)
+            self._drive_out_artificials()
+        cost = [ZERO] * self.cols
+        for j in range(self.n):
+            cost[j] = self.objective[j]
+        status = self._phase(cost, phase_one=False)
+        if status == "unbounded":
+            return IlpResult(Status.UNBOUNDED)
+        values = [ZERO] * self.n
+        for i, var in enumerate(self.basis):
+            if var < self.n:
+                values[var] = self.b[i]
+        objective = sum(
+            c * v for c, v in zip(self.objective, values)
+        )
+        return IlpResult(Status.OPTIMAL, Fraction(objective), tuple(values))
+
+    # ------------------------------------------------------------------
+    def _reduced_costs(self, cost: list[Fraction]) -> list[Fraction]:
+        # y = c_B B^{-1} is implicit: with an explicit tableau the reduced
+        # cost of column j is c_j - sum_i c_{basis[i]} * a[i][j].
+        reduced = list(cost)
+        for i, var in enumerate(self.basis):
+            cb = cost[var]
+            if cb == 0:
+                continue
+            row = self.a[i]
+            for j in range(self.used_cols):
+                if row[j] != 0:
+                    reduced[j] -= cb * row[j]
+        return reduced
+
+    def _phase_objective_value(self, cost: list[Fraction]) -> Fraction:
+        return sum(cost[var] * self.b[i] for i, var in enumerate(self.basis))
+
+    def _phase(self, cost: list[Fraction], phase_one: bool) -> str:
+        forbidden = set() if phase_one else set(self.artificial)
+        while True:
+            reduced = self._reduced_costs(cost)
+            entering = -1
+            for j in range(self.used_cols):  # Bland: lowest index
+                if j in forbidden:
+                    continue
+                if reduced[j] < 0:
+                    entering = j
+                    break
+            if entering < 0:
+                return "optimal"
+            leaving = -1
+            best_ratio: Fraction | None = None
+            for i in range(self.m):
+                coeff = self.a[i][entering]
+                if coeff > 0:
+                    ratio = self.b[i] / coeff
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and self.basis[i] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return "unbounded"
+            self._pivot(leaving, entering)
+
+    def _pivot(self, row: int, col: int) -> None:
+        pivot = self.a[row][col]
+        inv = ONE / pivot
+        self.a[row] = [v * inv for v in self.a[row]]
+        self.b[row] *= inv
+        for i in range(self.m):
+            if i == row:
+                continue
+            factor = self.a[i][col]
+            if factor == 0:
+                continue
+            pivot_row = self.a[row]
+            self.a[i] = [
+                v - factor * pv for v, pv in zip(self.a[i], pivot_row)
+            ]
+            self.b[i] -= factor * self.b[row]
+        self.basis[row] = col
+
+    def _drive_out_artificials(self) -> None:
+        """Pivot basic artificial variables out (or mark rows redundant)."""
+        art = set(self.artificial)
+        for i in range(self.m):
+            if self.basis[i] not in art:
+                continue
+            # b[i] must be 0 here (phase 1 optimal, feasible). Find any
+            # non-artificial column with a nonzero coefficient to pivot in.
+            pivot_col = -1
+            for j in range(self.used_cols):
+                if j in art:
+                    continue
+                if self.a[i][j] != 0:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                self._pivot(i, pivot_col)
+            # Otherwise the row is all zeros over real columns: redundant
+            # constraint; leave the artificial basic at value 0 (harmless —
+            # phase 2 forbids artificial columns from entering).

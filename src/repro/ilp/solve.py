@@ -1,0 +1,55 @@
+"""Backend dispatch for ILP solving.
+
+``backend`` choices:
+
+* ``"exact"`` — pure-Python rational simplex + branch & bound (always
+  available, exact feasibility);
+* ``"scipy"`` — HiGHS via scipy (fast, float-based, re-verified);
+* ``"auto"`` (default) — scipy when importable, verified against the exact
+  solver on disagreement-prone cases by construction: a scipy INFEASIBLE is
+  re-checked with the exact solver before being trusted, because threshold
+  identification treats infeasibility as a *semantic* answer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IlpError
+from repro.ilp.branch_bound import solve_bb, verify_integral_solution
+from repro.ilp.model import IlpProblem, IlpResult, Status
+from repro.ilp.scipy_backend import have_scipy, solve_scipy
+
+
+def available_backends() -> list[str]:
+    """Names of usable backends on this machine."""
+    backends = ["exact"]
+    if have_scipy():
+        backends.append("scipy")
+    return backends
+
+
+def solve_ilp(problem: IlpProblem, backend: str = "auto") -> IlpResult:
+    """Solve an ILP with the chosen backend.
+
+    ``auto`` uses HiGHS when present but never trusts a float INFEASIBLE:
+    that answer is confirmed with the exact solver, since TELS interprets
+    infeasibility as "not a threshold function" and a false negative would
+    silently degrade synthesis quality (never correctness).
+    """
+    if backend == "exact":
+        result = solve_bb(problem)
+        verify_integral_solution(problem, result)
+        return result
+    if backend == "scipy":
+        if not have_scipy():
+            raise IlpError("scipy backend requested but scipy is unavailable")
+        return solve_scipy(problem)
+    if backend == "auto":
+        if have_scipy():
+            result = solve_scipy(problem)
+            if result.status is Status.INFEASIBLE:
+                return solve_bb(problem)
+            return result
+        result = solve_bb(problem)
+        verify_integral_solution(problem, result)
+        return result
+    raise IlpError(f"unknown backend {backend!r}")

@@ -1,0 +1,13 @@
+"""File-format front ends: BLIF and PLA readers/writers."""
+
+from repro.io.blif import parse_blif, read_blif, write_blif
+from repro.io.pla import parse_pla, read_pla, write_pla
+
+__all__ = [
+    "parse_blif",
+    "read_blif",
+    "write_blif",
+    "parse_pla",
+    "read_pla",
+    "write_pla",
+]

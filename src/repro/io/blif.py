@@ -1,0 +1,184 @@
+"""Reading and writing combinational BLIF (Berkeley Logic Interchange Format).
+
+Supports the combinational subset the MCNC benchmarks use: ``.model``,
+``.inputs``, ``.outputs``, ``.names`` with ON-set or OFF-set cover rows,
+``\\`` line continuation, ``#`` comments, and ``.end``.  Latches and
+subcircuits are rejected with a clear error — the paper (and this
+reproduction) synthesizes combinational networks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.errors import BlifError
+from repro.network.network import BooleanNetwork
+
+
+def read_blif(path: str | Path) -> BooleanNetwork:
+    """Parse a BLIF file into a :class:`BooleanNetwork`."""
+    text = Path(path).read_text()
+    return parse_blif(text, default_name=Path(path).stem)
+
+
+def parse_blif(text: str, default_name: str = "network") -> BooleanNetwork:
+    """Parse BLIF text into a :class:`BooleanNetwork`."""
+    lines = _logical_lines(text)
+    network = BooleanNetwork(default_name)
+    inputs: list[str] = []
+    outputs: list[str] = []
+    # Each .names block: (output, input names, [(input-plane, output-char)])
+    blocks: list[tuple[str, list[str], list[tuple[str, str]], int]] = []
+    current: tuple[str, list[str], list[tuple[str, str]], int] | None = None
+    model_seen = False
+
+    for line_number, line in lines:
+        tokens = line.split()
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword.startswith("."):
+            if current is not None and keyword not in (".names",):
+                blocks.append(current)
+                current = None
+            if keyword == ".model":
+                if model_seen:
+                    raise BlifError("multiple .model sections", line_number)
+                model_seen = True
+                if len(tokens) > 1:
+                    network.name = tokens[1]
+            elif keyword == ".inputs":
+                inputs.extend(tokens[1:])
+            elif keyword == ".outputs":
+                outputs.extend(tokens[1:])
+            elif keyword == ".names":
+                if current is not None:
+                    blocks.append(current)
+                if len(tokens) < 2:
+                    raise BlifError(".names needs at least an output", line_number)
+                current = (tokens[-1], tokens[1:-1], [], line_number)
+            elif keyword == ".end":
+                break
+            elif keyword in (".latch", ".subckt", ".gate", ".mlatch"):
+                raise BlifError(
+                    f"unsupported construct {keyword} (combinational BLIF only)",
+                    line_number,
+                )
+            elif keyword in (".exdc",):
+                raise BlifError(".exdc sections are not supported", line_number)
+            else:
+                # Unknown dot-directives (e.g. .default_input_arrival): ignore.
+                continue
+        else:
+            if current is None:
+                raise BlifError(f"cover row outside .names: {line!r}", line_number)
+            if len(current[1]) == 0:
+                # Constant node: single-column rows.
+                if len(tokens) != 1 or tokens[0] not in ("0", "1"):
+                    raise BlifError(
+                        f"bad constant row {line!r}", line_number
+                    )
+                current[2].append(("", tokens[0]))
+            else:
+                if len(tokens) != 2:
+                    raise BlifError(f"bad cover row {line!r}", line_number)
+                plane, out = tokens
+                if len(plane) != len(current[1]):
+                    raise BlifError(
+                        f"cover row width {len(plane)} != fanin count "
+                        f"{len(current[1])}",
+                        line_number,
+                    )
+                if any(ch not in "01-" for ch in plane) or out not in "01":
+                    raise BlifError(f"bad cover row {line!r}", line_number)
+                current[2].append((plane, out))
+    if current is not None:
+        blocks.append(current)
+
+    for name in inputs:
+        network.add_input(name)
+    for output, fanin_names, rows, line_number in blocks:
+        function = _block_to_function(output, fanin_names, rows, line_number)
+        network.add_node(output, function)
+    for name in outputs:
+        network.add_output(name)
+    network.check()
+    return network
+
+
+def _block_to_function(
+    output: str,
+    fanin_names: list[str],
+    rows: list[tuple[str, str]],
+    line_number: int,
+) -> BooleanFunction:
+    if len(set(fanin_names)) != len(fanin_names):
+        raise BlifError(
+            f"duplicate fanin in .names for {output!r}", line_number
+        )
+    nvars = len(fanin_names)
+    if nvars == 0:
+        value = any(out == "1" for _, out in rows)
+        cover = Cover.one(0) if value else Cover.zero(0)
+        return BooleanFunction(cover, ())
+    phases = {out for _, out in rows}
+    if phases <= {"1"} or not rows:
+        cubes = [Cube.from_string(plane) for plane, _ in rows]
+        return BooleanFunction(Cover(cubes, nvars), fanin_names)
+    if phases == {"0"}:
+        # OFF-set specification: the function is the complement of the rows.
+        cubes = [Cube.from_string(plane) for plane, _ in rows]
+        return BooleanFunction(Cover(cubes, nvars).complement(), fanin_names)
+    raise BlifError(
+        f"mixed ON/OFF rows in .names for {output!r}", line_number
+    )
+
+
+def _logical_lines(text: str) -> list[tuple[int, str]]:
+    """Strip comments, join continuation lines; keep line numbers."""
+    out: list[tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "#" in raw:
+            raw = raw[: raw.index("#")]
+        raw = raw.rstrip()
+        if raw.endswith("\\"):
+            if not pending:
+                pending_line = number
+            pending += raw[:-1] + " "
+            continue
+        if pending:
+            out.append((pending_line, pending + raw))
+            pending = ""
+        elif raw.strip():
+            out.append((number, raw))
+    if pending:
+        out.append((pending_line, pending))
+    return out
+
+
+def write_blif(network: BooleanNetwork, path: str | Path) -> None:
+    """Serialize a network to a BLIF file."""
+    Path(path).write_text(to_blif(network))
+
+
+def to_blif(network: BooleanNetwork) -> str:
+    """Render a network as BLIF text."""
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for node in network.topological_order():
+        func = network.function(node)
+        lines.append(".names " + " ".join(list(func.variables) + [node]))
+        if func.nvars == 0:
+            if not func.cover.is_zero():
+                lines.append("1")
+        else:
+            for cube in func.cover.cubes:
+                lines.append(cube.to_string() + " 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Reading and writing two-level PLA (espresso) files.
+
+Supports the common subset: ``.i``, ``.o``, ``.ilb``, ``.ob``, ``.p``,
+``.type fr`` (default), product-term rows, and ``.e``.  A PLA describes a
+multi-output two-level function; :func:`pla_to_network` turns one into a
+two-level :class:`BooleanNetwork` so the full synthesis pipeline can run on
+two-level benchmark sources as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.function import BooleanFunction
+from repro.errors import PlaError
+from repro.network.network import BooleanNetwork
+
+
+@dataclass
+class Pla:
+    """A parsed PLA: per-output ON-set (and optional DC-set) covers."""
+
+    num_inputs: int
+    num_outputs: int
+    input_labels: list[str]
+    output_labels: list[str]
+    on_sets: list[Cover] = field(default_factory=list)
+    dc_sets: list[Cover] = field(default_factory=list)
+
+
+def read_pla(path: str | Path) -> Pla:
+    """Parse a PLA file."""
+    return parse_pla(Path(path).read_text())
+
+
+def parse_pla(text: str) -> Pla:
+    """Parse PLA text into a :class:`Pla`."""
+    num_inputs = num_outputs = None
+    input_labels: list[str] | None = None
+    output_labels: list[str] | None = None
+    rows: list[tuple[str, str]] = []
+    pla_type = "fr"
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "#" in raw:
+            raw = raw[: raw.index("#")]
+        tokens = raw.split()
+        if not tokens:
+            continue
+        key = tokens[0]
+        if key == ".i":
+            num_inputs = int(tokens[1])
+        elif key == ".o":
+            num_outputs = int(tokens[1])
+        elif key == ".ilb":
+            input_labels = tokens[1:]
+        elif key == ".ob":
+            output_labels = tokens[1:]
+        elif key == ".p":
+            continue
+        elif key == ".type":
+            pla_type = tokens[1]
+            if pla_type not in ("f", "fr", "fd", "fdr"):
+                raise PlaError(f"unsupported .type {pla_type}")
+        elif key == ".e" or key == ".end":
+            break
+        elif key.startswith("."):
+            continue  # ignore unknown directives
+        else:
+            if num_inputs is None or num_outputs is None:
+                raise PlaError(f"line {number}: term before .i/.o")
+            if len(tokens) == 1 and num_outputs == 0:
+                rows.append((tokens[0], ""))
+                continue
+            if len(tokens) != 2:
+                raise PlaError(f"line {number}: bad term {raw!r}")
+            inp, outp = tokens
+            if len(inp) != num_inputs or len(outp) != num_outputs:
+                raise PlaError(f"line {number}: term width mismatch")
+            rows.append((inp, outp))
+    if num_inputs is None or num_outputs is None:
+        raise PlaError("missing .i or .o")
+    input_labels = input_labels or [f"x{i}" for i in range(num_inputs)]
+    output_labels = output_labels or [f"z{i}" for i in range(num_outputs)]
+    if len(input_labels) != num_inputs or len(output_labels) != num_outputs:
+        raise PlaError("label count does not match .i/.o")
+    on = [[] for _ in range(num_outputs)]
+    dc = [[] for _ in range(num_outputs)]
+    for inp, outp in rows:
+        cube = Cube.from_string(inp.replace("2", "-").replace("~", "-"))
+        for k, ch in enumerate(outp):
+            if ch in "14":
+                on[k].append(cube)
+            elif ch in "2-":
+                dc[k].append(cube)
+            elif ch in "0~":
+                continue
+            else:
+                raise PlaError(f"bad output character {ch!r}")
+    return Pla(
+        num_inputs,
+        num_outputs,
+        list(input_labels),
+        list(output_labels),
+        [Cover(c, num_inputs) for c in on],
+        [Cover(c, num_inputs) for c in dc],
+    )
+
+
+def pla_to_network(pla: Pla, name: str = "pla") -> BooleanNetwork:
+    """Build a two-level network: one node per PLA output."""
+    net = BooleanNetwork(name)
+    for label in pla.input_labels:
+        net.add_input(label)
+    for k, label in enumerate(pla.output_labels):
+        func = BooleanFunction(pla.on_sets[k], tuple(pla.input_labels))
+        net.add_node(label, func)
+        net.add_output(label)
+    net.check()
+    return net
+
+
+def write_pla(pla: Pla, path: str | Path) -> None:
+    """Serialize a PLA (ON-sets only, ``.type f``)."""
+    Path(path).write_text(to_pla(pla))
+
+
+def to_pla(pla: Pla) -> str:
+    """Render a PLA as text (ON-sets only)."""
+    lines = [f".i {pla.num_inputs}", f".o {pla.num_outputs}"]
+    lines.append(".ilb " + " ".join(pla.input_labels))
+    lines.append(".ob " + " ".join(pla.output_labels))
+    terms: dict[str, list[str]] = {}
+    for k in range(pla.num_outputs):
+        for cube in pla.on_sets[k].cubes:
+            row = cube.to_string()
+            terms.setdefault(row, ["0"] * pla.num_outputs)[k] = "1"
+    lines.append(f".p {len(terms)}")
+    for row, bits in terms.items():
+        lines.append(f"{row} {''.join(bits)}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

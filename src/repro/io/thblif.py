@@ -1,0 +1,134 @@
+"""Threshold-network interchange format (BLIF-TH).
+
+BLIF-style container for threshold networks, since standard BLIF has no
+notion of weights.  Each gate is three directives::
+
+    .thgate <in1> <in2> ... <out>
+    .vector <w1> <w2> ... <T>
+    .delta <delta_on> <delta_off>
+
+with the usual ``.model`` / ``.inputs`` / ``.outputs`` / ``.end`` framing.
+The ``.delta`` line is optional (defaults 0 1).  ``#`` comments and ``\\``
+continuations follow BLIF conventions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+from repro.errors import BlifError
+
+
+def to_thblif(network: ThresholdNetwork) -> str:
+    """Render a threshold network as BLIF-TH text."""
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for name in network.topological_order():
+        gate = network.gate(name)
+        lines.append(".thgate " + " ".join(list(gate.inputs) + [name]))
+        lines.append(
+            ".vector "
+            + " ".join(str(w) for w in gate.vector.weights)
+            + (" " if gate.vector.weights else "")
+            + str(gate.vector.threshold)
+        )
+        lines.append(f".delta {gate.delta_on} {gate.delta_off}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_thblif(network: ThresholdNetwork, path: str | Path) -> None:
+    """Serialize a threshold network to a BLIF-TH file."""
+    Path(path).write_text(to_thblif(network))
+
+
+def parse_thblif(text: str, default_name: str = "threshold_network") -> ThresholdNetwork:
+    """Parse BLIF-TH text into a :class:`ThresholdNetwork`."""
+    network = ThresholdNetwork(default_name)
+    pending_gate: tuple[list[str], str] | None = None
+    pending_vector: WeightThresholdVector | None = None
+    pending_delta = (0, 1)
+    outputs: list[str] = []
+
+    def flush(line_number: int) -> None:
+        nonlocal pending_gate, pending_vector, pending_delta
+        if pending_gate is None:
+            return
+        if pending_vector is None:
+            raise BlifError(".thgate without .vector", line_number)
+        inputs, out = pending_gate
+        network.add_gate(
+            ThresholdGate(
+                out,
+                tuple(inputs),
+                pending_vector,
+                pending_delta[0],
+                pending_delta[1],
+            )
+        )
+        pending_gate = None
+        pending_vector = None
+        pending_delta = (0, 1)
+
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "#" in raw:
+            raw = raw[: raw.index("#")]
+        tokens = raw.split()
+        if not tokens:
+            continue
+        key = tokens[0]
+        if key == ".model":
+            if len(tokens) > 1:
+                network.name = tokens[1]
+        elif key == ".inputs":
+            flush(number)
+            for name in tokens[1:]:
+                network.add_input(name)
+        elif key == ".outputs":
+            flush(number)
+            outputs.extend(tokens[1:])
+        elif key == ".thgate":
+            flush(number)
+            if len(tokens) < 2:
+                raise BlifError(".thgate needs an output", number)
+            pending_gate = (tokens[1:-1], tokens[-1])
+        elif key == ".vector":
+            if pending_gate is None:
+                raise BlifError(".vector outside .thgate", number)
+            try:
+                values = [int(t) for t in tokens[1:]]
+            except ValueError:
+                raise BlifError(f"non-integer weight in {raw!r}", number) from None
+            if len(values) != len(pending_gate[0]) + 1:
+                raise BlifError(
+                    f".vector needs {len(pending_gate[0])} weights plus T",
+                    number,
+                )
+            pending_vector = WeightThresholdVector(
+                tuple(values[:-1]), values[-1]
+            )
+        elif key == ".delta":
+            if pending_gate is None:
+                raise BlifError(".delta outside .thgate", number)
+            pending_delta = (int(tokens[1]), int(tokens[2]))
+        elif key == ".end":
+            flush(number)
+            break
+        else:
+            raise BlifError(f"unknown directive {key}", number)
+    flush(len(text.splitlines()))
+    for out in outputs:
+        network.add_output(out)
+    network.check()
+    return network
+
+
+def read_thblif(path: str | Path) -> ThresholdNetwork:
+    """Parse a BLIF-TH file."""
+    return parse_thblif(Path(path).read_text(), default_name=Path(path).stem)

@@ -1,0 +1,156 @@
+"""Structural Verilog export for threshold and Boolean networks.
+
+Threshold networks are emitted as instantiations of a behavioral ``LTG``
+primitive module (parameterized by weights and threshold, written once per
+distinct arity), so the output simulates directly in any Verilog simulator
+and serves as a hand-off format toward nanotechnology mapping flows.
+Boolean networks are emitted as ``assign`` equations.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.threshold import ThresholdNetwork
+from repro.network.network import BooleanNetwork
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Map arbitrary signal names onto legal Verilog identifiers."""
+    if _IDENT.match(name):
+        return name
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned[0]):
+        cleaned = "s_" + cleaned
+    return cleaned
+
+
+def _unique_names(names: list[str]) -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for name in names:
+        if name in mapping:
+            continue
+        candidate = _escape(name)
+        suffix = 1
+        while candidate in used:
+            candidate = f"{_escape(name)}_{suffix}"
+            suffix += 1
+        mapping[name] = candidate
+        used.add(candidate)
+    return mapping
+
+
+def _ltg_module(arity: int) -> str:
+    """Behavioral LTG primitive for a given input count."""
+    parameters = ["parameter signed [31:0] T = 1"]
+    parameters += [f"parameter signed [31:0] W{i} = 1" for i in range(arity)]
+    if arity:
+        port_list = "output y, input " + ", ".join(
+            f"x{i}" for i in range(arity)
+        )
+        total = " + ".join(f"(x{i} ? W{i} : 0)" for i in range(arity))
+    else:
+        port_list = "output y"
+        total = "0"
+    lines = [f"module ltg{arity} #("]
+    lines.append(",\n".join(f"    {p}" for p in parameters))
+    lines.append(f") ({port_list});")
+    lines.append(f"    wire signed [31:0] sum = {total};")
+    lines.append("    assign y = (sum >= T);")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def threshold_to_verilog(network: ThresholdNetwork) -> str:
+    """Render a threshold network as self-contained structural Verilog."""
+    order = network.topological_order()
+    names = _unique_names(
+        list(network.inputs) + order + [o for o in network.outputs]
+    )
+    arities = sorted({network.gate(g).fanin for g in order})
+    lines = [f"// threshold network {network.name} (generated)", ""]
+    for arity in arities:
+        lines.append(_ltg_module(arity))
+        lines.append("")
+    # A primary output that aliases a primary input needs its own port name
+    # (one Verilog port cannot be both input and output).
+    out_port = {
+        o: (names[o] + "_po" if network.is_input(o) else names[o])
+        for o in network.outputs
+    }
+    lines.append(f"module {_escape(network.name)} (")
+    decls = [f"    input {names[p]}" for p in network.inputs]
+    decls += [f"    output {out_port[o]}" for o in network.outputs]
+    lines.append(",\n".join(decls))
+    lines.append(");")
+    for gate_name in order:
+        if gate_name not in network.outputs:
+            lines.append(f"    wire {names[gate_name]};")
+    for gate_name in order:
+        gate = network.gate(gate_name)
+        params = [f".T({gate.threshold})"]
+        params += [f".W{i}({w})" for i, w in enumerate(gate.weights)]
+        ports_map = [f".y({names[gate_name]})"]
+        ports_map += [
+            f".x{i}({names[s]})" for i, s in enumerate(gate.inputs)
+        ]
+        lines.append(
+            f"    ltg{gate.fanin} #({', '.join(params)}) "
+            f"g_{names[gate_name]} ({', '.join(ports_map)});"
+        )
+    for out in network.outputs:
+        if network.is_input(out):
+            lines.append(f"    assign {out_port[out]} = {names[out]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def boolean_to_verilog(network: BooleanNetwork) -> str:
+    """Render a Boolean network as assign-style Verilog."""
+    order = network.topological_order()
+    names = _unique_names(list(network.inputs) + order)
+    lines = [f"// boolean network {network.name} (generated)", ""]
+    lines.append(f"module {_escape(network.name)} (")
+    decls = [f"    input {names[p]}" for p in network.inputs]
+    decls += [f"    output {names[o]}" for o in network.outputs]
+    lines.append(",\n".join(decls))
+    lines.append(");")
+    for node in order:
+        if node not in network.outputs:
+            lines.append(f"    wire {names[node]};")
+    for node in order:
+        func = network.function(node)
+        if func.cover.is_zero():
+            expression = "1'b0"
+        else:
+            terms = []
+            for cube in func.cover.cubes:
+                if cube.is_full():
+                    terms = ["1'b1"]
+                    break
+                literals = [
+                    (names[func.variables[v]] if ph else f"~{names[func.variables[v]]}")
+                    for v, ph in cube.literals()
+                ]
+                terms.append(" & ".join(literals))
+            expression = " | ".join(
+                f"({t})" if " & " in t else t for t in terms
+            )
+        lines.append(f"    assign {names[node]} = {expression};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(
+    network: ThresholdNetwork | BooleanNetwork, path: str | Path
+) -> None:
+    """Serialize either network kind to a Verilog file."""
+    if isinstance(network, ThresholdNetwork):
+        text = threshold_to_verilog(network)
+    else:
+        text = boolean_to_verilog(network)
+    Path(path).write_text(text)

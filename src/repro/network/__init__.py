@@ -1,0 +1,14 @@
+"""Multi-level Boolean network substrate (the SIS stand-in).
+
+A :class:`BooleanNetwork` is a DAG of named nodes, each carrying a local SOP
+function over its fanin names.  The :mod:`repro.network.transform` module
+provides the classic restructuring operations (sweep, eliminate, extract,
+resubstitute, simplify, tech-decompose) and :mod:`repro.network.scripts`
+bundles them into the ``script.algebraic`` / ``script.boolean`` pipelines the
+paper uses to prepare TELS inputs and the one-to-one-mapping baseline.
+"""
+
+from repro.network.network import BooleanNetwork
+from repro.network.scripts import script_algebraic, script_boolean
+
+__all__ = ["BooleanNetwork", "script_algebraic", "script_boolean"]

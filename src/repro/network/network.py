@@ -1,0 +1,284 @@
+"""The multi-level Boolean network data structure.
+
+A network is a DAG whose internal nodes each carry a
+:class:`~repro.boolean.function.BooleanFunction` expressed over the names of
+their fanins.  Primary inputs are names without functions; primary outputs
+are names of inputs or nodes.  The structure is mutable — synthesis
+transforms edit it in place — with :meth:`BooleanNetwork.check` providing a
+full consistency audit used liberally by the test suite.
+"""
+
+from __future__ import annotations
+
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.boolean.function import BooleanFunction
+from repro.errors import NetworkError
+
+
+class BooleanNetwork:
+    """A combinational multi-level logic network."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._nodes: dict[str, BooleanFunction] = {}
+        self._name_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input."""
+        if name in self._nodes:
+            raise NetworkError(f"{name!r} already exists as a node")
+        if name in self._inputs:
+            raise NetworkError(f"duplicate primary input {name!r}")
+        self._inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> str:
+        """Declare a primary output (must name an existing or future signal)."""
+        if name in self._outputs:
+            raise NetworkError(f"duplicate primary output {name!r}")
+        self._outputs.append(name)
+        return name
+
+    def add_node(self, name: str, function: BooleanFunction) -> str:
+        """Add an internal node computing ``function`` of its fanin names."""
+        if name in self._inputs:
+            raise NetworkError(f"{name!r} already exists as a primary input")
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node {name!r}")
+        if name in function.variables:
+            raise NetworkError(f"node {name!r} cannot be its own fanin")
+        self._nodes[name] = function
+        return name
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A node name not currently used by any signal."""
+        while True:
+            candidate = f"[{prefix}{self._name_counter}]"
+            self._name_counter += 1
+            if candidate not in self._nodes and candidate not in self._inputs:
+                return candidate
+
+    def set_function(self, name: str, function: BooleanFunction) -> None:
+        """Replace the local function of an existing node."""
+        if name not in self._nodes:
+            raise NetworkError(f"unknown node {name!r}")
+        if name in function.variables:
+            raise NetworkError(f"node {name!r} cannot be its own fanin")
+        self._nodes[name] = function
+
+    def remove_node(self, name: str) -> None:
+        """Delete a node; the caller must have rewired its fanouts first."""
+        if name not in self._nodes:
+            raise NetworkError(f"unknown node {name!r}")
+        del self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes or name in self._inputs
+
+    def is_input(self, name: str) -> bool:
+        return name in self._inputs
+
+    def is_output(self, name: str) -> bool:
+        return name in self._outputs
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def function(self, name: str) -> BooleanFunction:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def fanins(self, name: str) -> tuple[str, ...]:
+        """Fanin names of a node (its function's variables)."""
+        return self.function(name).variables
+
+    def fanout_map(self) -> dict[str, list[str]]:
+        """Map from every signal to the nodes that read it."""
+        fanouts: dict[str, list[str]] = {s: [] for s in self.signals()}
+        for node, func in self._nodes.items():
+            for fanin in func.variables:
+                if fanin not in fanouts:
+                    raise NetworkError(
+                        f"node {node!r} reads undefined signal {fanin!r}"
+                    )
+                fanouts[fanin].append(node)
+        return fanouts
+
+    def signals(self) -> Iterator[str]:
+        """All signal names: primary inputs then nodes."""
+        yield from self._inputs
+        yield from self._nodes
+
+    def topological_order(self) -> list[str]:
+        """Node names ordered so every fanin precedes its reader.
+
+        Raises NetworkError on combinational cycles or undefined signals.
+        """
+        indegree: dict[str, int] = {}
+        readers: dict[str, list[str]] = {}
+        for node, func in self._nodes.items():
+            count = 0
+            for fanin in func.variables:
+                if fanin in self._nodes:
+                    count += 1
+                    readers.setdefault(fanin, []).append(node)
+                elif fanin not in self._inputs:
+                    raise NetworkError(
+                        f"node {node!r} reads undefined signal {fanin!r}"
+                    )
+            indegree[node] = count
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for reader in readers.get(node, ()):
+                indegree[reader] -= 1
+                if indegree[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self._nodes):
+            raise NetworkError("combinational cycle detected")
+        return order
+
+    def levels(self) -> dict[str, int]:
+        """Longest-path depth of every signal (primary inputs are level 0)."""
+        level = {name: 0 for name in self._inputs}
+        for node in self.topological_order():
+            fanins = self.fanins(node)
+            level[node] = 1 + max((level[f] for f in fanins), default=0)
+        return level
+
+    def depth(self) -> int:
+        """Number of logic levels on the longest PI-to-PO path."""
+        level = self.levels()
+        return max((level[o] for o in self._outputs), default=0)
+
+    def num_literals(self) -> int:
+        """Total SOP literal count over all nodes."""
+        return sum(f.num_literals for f in self._nodes.values())
+
+    def transitive_fanin(self, name: str) -> set[str]:
+        """All signals (inputs and nodes) feeding ``name``, excluding itself."""
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in self._nodes:
+                for fanin in self.fanins(current):
+                    if fanin not in seen:
+                        seen.add(fanin)
+                        stack.append(fanin)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[str, bool | int]) -> dict[str, bool]:
+        """Evaluate all primary outputs under a PI assignment."""
+        values = self.evaluate_all(assignment)
+        return {name: values[name] for name in self._outputs}
+
+    def evaluate_all(self, assignment: Mapping[str, bool | int]) -> dict[str, bool]:
+        """Evaluate every signal in the network under a PI assignment."""
+        values: dict[str, bool] = {}
+        for name in self._inputs:
+            if name not in assignment:
+                raise NetworkError(f"missing value for primary input {name!r}")
+            values[name] = bool(assignment[name])
+        for node in self.topological_order():
+            values[node] = self._nodes[node].evaluate(values)
+        return values
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "BooleanNetwork":
+        """Deep-enough copy (functions are immutable and shared)."""
+        clone = BooleanNetwork(name or self.name)
+        clone._inputs = list(self._inputs)
+        clone._outputs = list(self._outputs)
+        clone._nodes = dict(self._nodes)
+        clone._name_counter = self._name_counter
+        return clone
+
+    def check(self) -> None:
+        """Audit structural invariants; raises NetworkError on violation."""
+        for node, func in self._nodes.items():
+            for fanin in func.variables:
+                if fanin not in self._nodes and fanin not in self._inputs:
+                    raise NetworkError(
+                        f"node {node!r} reads undefined signal {fanin!r}"
+                    )
+            if node in self._inputs:
+                raise NetworkError(f"{node!r} is both node and primary input")
+        for out in self._outputs:
+            if out not in self._nodes and out not in self._inputs:
+                raise NetworkError(f"primary output {out!r} is undefined")
+        self.topological_order()
+
+    def cleanup(self) -> int:
+        """Remove nodes reachable from no primary output; returns the count."""
+        live: set[str] = set()
+        stack = [o for o in self._outputs if o in self._nodes]
+        while stack:
+            node = stack.pop()
+            if node in live:
+                continue
+            live.add(node)
+            for fanin in self.fanins(node):
+                if fanin in self._nodes:
+                    stack.append(fanin)
+        dead = [n for n in self._nodes if n not in live]
+        for node in dead:
+            del self._nodes[node]
+        return len(dead)
+
+    def __repr__(self) -> str:
+        return (
+            f"BooleanNetwork({self.name!r}, inputs={len(self._inputs)}, "
+            f"outputs={len(self._outputs)}, nodes={len(self._nodes)})"
+        )
+
+
+def network_from_functions(
+    name: str,
+    inputs: Iterable[str],
+    outputs: Mapping[str, BooleanFunction],
+) -> BooleanNetwork:
+    """Convenience builder: one node per output, given PI names."""
+    net = BooleanNetwork(name)
+    for pi in inputs:
+        net.add_input(pi)
+    for out, func in outputs.items():
+        net.add_node(out, func)
+        net.add_output(out)
+    net.check()
+    return net

@@ -1,0 +1,165 @@
+"""Unit tests for the parametric circuit builders."""
+
+import pytest
+
+from repro.benchgen.circuits import CircuitBuilder
+
+
+class TestPrimitives:
+    def test_logic_gates(self):
+        cb = CircuitBuilder("t")
+        a, b = cb.input("a"), cb.input("b")
+        gates = {
+            "and": cb.and_([a, b]),
+            "or": cb.or_([a, b]),
+            "nand": cb.nand_([a, b]),
+            "nor": cb.nor_([a, b]),
+            "xor": cb.xor2(a, b),
+            "xnor": cb.xnor2(a, b),
+            "not": cb.not_(a),
+            "buf": cb.buf(a),
+        }
+        for g in gates.values():
+            cb.network.add_output(g)
+        net = cb.done()
+        truth = {
+            (0, 0): dict(and_=0, or_=0, nand=1, nor=1, xor=0, xnor=1, not_=1, buf=0),
+            (1, 0): dict(and_=0, or_=1, nand=1, nor=0, xor=1, xnor=0, not_=0, buf=1),
+            (0, 1): dict(and_=0, or_=1, nand=1, nor=0, xor=1, xnor=0, not_=1, buf=0),
+            (1, 1): dict(and_=1, or_=1, nand=0, nor=0, xor=0, xnor=1, not_=0, buf=1),
+        }
+        for (av, bv), want in truth.items():
+            values = net.evaluate({"a": av, "b": bv})
+            assert values[gates["and"]] == bool(want["and_"])
+            assert values[gates["or"]] == bool(want["or_"])
+            assert values[gates["nand"]] == bool(want["nand"])
+            assert values[gates["nor"]] == bool(want["nor"])
+            assert values[gates["xor"]] == bool(want["xor"])
+            assert values[gates["xnor"]] == bool(want["xnor"])
+            assert values[gates["not"]] == bool(want["not_"])
+            assert values[gates["buf"]] == bool(want["buf"])
+
+    def test_mux2(self):
+        cb = CircuitBuilder("t")
+        s, a, b = cb.input("s"), cb.input("a"), cb.input("b")
+        m = cb.mux2(s, a, b)
+        cb.network.add_output(m)
+        net = cb.done()
+        assert net.evaluate({"s": 0, "a": 1, "b": 0})[m]
+        assert not net.evaluate({"s": 1, "a": 1, "b": 0})[m]
+        assert net.evaluate({"s": 1, "a": 0, "b": 1})[m]
+
+    def test_maj3(self):
+        cb = CircuitBuilder("t")
+        a, b, c = (cb.input(x) for x in "abc")
+        m = cb.maj3(a, b, c)
+        cb.network.add_output(m)
+        net = cb.done()
+        for p in range(8):
+            bits = [(p >> i) & 1 for i in range(3)]
+            want = sum(bits) >= 2
+            assert net.evaluate({"a": bits[0], "b": bits[1], "c": bits[2]})[m] == want
+
+
+class TestComparator:
+    def test_exhaustive_3bit(self):
+        cb = CircuitBuilder("cmp")
+        a = cb.inputs("a", 3)
+        b = cb.inputs("b", 3)
+        gt, lt, eq = cb.ripple_comparator(a, b)
+        for s in (gt, lt, eq):
+            cb.network.add_output(s)
+        net = cb.done()
+        for av in range(8):
+            for bv in range(8):
+                assignment = {}
+                for i in range(3):
+                    assignment[f"a{i}"] = (av >> i) & 1
+                    assignment[f"b{i}"] = (bv >> i) & 1
+                values = net.evaluate(assignment)
+                assert values[gt] == (av > bv)
+                assert values[lt] == (av < bv)
+                assert values[eq] == (av == bv)
+
+
+class TestCarryChain:
+    def test_exhaustive_3bit_adder(self):
+        cb = CircuitBuilder("add")
+        a = cb.inputs("a", 3)
+        b = cb.inputs("b", 3)
+        sums, carry = cb.carry_chain(a, b)
+        for s in sums:
+            cb.network.add_output(s)
+        cb.network.add_output(carry)
+        net = cb.done()
+        for av in range(8):
+            for bv in range(8):
+                assignment = {}
+                for i in range(3):
+                    assignment[f"a{i}"] = (av >> i) & 1
+                    assignment[f"b{i}"] = (bv >> i) & 1
+                values = net.evaluate(assignment)
+                total = av + bv
+                got = sum(
+                    (1 << i) * values[sums[i]] for i in range(3)
+                ) + 8 * values[carry]
+                assert got == total
+
+
+class TestDecoderMux:
+    def test_decoder_one_hot(self):
+        cb = CircuitBuilder("dec")
+        sel = cb.inputs("s", 2)
+        outs = cb.decoder(sel)
+        for o in outs:
+            cb.network.add_output(o)
+        net = cb.done()
+        for v in range(4):
+            values = net.evaluate({"s0": v & 1, "s1": (v >> 1) & 1})
+            hot = [i for i, o in enumerate(outs) if values[o]]
+            assert hot == [v]
+
+    def test_mux_tree_exhaustive(self):
+        cb = CircuitBuilder("mux")
+        data = cb.inputs("d", 4)
+        sel = cb.inputs("s", 2)
+        out = cb.mux_tree(data, sel)
+        cb.network.add_output(out)
+        net = cb.done()
+        for v in range(4):
+            for pattern in range(16):
+                assignment = {"s0": v & 1, "s1": (v >> 1) & 1}
+                for i in range(4):
+                    assignment[f"d{i}"] = (pattern >> i) & 1
+                assert net.evaluate(assignment)[out] == bool(
+                    (pattern >> v) & 1
+                )
+
+
+class TestTrees:
+    def test_parity_tree(self):
+        cb = CircuitBuilder("par")
+        xs = cb.inputs("x", 5)
+        p = cb.parity_tree(xs)
+        cb.network.add_output(p)
+        net = cb.done()
+        for v in range(32):
+            assignment = {f"x{i}": (v >> i) & 1 for i in range(5)}
+            assert net.evaluate(assignment)[p] == bool(bin(v).count("1") % 2)
+
+    def test_and_or_tree(self):
+        cb = CircuitBuilder("tree")
+        xs = cb.inputs("x", 9)
+        t = cb.and_or_tree(xs, group=3, conjunctive=True)
+        cb.network.add_output(t)
+        net = cb.done()
+        all_ones = {f"x{i}": 1 for i in range(9)}
+        assert net.evaluate(all_ones)[t]
+
+    def test_output_aliasing(self):
+        cb = CircuitBuilder("alias")
+        a = cb.input("a")
+        name = cb.output(a, "z")
+        net = cb.done()
+        assert name == "z"
+        assert net.evaluate({"a": 1})["z"]

@@ -1,0 +1,86 @@
+"""Tests for the extended benchmark tier."""
+
+import pytest
+
+from repro.benchgen.extended import (
+    EXTENDED_BENCHMARKS,
+    all_benchmark_names,
+    build_extended_benchmark,
+    extended_benchmark_names,
+)
+from repro.network.simulate import output_signatures
+
+
+class TestTier:
+    def test_no_overlap_with_table1(self):
+        from repro.benchgen.mcnc import BENCHMARKS
+
+        assert not set(EXTENDED_BENCHMARKS) & set(BENCHMARKS)
+
+    def test_all_names_combined(self):
+        names = all_benchmark_names()
+        assert "comp" in names and "parity" in names
+        assert len(names) == len(set(names))
+        assert len(names) >= 30
+
+    @pytest.mark.parametrize("name", extended_benchmark_names())
+    def test_io_profile_and_consistency(self, name):
+        net = build_extended_benchmark(name)
+        spec = EXTENDED_BENCHMARKS[name]
+        assert len(net.inputs) == spec.num_inputs
+        assert len(net.outputs) == spec.num_outputs
+        net.check()
+
+    @pytest.mark.parametrize("name", ["alu2", "majority", "z4ml", "count"])
+    def test_deterministic(self, name):
+        a = build_extended_benchmark(name)
+        b = build_extended_benchmark(name)
+        assert output_signatures(a) == output_signatures(b)
+
+    def test_table1_names_resolvable(self):
+        net = build_extended_benchmark("cmb")
+        assert len(net.inputs) == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_extended_benchmark("nonexistent")
+
+
+class TestFunctionalSpotChecks:
+    def test_majority_function(self):
+        net = build_extended_benchmark("majority")
+        for v in range(32):
+            bits = [(v >> i) & 1 for i in range(5)]
+            want = sum(bits) >= 3
+            assignment = {f"x{i}": bits[i] for i in range(5)}
+            assert net.evaluate(assignment)["maj"] == want
+
+    def test_parity_function(self):
+        net = build_extended_benchmark("parity")
+        for v in (0, 1, 0xFFFF, 0x1234):
+            assignment = {f"x{i}": (v >> i) & 1 for i in range(16)}
+            want = bin(v).count("1") % 2 == 1
+            assert net.evaluate(assignment)["even"] == want
+
+    def test_z4ml_adds(self):
+        net = build_extended_benchmark("z4ml")
+        for a in range(8):
+            for b in range(8):
+                for cin in (0, 1):
+                    assignment = {"cin": cin}
+                    for i in range(3):
+                        assignment[f"a{i}"] = (a >> i) & 1
+                        assignment[f"b{i}"] = (b >> i) & 1
+                    out = net.evaluate(assignment)
+                    got = sum(
+                        (1 << i) * out[f"s{i}"] for i in range(3)
+                    ) + 8 * out["cout"]
+                    assert got == a + b + cin
+
+    def test_decod_one_hot(self):
+        net = build_extended_benchmark("decod")
+        assignment = {f"s{i}": 0 for i in range(4)}
+        assignment["en"] = 1
+        values = net.evaluate(assignment)
+        hot = [k for k, v in values.items() if v]
+        assert hot == ["d0"]

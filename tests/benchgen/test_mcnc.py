@@ -1,0 +1,101 @@
+"""Tests for the MCNC benchmark stand-ins."""
+
+import pytest
+
+from repro.benchgen.mcnc import BENCHMARKS, benchmark_names, build_benchmark
+from repro.io.blif import parse_blif, to_blif
+from repro.network.simulate import equivalent_networks, output_signatures
+
+#: Paper Table I benchmark I/O profile (inputs, outputs).
+EXPECTED_IO = {
+    "cm152a": (11, 1),
+    "cordic": (23, 2),
+    "cm85a": (11, 3),
+    "comp": (32, 3),
+    "cmb": (16, 4),
+    "term1": (34, 10),
+    "pm1": (16, 13),
+    "x1": (51, 35),
+    "i10": (257, 224),
+    "tcon": (17, 16),
+}
+
+
+class TestSuite:
+    def test_names_match_table1(self):
+        assert benchmark_names() == list(EXPECTED_IO)
+
+    def test_small_set_drops_i10(self):
+        assert "i10" not in benchmark_names(include_large=False)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("s38417")
+
+    @pytest.mark.parametrize(
+        "name", [n for n in benchmark_names() if n != "i10"]
+    )
+    def test_io_counts(self, name):
+        net = build_benchmark(name)
+        assert (len(net.inputs), len(net.outputs)) == EXPECTED_IO[name]
+        net.check()
+
+    @pytest.mark.slow
+    def test_i10_io_counts(self):
+        net = build_benchmark("i10")
+        assert (len(net.inputs), len(net.outputs)) == EXPECTED_IO["i10"]
+
+    @pytest.mark.parametrize(
+        "name", [n for n in benchmark_names() if n != "i10"]
+    )
+    def test_deterministic(self, name):
+        a = build_benchmark(name)
+        b = build_benchmark(name)
+        assert output_signatures(a) == output_signatures(b)
+
+    @pytest.mark.parametrize(
+        "name", [n for n in benchmark_names() if n != "i10"]
+    )
+    def test_blif_roundtrip(self, name):
+        net = build_benchmark(name)
+        again = parse_blif(to_blif(net))
+        assert equivalent_networks(net, again, vectors=256)
+
+    def test_specs_have_descriptions(self):
+        for spec in BENCHMARKS.values():
+            assert spec.character
+
+
+class TestFunctionalCharacter:
+    def test_comp_is_a_comparator(self):
+        net = build_benchmark("comp")
+        def assign(a, b):
+            out = {}
+            for i in range(16):
+                out[f"a{i}"] = (a >> i) & 1
+                out[f"b{i}"] = (b >> i) & 1
+            return out
+
+        values = net.evaluate(assign(1000, 999))
+        assert values["a_gt_b"] and not values["a_lt_b"] and not values["a_eq_b"]
+        values = net.evaluate(assign(5, 5))
+        assert values["a_eq_b"] and not values["a_gt_b"]
+
+    def test_cm152a_is_a_mux(self):
+        net = build_benchmark("cm152a")
+        for sel in range(8):
+            assignment = {f"a{i}": int(i == sel) for i in range(8)}
+            assignment.update(
+                {f"s{i}": (sel >> i) & 1 for i in range(3)}
+            )
+            assert net.evaluate(assignment)["z0"] is True
+
+    def test_tcon_half_inverters(self):
+        net = build_benchmark("tcon")
+        assignment = {f"d{i}": 0 for i in range(16)}
+        assignment["en"] = 1
+        values = net.evaluate(assignment)
+        for i in range(8):
+            assert values[f"q{i}"] is True  # inverted zeros
+        for i in range(8, 16):
+            assert values[f"q{i}"] is False

@@ -1,0 +1,36 @@
+"""Tests for the seeded random-logic generator."""
+
+from repro.benchgen.random_logic import random_logic_network
+from repro.network.simulate import output_signatures
+
+
+class TestGenerator:
+    def test_dimensions(self):
+        net = random_logic_network("r", 12, 5, 30, seed=3)
+        assert len(net.inputs) == 12
+        assert len(net.outputs) == 5
+        net.check()
+
+    def test_determinism(self):
+        a = random_logic_network("r", 10, 4, 25, seed=9)
+        b = random_logic_network("r", 10, 4, 25, seed=9)
+        assert a.node_names == b.node_names
+        assert output_signatures(a) == output_signatures(b)
+
+    def test_different_seeds_differ(self):
+        a = random_logic_network("r", 10, 4, 25, seed=1)
+        b = random_logic_network("r", 10, 4, 25, seed=2)
+        assert output_signatures(a) != output_signatures(b)
+
+    def test_fanin_bound_respected(self):
+        net = random_logic_network("r", 10, 4, 40, seed=5, max_fanin=3)
+        for node in net.node_names:
+            assert len(net.fanins(node)) <= 3
+
+    def test_outputs_fall_back_to_inputs_when_tiny(self):
+        net = random_logic_network("r", 6, 6, 2, seed=7)
+        assert len(net.outputs) == 6
+
+    def test_network_has_depth(self):
+        net = random_logic_network("r", 10, 4, 60, seed=11, locality=8)
+        assert net.depth() >= 3

@@ -1,0 +1,178 @@
+"""Unit tests for positional-notation cubes."""
+
+import pytest
+
+from repro.boolean.cube import Cube
+from repro.errors import CoverError
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        for text in ("1-0", "---", "111", "000", "0-1"):
+            assert Cube.from_string(text).to_string() == text
+
+    def test_from_string_accepts_2_as_dontcare(self):
+        assert Cube.from_string("12").to_string() == "1-"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(CoverError):
+            Cube.from_string("1x0")
+
+    def test_contradictory_cube_rejected(self):
+        with pytest.raises(CoverError):
+            Cube(0b1, 0b1, 1)
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(CoverError):
+            Cube(0b100, 0, 2)
+
+    def test_negative_nvars_rejected(self):
+        with pytest.raises(CoverError):
+            Cube(0, 0, -1)
+
+    def test_full_cube(self):
+        cube = Cube.full(4)
+        assert cube.is_full()
+        assert cube.num_literals == 0
+        assert cube.to_string() == "----"
+
+    def test_from_literals(self):
+        cube = Cube.from_literals({0: True, 2: False}, 3)
+        assert cube.to_string() == "1-0"
+
+    def test_from_literals_range_check(self):
+        with pytest.raises(CoverError):
+            Cube.from_literals({5: True}, 3)
+
+    def test_minterm(self):
+        cube = Cube.minterm(0b101, 3)
+        assert cube.to_string() == "101"
+        assert cube.is_minterm()
+
+    def test_immutable(self):
+        cube = Cube.full(2)
+        with pytest.raises(AttributeError):
+            cube.pos = 1
+
+
+class TestInspection:
+    def test_support_and_literal_count(self):
+        cube = Cube.from_string("1-0-")
+        assert cube.support == 0b0101
+        assert cube.num_literals == 2
+
+    def test_phase(self):
+        cube = Cube.from_string("1-0")
+        assert cube.phase(0) == "1"
+        assert cube.phase(1) == "-"
+        assert cube.phase(2) == "0"
+
+    def test_literals_iteration(self):
+        cube = Cube.from_string("10-")
+        assert list(cube.literals()) == [(0, True), (1, False)]
+
+    def test_num_minterms(self):
+        assert Cube.from_string("1--").num_minterms() == 4
+        assert Cube.from_string("111").num_minterms() == 1
+
+    def test_minterms_enumeration(self):
+        cube = Cube.from_string("1-0")
+        points = sorted(cube.minterms())
+        assert points == [0b001, 0b011]
+
+
+class TestRelations:
+    def test_containment(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+
+    def test_containment_opposite_phase(self):
+        assert not Cube.from_string("1").contains(Cube.from_string("0"))
+
+    def test_intersection(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        assert a.intersect(b).to_string() == "10-"
+
+    def test_empty_intersection(self):
+        assert Cube.from_string("1--").intersect(Cube.from_string("0--")) is None
+
+    def test_distance(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("011")
+        assert a.distance(b) == 2
+        assert a.distance(a) == 0
+
+    def test_consensus_exists_at_distance_one(self):
+        a = Cube.from_string("1-1")
+        b = Cube.from_string("0-1")
+        assert a.consensus(b).to_string() == "--1"
+
+    def test_consensus_none_otherwise(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("00-")
+        assert a.consensus(b) is None
+        assert a.consensus(a) is None  # distance 0
+
+    def test_supercube(self):
+        a = Cube.from_string("110")
+        b = Cube.from_string("100")
+        assert a.supercube(b).to_string() == "1-0"
+
+
+class TestTransforms:
+    def test_cofactor_drops_fixed_literals(self):
+        cube = Cube.from_string("1-0")
+        against = Cube.from_string("1--")
+        assert cube.cofactor(against).to_string() == "--0"
+
+    def test_cofactor_empty_when_disjoint(self):
+        assert Cube.from_string("1--").cofactor(Cube.from_string("0--")) is None
+
+    def test_restrict(self):
+        cube = Cube.from_string("1-0")
+        assert cube.restrict(0, True).to_string() == "--0"
+        assert cube.restrict(0, False) is None
+        assert cube.restrict(1, True).to_string() == "1-0"
+
+    def test_without_var(self):
+        assert Cube.from_string("110").without_var(1).to_string() == "1-0"
+
+    def test_with_literal_overwrites(self):
+        assert Cube.from_string("1--").with_literal(0, False).to_string() == "0--"
+
+    def test_permute(self):
+        cube = Cube.from_string("10")
+        permuted = cube.permute({0: 1, 1: 0}, 2)
+        assert permuted.to_string() == "01"
+
+    def test_permute_out_of_range(self):
+        with pytest.raises(CoverError):
+            Cube.from_string("1").permute({0: 3}, 2)
+
+    def test_evaluate(self):
+        cube = Cube.from_string("1-0")
+        assert cube.evaluate(0b001)
+        assert cube.evaluate(0b011)
+        assert not cube.evaluate(0b101)
+        assert not cube.evaluate(0b000)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Cube.from_string("1-0")
+        b = Cube.from_string("1-0")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Cube.from_string("1--")
+
+    def test_ordering_is_total(self):
+        cubes = [Cube.from_string(s) for s in ("1--", "0--", "---", "11-")]
+        ordered = sorted(cubes)
+        assert len(ordered) == 4
+
+    def test_repr(self):
+        assert "1-0" in repr(Cube.from_string("1-0"))

@@ -1,0 +1,115 @@
+"""Unit tests for algebraic (weak) division."""
+
+import random
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.divide import (
+    algebraic_product,
+    common_cube,
+    cube_divide,
+    divide,
+    divide_by_cube,
+    is_cube_free,
+    make_cube_free,
+)
+from repro.errors import CoverError
+from tests.conftest import random_cover
+
+
+class TestCubeDivide:
+    def test_divides_when_literals_present(self):
+        cube = Cube.from_string("110")
+        divisor = Cube.from_string("1--")
+        assert cube_divide(cube, divisor).to_string() == "-10"
+
+    def test_fails_when_literal_missing(self):
+        assert cube_divide(Cube.from_string("-10"), Cube.from_string("1--")) is None
+
+    def test_fails_on_opposite_phase(self):
+        assert cube_divide(Cube.from_string("010"), Cube.from_string("1--")) is None
+
+
+class TestDivideByCube:
+    def test_selects_divisible_cubes(self):
+        cover = Cover.from_strings(["11-", "1-1", "-01"])
+        q = divide_by_cube(cover, Cube.from_string("1--"))
+        assert sorted(q.to_strings()) == ["--1", "-1-"]
+
+
+class TestDivide:
+    def test_textbook_example(self):
+        # F = ac + ad + bc + bd + e;  D = a + b  =>  Q = c + d, R = e
+        f = Cover.from_strings(["1-1--", "1--1-", "-11--", "-1-1-", "----1"])
+        d = Cover.from_strings(["1----", "-1---"])
+        q, r = divide(f, d)
+        assert sorted(q.to_strings()) == ["---1-", "--1--"]
+        assert r.to_strings() == ["----1"]
+
+    def test_reconstruction_identity(self):
+        rng = random.Random(31)
+        for _ in range(100):
+            n = rng.randint(2, 6)
+            f = random_cover(rng, n, max_cubes=8)
+            if f.is_zero():
+                continue
+            d = random_cover(rng, n, max_cubes=3)
+            if d.is_zero():
+                continue
+            q, r = divide(f, d)
+            if q.is_zero():
+                assert r == f
+                continue
+            rebuilt = algebraic_product(q, d).union(r)
+            assert rebuilt.equivalent(f)
+
+    def test_zero_quotient(self):
+        f = Cover.from_strings(["1--"])
+        d = Cover.from_strings(["-1-", "--1"])
+        q, r = divide(f, d)
+        assert q.is_zero()
+        assert r == f
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(CoverError):
+            divide(Cover.from_strings(["1-"]), Cover.zero(2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(CoverError):
+            divide(Cover.zero(2), Cover.one(3))
+
+
+class TestAlgebraicProduct:
+    def test_disjoint_supports_required(self):
+        a = Cover.from_strings(["1-"])
+        b = Cover.from_strings(["1-"])
+        with pytest.raises(CoverError):
+            algebraic_product(a, b)
+
+    def test_product(self):
+        a = Cover.from_strings(["1---", "-1--"])
+        b = Cover.from_strings(["--1-", "---1"])
+        prod = algebraic_product(a, b)
+        assert prod.num_cubes == 4
+
+
+class TestCommonCube:
+    def test_common_cube(self):
+        cover = Cover.from_strings(["110", "1-0", "100"])
+        assert common_cube(cover).to_string() == "1-0"
+
+    def test_no_common_cube(self):
+        cover = Cover.from_strings(["1--", "-1-"])
+        assert common_cube(cover).is_full()
+
+    def test_make_cube_free(self):
+        cover = Cover.from_strings(["11-", "1-1"])
+        free, cc = make_cube_free(cover)
+        assert cc.to_string() == "1--"
+        assert sorted(free.to_strings()) == ["--1", "-1-"]
+        assert is_cube_free(free)
+
+    def test_is_cube_free_on_empty(self):
+        assert not is_cube_free(Cover.zero(2))

@@ -1,0 +1,89 @@
+"""Unit tests for algebraic factoring into AND/OR trees."""
+
+import random
+
+from repro.boolean.cover import Cover
+from repro.boolean.factor import (
+    FactorAnd,
+    FactorConst,
+    FactorLit,
+    FactorOr,
+    factor,
+    factored_literal_count,
+    verify_factoring,
+)
+from tests.conftest import random_cover
+
+
+class TestFactor:
+    def test_constants(self):
+        assert factor(Cover.zero(2)) == FactorConst(False)
+        assert factor(Cover.one(2)) == FactorConst(True)
+        assert factor(Cover.from_strings(["--", "1-"])) == FactorConst(True)
+
+    def test_single_literal(self):
+        form = factor(Cover.from_strings(["-0-"]))
+        assert form == FactorLit(1, False)
+
+    def test_single_cube_becomes_and(self):
+        form = factor(Cover.from_strings(["110"]))
+        assert isinstance(form, FactorAnd)
+        assert form.num_literals() == 3
+
+    def test_factors_common_literal(self):
+        # ab + ac -> a(b + c): 3 literals, not 4.
+        cover = Cover.from_strings(["11-", "1-1"])
+        form = factor(cover)
+        assert form.num_literals() == 3
+        assert verify_factoring(cover, form)
+
+    def test_textbook_factoring(self):
+        # ac + ad + bc + bd + e -> (a+b)(c+d) + e: 5 literals.
+        cover = Cover.from_strings(
+            ["1-1--", "1--1-", "-11--", "-1-1-", "----1"]
+        )
+        form = factor(cover)
+        assert form.num_literals() == 5
+        assert verify_factoring(cover, form)
+
+    def test_or_of_disjoint_cubes(self):
+        cover = Cover.from_strings(["11--", "--11"])
+        form = factor(cover)
+        assert isinstance(form, FactorOr)
+        assert form.num_literals() == 4
+
+    def test_fuzz_correctness(self):
+        rng = random.Random(51)
+        for _ in range(150):
+            cover = random_cover(rng, rng.randint(1, 6), max_cubes=7)
+            form = factor(cover)
+            assert verify_factoring(cover.scc(), form), cover.to_strings()
+
+    def test_fuzz_never_worse_than_flat(self):
+        rng = random.Random(53)
+        for _ in range(80):
+            cover = random_cover(rng, rng.randint(1, 6), max_cubes=7).scc()
+            assert factored_literal_count(cover) <= max(cover.num_literals, 1)
+
+
+class TestExpressionRendering:
+    def test_to_expression_with_parens(self):
+        cover = Cover.from_strings(["11-", "1-1"])
+        form = factor(cover)
+        text = form.to_expression(("a", "b", "c"))
+        assert "a" in text and "(" in text
+
+    def test_const_rendering(self):
+        assert FactorConst(True).to_expression(()) == "1"
+        assert FactorConst(False).to_expression(()) == "0"
+
+    def test_literal_rendering(self):
+        assert FactorLit(0, False).to_expression(("x",)) == "x'"
+
+
+class TestEvaluation:
+    def test_tree_evaluation_matches_cover(self):
+        cover = Cover.from_strings(["10-", "-11"])
+        form = factor(cover)
+        for p in range(8):
+            assert form.evaluate(p) == cover.evaluate(p)

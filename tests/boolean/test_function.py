@@ -1,0 +1,139 @@
+"""Unit tests for the named-variable BooleanFunction wrapper."""
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction, iter_assignments
+from repro.errors import CoverError
+
+
+class TestParse:
+    def test_sop_expression(self):
+        f = BooleanFunction.parse("a b + c' d")
+        assert f.variables == ("a", "b", "c", "d")
+        assert f.evaluate({"a": 1, "b": 1, "c": 0, "d": 0})
+        assert f.evaluate({"a": 0, "b": 0, "c": 0, "d": 1})
+        assert not f.evaluate({"a": 0, "b": 1, "c": 1, "d": 1})
+
+    def test_tilde_and_bang_complements(self):
+        f = BooleanFunction.parse("~a + !b")
+        assert f.evaluate({"a": 0, "b": 1})
+        assert not f.evaluate({"a": 1, "b": 1})
+
+    def test_constants(self):
+        assert BooleanFunction.parse("1").evaluate({})
+        assert not BooleanFunction.parse("0").evaluate({})
+
+    def test_star_and_amp_separators(self):
+        f = BooleanFunction.parse("a*b + c&d")
+        assert f.evaluate({"a": 1, "b": 1, "c": 0, "d": 0})
+
+    def test_contradictory_literal_rejected(self):
+        with pytest.raises(CoverError):
+            BooleanFunction.parse("a a'")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(CoverError):
+            BooleanFunction.parse("a + 3x")
+
+    def test_expression_roundtrip(self):
+        f = BooleanFunction.parse("a b' + c")
+        assert BooleanFunction.parse(f.to_expression()).equivalent(f)
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CoverError):
+            BooleanFunction(Cover.zero(2), ("a", "a"))
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(CoverError):
+            BooleanFunction(Cover.zero(2), ("a",))
+
+    def test_from_sop_empty_rows_is_zero(self):
+        f = BooleanFunction.from_sop([], ("a", "b"))
+        assert f.cover.is_zero()
+
+    def test_immutable(self):
+        f = BooleanFunction.parse("a")
+        with pytest.raises(AttributeError):
+            f.variables = ("b",)
+
+
+class TestInspection:
+    def test_support_names(self):
+        f = BooleanFunction(Cover.from_strings(["1--"]), ("a", "b", "c"))
+        assert f.support_names() == ["a"]
+        assert f.depends_on("a")
+        assert not f.depends_on("b")
+        assert not f.depends_on("zz")
+
+    def test_index_of(self):
+        f = BooleanFunction.parse("a b")
+        assert f.index_of("b") == 1
+        with pytest.raises(CoverError):
+            f.index_of("zz")
+
+    def test_counts(self):
+        f = BooleanFunction.parse("a b + c")
+        assert f.num_cubes == 2
+        assert f.num_literals == 3
+
+
+class TestTransforms:
+    def test_trimmed_drops_unused(self):
+        f = BooleanFunction(Cover.from_strings(["1--"]), ("a", "b", "c"))
+        t = f.trimmed()
+        assert t.variables == ("a",)
+        assert t.evaluate({"a": 1})
+
+    def test_rebased_reorders(self):
+        f = BooleanFunction.parse("a b'")
+        g = f.rebased(["b", "a", "z"])
+        assert g.variables == ("b", "a", "z")
+        assert g.evaluate({"a": 1, "b": 0, "z": 0})
+
+    def test_rebased_missing_support(self):
+        with pytest.raises(CoverError):
+            BooleanFunction.parse("a b").rebased(["a"])
+
+    def test_renamed(self):
+        f = BooleanFunction.parse("a b").renamed({"a": "x"})
+        assert f.variables == ("x", "b")
+
+    def test_complement(self):
+        f = BooleanFunction.parse("a")
+        assert f.complement().evaluate({"a": 0})
+
+    def test_substitute_simple(self):
+        f = BooleanFunction.parse("a b + c")
+        g = BooleanFunction.parse("d e")
+        h = f.substitute("c", g)
+        assert set(h.variables) == {"a", "b", "d", "e"}
+        assert h.evaluate({"a": 0, "b": 0, "d": 1, "e": 1})
+        assert not h.evaluate({"a": 0, "b": 0, "d": 1, "e": 0})
+
+    def test_substitute_missing_variable_is_noop(self):
+        f = BooleanFunction.parse("a")
+        assert f.substitute("zz", BooleanFunction.parse("b")) is f
+
+    def test_substitute_negative_phase(self):
+        f = BooleanFunction.parse("a c' + b c")
+        g = BooleanFunction.parse("a b")
+        h = f.substitute("c", g)
+        for asg in iter_assignments(["a", "b"]):
+            c = asg["a"] and asg["b"]
+            want = (asg["a"] and not c) or (asg["b"] and c)
+            assert h.evaluate(asg) == want
+
+    def test_equivalent_name_aware(self):
+        f = BooleanFunction.parse("a + b")
+        g = BooleanFunction.parse("b + a")
+        assert f.equivalent(g)
+        assert not f.equivalent(BooleanFunction.parse("a b"))
+
+
+class TestIterAssignments:
+    def test_counts(self):
+        assert len(list(iter_assignments(["a", "b"]))) == 4
+        assert list(iter_assignments([])) == [{}]

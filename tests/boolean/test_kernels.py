@@ -1,0 +1,72 @@
+"""Unit tests for kernel/co-kernel enumeration."""
+
+import random
+
+from repro.boolean.cover import Cover
+from repro.boolean.divide import divide_by_cube, is_cube_free, make_cube_free
+from repro.boolean.kernels import Kernel, kernels, level0_kernels
+from tests.conftest import random_cover
+
+
+class TestKernels:
+    def test_textbook_example(self):
+        # F = ac + ad + bc + bd + e has kernels {c+d}, {a+b}, and F itself.
+        f = Cover.from_strings(["1-1--", "1--1-", "-11--", "-1-1-", "----1"])
+        found = kernels(f)
+        signatures = {
+            frozenset(k.cover.to_strings()) for k in found
+        }
+        assert frozenset(["--1--", "---1-"]) in signatures  # c + d
+        assert frozenset(["1----", "-1---"]) in signatures  # a + b
+        assert any(k.cover.num_cubes == 5 for k in found)  # F itself
+
+    def test_every_kernel_is_cube_free(self):
+        rng = random.Random(41)
+        for _ in range(80):
+            cover = random_cover(rng, rng.randint(2, 6), max_cubes=6)
+            if cover.num_cubes < 2:
+                continue
+            for k in kernels(cover):
+                assert is_cube_free(k.cover), (cover.to_strings(), k)
+
+    def test_cokernel_witnesses_division(self):
+        rng = random.Random(43)
+        for _ in range(60):
+            cover = random_cover(rng, rng.randint(2, 5), max_cubes=6).scc()
+            if cover.num_cubes < 2:
+                continue
+            for k in kernels(cover):
+                if k.cokernel.is_full():
+                    continue
+                quotient = divide_by_cube(cover, k.cokernel)
+                quotient, _ = make_cube_free(quotient)
+                # The kernel must equal the cube-free quotient by its
+                # co-kernel.
+                assert quotient.canonical_key() == k.cover.canonical_key(), (
+                    cover.to_strings(),
+                    k.cover.to_strings(),
+                    k.cokernel.to_string(),
+                )
+
+    def test_single_cube_has_no_proper_kernels(self):
+        cover = Cover.from_strings(["110-"])
+        assert kernels(cover, include_self=False) == []
+
+    def test_level0_kernels_have_no_repeated_literal(self):
+        f = Cover.from_strings(["1-1--", "1--1-", "-11--", "-1-1-", "----1"])
+        for k in level0_kernels(f):
+            # In a level-0 kernel no literal appears in 2+ cubes.
+            for var in range(k.cover.nvars):
+                pos, neg = k.cover.column_phases(var)
+                assert pos < 2 and neg < 2
+
+    def test_self_kernel_included_by_default(self):
+        f = Cover.from_strings(["1-", "-1"])
+        ks = kernels(f)
+        assert any(k.cover.canonical_key() == f.canonical_key() for k in ks)
+
+    def test_kernel_dataclass_fields(self):
+        f = Cover.from_strings(["1-", "-1"])
+        k = kernels(f)[0]
+        assert isinstance(k, Kernel)
+        assert k.level >= 0

@@ -1,0 +1,116 @@
+"""Unit tests for the espresso-lite two-level minimizer."""
+
+import random
+
+from repro.boolean.cover import Cover
+from repro.boolean.minimize import expand, irredundant, minimize, reduce_cover
+from tests.conftest import random_cover
+
+
+class TestExpand:
+    def test_expands_to_primes(self):
+        # f = ab + ab' = a; expansion against the offset discovers it.
+        cover = Cover.from_strings(["11", "10"])
+        offset = cover.complement()
+        result = expand(cover, offset)
+        assert result.to_strings() == ["1-"]
+
+    def test_no_expansion_into_offset(self):
+        cover = Cover.from_strings(["11"])
+        offset = cover.complement()
+        result = expand(cover, offset)
+        assert result.equivalent(cover)
+
+
+class TestIrredundant:
+    def test_removes_covered_cube(self):
+        # ab is covered by a.
+        cover = Cover.from_strings(["1-", "11"])
+        result = irredundant(cover)
+        assert result.to_strings() == ["1-"]
+
+    def test_keeps_essential_cubes(self):
+        cover = Cover.from_strings(["1-", "-1"])
+        assert irredundant(cover).num_cubes == 2
+
+    def test_consensus_redundancy(self):
+        # ab + a'c + bc: bc is redundant (consensus).
+        cover = Cover.from_strings(["11-", "0-1", "-11"])
+        result = irredundant(cover)
+        assert result.num_cubes == 2
+        assert result.equivalent(cover)
+
+
+class TestReduce:
+    def test_reduce_keeps_function_on_care_set(self):
+        rng = random.Random(61)
+        for _ in range(40):
+            cover = random_cover(rng, rng.randint(1, 5), max_cubes=5)
+            reduced = reduce_cover(cover)
+            assert reduced.equivalent(cover)
+
+
+class TestMinimize:
+    def test_classic_example(self):
+        # f = a b + a b' + a' b  ==  a + b (2 cubes, 2 literals).
+        cover = Cover.from_strings(["11", "10", "01"])
+        result = minimize(cover)
+        assert result.num_cubes == 2
+        assert result.num_literals == 2
+        assert result.equivalent(cover)
+
+    def test_constant_one_detected(self):
+        cover = Cover.from_strings(["1-", "0-"])
+        assert minimize(cover).is_tautology()
+
+    def test_constant_zero_passthrough(self):
+        assert minimize(Cover.zero(3)).is_zero()
+
+    def test_with_dont_cares(self):
+        # ON = {11}, DC = {10}: minimal result is just `a`.
+        on = Cover.from_strings(["11"])
+        dc = Cover.from_strings(["10"])
+        result = minimize(on, dc)
+        assert result.to_strings() == ["1-"]
+
+    def test_never_increases_cost_fuzz(self):
+        rng = random.Random(67)
+        for _ in range(80):
+            cover = random_cover(rng, rng.randint(1, 5), max_cubes=6).scc()
+            if cover.is_zero():
+                continue
+            result = minimize(cover)
+            assert result.equivalent(cover)
+            assert result.num_cubes <= max(cover.num_cubes, 1)
+
+    def test_dc_fuzz_respects_care_set(self):
+        rng = random.Random(71)
+        for _ in range(60):
+            n = rng.randint(1, 5)
+            on = random_cover(rng, n, max_cubes=4)
+            dc = random_cover(rng, n, max_cubes=3)
+            if on.is_zero():
+                continue
+            result = minimize(on, dc)
+            for p in range(1 << n):
+                if dc.evaluate(p):
+                    continue
+                assert result.evaluate(p) == on.evaluate(p), (
+                    on.to_strings(),
+                    dc.to_strings(),
+                    p,
+                )
+
+    def test_irredundant_result(self):
+        rng = random.Random(73)
+        for _ in range(40):
+            cover = random_cover(rng, rng.randint(1, 5), max_cubes=6)
+            if cover.is_zero() or cover.is_tautology():
+                continue
+            result = minimize(cover)
+            # Dropping any single cube must change the function.
+            for i in range(result.num_cubes):
+                rest = Cover(
+                    result.cubes[:i] + result.cubes[i + 1 :], result.nvars
+                )
+                assert not rest.equivalent(result)

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.network.network import BooleanNetwork
+
+
+from repro.benchgen.paper_examples import MOTIVATIONAL_BLIF  # noqa: F401 (re-export)
+
+
+@pytest.fixture
+def motivational_network() -> BooleanNetwork:
+    """The paper's Fig. 2(a) network: 7 gates, 5 levels."""
+    from repro.io.blif import parse_blif
+
+    return parse_blif(MOTIVATIONAL_BLIF)
+
+
+def random_cover(rng: random.Random, nvars: int, max_cubes: int = 6) -> Cover:
+    """A random SOP cover for fuzz-style tests."""
+    rows = [
+        "".join(rng.choice("01-") for _ in range(nvars))
+        for _ in range(rng.randint(0, max_cubes))
+    ]
+    return Cover.from_strings(rows) if rows else Cover.zero(nvars)
+
+
+def random_network(
+    seed: int, npi: int = 7, nnodes: int = 12, max_fanin: int = 4
+) -> BooleanNetwork:
+    """A random acyclic multi-level network with 3 primary outputs."""
+    rng = random.Random(seed)
+    net = BooleanNetwork(f"rand{seed}")
+    signals = [net.add_input(f"x{i}") for i in range(npi)]
+    for j in range(nnodes):
+        k = rng.randint(1, min(max_fanin, len(signals)))
+        fanins = rng.sample(signals, k)
+        rows = [
+            "".join(rng.choice("01-") for _ in range(k))
+            for _ in range(rng.randint(1, 4))
+        ]
+        func = BooleanFunction.from_sop(rows, fanins)
+        signals.append(net.add_node(f"n{j}", func))
+    nodes = [s for s in signals if s.startswith("n")]
+    for out in rng.sample(nodes, min(3, len(nodes))):
+        net.add_output(out)
+    net.check()
+    return net

@@ -1,0 +1,64 @@
+"""Tests for the structural analysis module."""
+
+from repro.core.analysis import analyze_network, format_analysis
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+    make_and_vector,
+)
+from tests.conftest import random_network
+
+
+def tiny_net():
+    net = ThresholdNetwork("t")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate(
+        ThresholdGate("m", ("a", "b"), WeightThresholdVector((2, -1), 1))
+    )
+    net.add_gate(ThresholdGate("f", ("m", "a"), make_and_vector(2)))
+    net.add_output("f")
+    return net
+
+
+class TestAnalysis:
+    def test_basic_counts(self):
+        a = analyze_network(tiny_net())
+        assert a.gates == 2
+        assert a.levels == 2
+        assert a.max_fanin == 2
+        assert a.fanin_histogram == {2: 2}
+
+    def test_weight_histogram(self):
+        a = analyze_network(tiny_net())
+        assert a.weight_histogram == {-1: 1, 1: 2, 2: 1}
+        assert a.max_abs_weight == 2
+        assert a.negative_weight_gates == 1
+
+    def test_margins(self):
+        a = analyze_network(tiny_net())
+        assert a.min_on_margin is not None and a.min_on_margin >= 0
+        assert a.min_off_margin is not None and a.min_off_margin >= 1
+
+    def test_critical_path_ends_at_deepest_output(self):
+        a = analyze_network(tiny_net())
+        assert a.critical_path[-1] == "f"
+        assert a.critical_path[0] == "m"
+
+    def test_mean_fanin(self):
+        assert analyze_network(tiny_net()).mean_fanin == 2.0
+
+    def test_format_contains_sections(self):
+        text = format_analysis(analyze_network(tiny_net()))
+        for token in ("gates:", "fanin histogram", "critical path"):
+            assert token in text
+
+    def test_on_synthesized_network(self):
+        net = random_network(1800)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        a = analyze_network(th)
+        assert a.gates == th.num_gates
+        assert a.max_fanin <= 3
+        assert sum(a.fanin_histogram.values()) == a.gates

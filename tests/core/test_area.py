@@ -1,0 +1,54 @@
+"""Unit tests for the Table-I metrics (gates / levels / area)."""
+
+from repro.boolean.function import BooleanFunction
+from repro.core.area import NetworkStats, boolean_stats, network_stats, reduction
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+from repro.network.network import BooleanNetwork
+
+
+def tiny_threshold_net():
+    net = ThresholdNetwork("t")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate(
+        ThresholdGate("m", ("a", "b"), WeightThresholdVector((2, -1), 1))
+    )
+    net.add_gate(
+        ThresholdGate("f", ("m", "a"), WeightThresholdVector((1, 1), 1))
+    )
+    net.add_output("f")
+    return net
+
+
+class TestThresholdStats:
+    def test_counts(self):
+        stats = network_stats(tiny_threshold_net())
+        assert stats.gates == 2
+        assert stats.levels == 2
+        # Eq. 14: (|2|+|-1|+|1|) + (|1|+|1|+|1|) = 4 + 3.
+        assert stats.area == 7
+
+    def test_str(self):
+        assert "gates=2" in str(network_stats(tiny_threshold_net()))
+
+
+class TestBooleanStats:
+    def test_counts(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", BooleanFunction.parse("a b + a'"))
+        net.add_output("f")
+        stats = boolean_stats(net)
+        assert stats == NetworkStats(gates=1, levels=1, area=3)
+
+
+class TestReduction:
+    def test_basic(self):
+        assert reduction(100, 48) == 52.0
+        assert reduction(0, 10) == 0.0
+        assert reduction(10, 12) == -20.0

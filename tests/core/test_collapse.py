@@ -1,0 +1,110 @@
+"""Unit tests for node collapsing (Fig. 4)."""
+
+from repro.boolean.function import BooleanFunction
+from repro.core.collapse import collapse_node
+from repro.network.network import BooleanNetwork
+
+
+def paper_example_network():
+    """Fig. 5 of the paper: f = n1 + n2, n1 = x1 n3, n2 = n3 x4."""
+    net = BooleanNetwork("fig5")
+    for name in ("x1", "x2", "x3", "x4"):
+        net.add_input(name)
+    net.add_node("n3", BooleanFunction.parse("x2 + x3"))
+    net.add_node("n1", BooleanFunction.parse("x1 n3"))
+    net.add_node("n2", BooleanFunction.parse("n3 x4"))
+    net.add_node("f", BooleanFunction.parse("n1 + n2"))
+    net.add_output("f")
+    return net
+
+
+class TestPaperExample:
+    def test_collapse_stops_at_fanout_node(self):
+        net = paper_example_network()
+        collapsed = collapse_node(net, "f", psi=4, preserved={"n3"})
+        # Paper result: f = x1 n3 + n3 x4.
+        assert set(collapsed.variables) == {"x1", "x4", "n3"}
+        assert collapsed.equivalent(BooleanFunction.parse("x1 n3 + n3 x4"))
+
+    def test_collapse_through_everything_without_sharing(self):
+        net = paper_example_network()
+        collapsed = collapse_node(net, "f", psi=4, preserved=set())
+        assert set(collapsed.variables) <= {"x1", "x2", "x3", "x4"}
+        want = BooleanFunction.parse("x1 x2 + x1 x3 + x2 x4 + x3 x4")
+        assert collapsed.equivalent(want)
+
+
+class TestFaninRestriction:
+    def test_substitution_undone_when_psi_exceeded(self):
+        net = BooleanNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_input(name)
+        net.add_node("wide", BooleanFunction.parse("a b + c"))
+        net.add_node("f", BooleanFunction.parse("wide + d"))
+        net.add_output("f")
+        collapsed = collapse_node(net, "f", psi=3, preserved=set())
+        # Substituting `wide` gives 4 variables > psi: must be undone.
+        assert "wide" in collapsed.variables
+        assert collapsed.nvars <= 3
+
+    def test_substitution_allowed_at_exactly_psi(self):
+        net = BooleanNetwork()
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_node("m", BooleanFunction.parse("b c"))
+        net.add_node("f", BooleanFunction.parse("m + a"))
+        net.add_output("f")
+        collapsed = collapse_node(net, "f", psi=3, preserved=set())
+        assert set(collapsed.variables) == {"a", "b", "c"}
+
+    def test_multi_level_collapse(self):
+        net = BooleanNetwork()
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_node("p", BooleanFunction.parse("a b"))
+        net.add_node("q", BooleanFunction.parse("p + c"))
+        net.add_node("f", BooleanFunction.parse("q"))
+        net.add_output("f")
+        collapsed = collapse_node(net, "f", psi=3, preserved=set())
+        assert collapsed.equivalent(BooleanFunction.parse("a b + c"))
+
+    def test_wide_node_not_collapsed_at_all(self):
+        net = BooleanNetwork()
+        for name in ("a", "b", "c", "d", "e"):
+            net.add_input(name)
+        net.add_node("f", BooleanFunction.parse("a b + c d + e"))
+        net.add_output("f")
+        collapsed = collapse_node(net, "f", psi=3, preserved=set())
+        assert collapsed.equivalent(net.function("f"))
+
+
+class TestGuards:
+    def test_cube_blowup_guard(self):
+        net = BooleanNetwork()
+        for i in range(6):
+            net.add_input(f"x{i}")
+        net.add_node(
+            "m", BooleanFunction.parse("x0 x1 + x2 x3 + x4 x5")
+        )
+        net.add_node("f", BooleanFunction.parse("m'"))
+        net.add_output("f")
+        # With max_cubes=1 the complement blow-up is refused.
+        collapsed = collapse_node(
+            net, "f", psi=8, preserved=set(), max_cubes=1
+        )
+        assert "m" in collapsed.variables
+
+    def test_preserved_node_never_substituted(self):
+        net = paper_example_network()
+        collapsed = collapse_node(
+            net, "f", psi=10, preserved={"n1", "n2", "n3"}
+        )
+        assert set(collapsed.variables) == {"n1", "n2"}
+
+    def test_primary_inputs_never_substituted(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_node("f", BooleanFunction.parse("a'"))
+        net.add_output("f")
+        collapsed = collapse_node(net, "f", psi=4, preserved=set())
+        assert collapsed.variables == ("a",)

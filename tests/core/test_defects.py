@@ -1,0 +1,91 @@
+"""Unit tests for the weight-variation Monte Carlo (Section VI-C)."""
+
+import random
+
+import numpy as np
+
+from repro.boolean.function import BooleanFunction
+from repro.core.defects import (
+    circuit_failure_probability,
+    perturb_weights,
+    run_defect_trial,
+    suite_failure_rate,
+)
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.network.network import BooleanNetwork
+from tests.conftest import random_network
+
+
+def and_network():
+    net = BooleanNetwork("andnet")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", BooleanFunction.parse("a b"))
+    net.add_output("f")
+    return net
+
+
+class TestPerturbation:
+    def test_noise_bounded_by_half_v(self):
+        net = and_network()
+        th = synthesize(net, SynthesisOptions())
+        rng = random.Random(0)
+        for v in (0.5, 1.0, 2.0):
+            noise = perturb_weights(th, v, rng)
+            for gate_noise in noise.values():
+                assert np.all(np.abs(gate_noise) <= v / 2 + 1e-12)
+
+    def test_zero_v_never_fails(self):
+        net = and_network()
+        th = synthesize(net, SynthesisOptions())
+        rng = random.Random(1)
+        for _ in range(5):
+            result = run_defect_trial(net, th, v=0.0, rng=rng)
+            assert not result.failed
+            assert result.wrong_vectors == 0
+
+    def test_huge_v_fails(self):
+        net = and_network()
+        th = synthesize(net, SynthesisOptions())
+        prob = circuit_failure_probability(net, th, v=50.0, trials=30, seed=2)
+        assert prob > 0.5
+
+    def test_failure_monotone_in_v_roughly(self):
+        net = random_network(1100)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        low = circuit_failure_probability(net, th, v=0.1, trials=20, seed=3)
+        high = circuit_failure_probability(net, th, v=4.0, trials=20, seed=3)
+        assert high >= low
+
+    def test_delta_on_improves_robustness(self):
+        # The headline Section VI-C effect, on a small suite.
+        nets = [random_network(s + 1200) for s in range(4)]
+        rates = []
+        for delta_on in (0, 3):
+            circuits = []
+            for net in nets:
+                th = synthesize(
+                    net, SynthesisOptions(psi=3, delta_on=delta_on)
+                )
+                circuits.append((net, th))
+            rates.append(
+                suite_failure_rate(circuits, v=0.9, trials=4, seed=11)
+            )
+        assert rates[1] <= rates[0]
+
+
+class TestSuiteMetric:
+    def test_empty_suite(self):
+        assert suite_failure_rate([], v=1.0) == 0.0
+
+    def test_rate_is_percentage(self):
+        net = and_network()
+        th = synthesize(net, SynthesisOptions())
+        rate = suite_failure_rate([(net, th)], v=50.0, trials=10, seed=5)
+        assert rate in (0.0, 100.0)
+
+    def test_trial_counts_vectors(self):
+        net = and_network()
+        th = synthesize(net, SynthesisOptions())
+        result = run_defect_trial(net, th, v=0.0, rng=random.Random(0))
+        assert result.total_vectors == 4  # exhaustive: 2 inputs, 1 output

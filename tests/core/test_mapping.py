@@ -1,0 +1,79 @@
+"""Unit tests for the one-to-one mapping baseline."""
+
+import pytest
+
+from repro.boolean.function import BooleanFunction
+from repro.core.mapping import one_to_one_map
+from repro.core.verify import verify_threshold_network
+from repro.errors import SynthesisError
+from repro.network.network import BooleanNetwork
+from repro.network.scripts import prepare_one_to_one
+from tests.conftest import random_network
+
+
+def simple_gate_network():
+    net = BooleanNetwork("gates")
+    for name in ("a", "b", "c"):
+        net.add_input(name)
+    net.add_node("n1", BooleanFunction.parse("a b"))
+    net.add_node("n2", BooleanFunction.parse("n1 + c"))
+    net.add_node("n3", BooleanFunction.parse("n2'"))
+    net.add_output("n3")
+    return net
+
+
+class TestMapping:
+    def test_one_gate_per_node(self):
+        net = simple_gate_network()
+        th = one_to_one_map(net)
+        assert th.num_gates == net.num_nodes
+        assert verify_threshold_network(net, th)
+
+    def test_gate_names_preserved(self):
+        th = one_to_one_map(simple_gate_network())
+        for name in ("n1", "n2", "n3"):
+            assert th.has_gate(name)
+
+    def test_rejects_nonthreshold_node(self):
+        net = BooleanNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_input(name)
+        net.add_node("f", BooleanFunction.parse("a b + c d"))
+        net.add_output("f")
+        with pytest.raises(SynthesisError) as err:
+            one_to_one_map(net)
+        assert "f" in str(err.value)
+
+    def test_constant_node(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_node("k", BooleanFunction.constant(False))
+        net.add_output("k")
+        th = one_to_one_map(net)
+        assert th.evaluate({"a": 1})["k"] is False
+
+    def test_levels_match_boolean_network(self):
+        net = simple_gate_network()
+        th = one_to_one_map(net)
+        assert th.depth() == net.depth()
+
+    def test_deltas_propagated(self):
+        th = one_to_one_map(simple_gate_network(), delta_on=2)
+        for gate in th.gates():
+            assert gate.delta_on == 2
+
+    def test_prepared_networks_always_map(self):
+        for seed in range(8):
+            net = random_network(seed + 1000)
+            prepared = prepare_one_to_one(net, max_fanin=3)
+            th = one_to_one_map(prepared)
+            assert th.num_gates == prepared.num_nodes
+            assert verify_threshold_network(net, th), seed
+
+    def test_area_minimal_for_simple_gates(self):
+        # AND2 area: w=(1,1), T=2 -> 4; OR2: T=1 -> 3; INV: 1.
+        net = simple_gate_network()
+        th = one_to_one_map(net)
+        assert th.gate("n1").area == 4
+        assert th.gate("n2").area == 3
+        assert th.gate("n3").area == 1

@@ -1,0 +1,67 @@
+"""The robustness contract: synthesized gates honor their delta margins.
+
+Every gate TELS emits must satisfy the Eq. (1) tolerances: all true input
+vectors reach ``T + delta_on`` and all false vectors stay at or below
+``T - delta_off``.  This is the property that makes Fig. 11's failure-rate
+behaviour possible, so it gets its own direct test.
+"""
+
+import pytest
+
+from repro.core.mapping import one_to_one_map
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.network.scripts import prepare_one_to_one, prepare_tels
+from tests.conftest import random_network
+
+
+@pytest.mark.parametrize("delta_on", [0, 1, 2, 3])
+def test_tels_gate_margins(delta_on):
+    for seed in (0, 1):
+        net = random_network(seed + 2100)
+        th = synthesize(
+            net, SynthesisOptions(psi=3, delta_on=delta_on, seed=seed)
+        )
+        for gate in th.gates():
+            if gate.fanin == 0:
+                continue  # constants have no weights to disturb
+            on, off = gate.margins()
+            if on is not None:
+                assert on >= delta_on, (gate, on)
+            if off is not None:
+                assert off >= 1, (gate, off)  # delta_off = 1 default
+
+
+@pytest.mark.parametrize("delta_on", [0, 2])
+def test_one_to_one_gate_margins(delta_on):
+    net = random_network(2150)
+    prepared = prepare_one_to_one(net, max_fanin=3)
+    th = one_to_one_map(prepared, delta_on=delta_on)
+    for gate in th.gates():
+        on, off = gate.margins()
+        if on is not None:
+            assert on >= delta_on, (gate, on)
+        if off is not None:
+            assert off >= 1, (gate, off)
+
+
+def test_margins_bound_single_weight_perturbation():
+    """A margin of m tolerates any single-weight disturbance below m (and
+    below the OFF margin): the arithmetic behind Section VI-C."""
+    net = random_network(2160)
+    th = synthesize(net, SynthesisOptions(psi=3, delta_on=2))
+    for gate in th.gates():
+        if gate.fanin == 0:
+            continue
+        on, off = gate.margins()
+        # With delta_on=2 and delta_off=1, any single weight moved by less
+        # than min(on, off) cannot flip any vector of this gate.
+        if on is not None and off is not None:
+            assert min(on, off) >= 1
+
+
+def test_deltas_recorded_on_gates():
+    net = random_network(2170)
+    th = synthesize(net, SynthesisOptions(psi=3, delta_on=2, delta_off=1))
+    for gate in th.gates():
+        assert gate.delta_on == 2
+        assert gate.delta_off == 1

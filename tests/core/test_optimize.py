@@ -1,0 +1,150 @@
+"""Tests for post-synthesis peephole optimization."""
+
+import pytest
+
+from repro.core.optimize import peephole_optimize
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+    make_and_vector,
+    make_or_vector,
+)
+from repro.core.verify import verify_threshold_network
+from tests.conftest import random_network
+
+
+def _equiv(a: ThresholdNetwork, b: ThresholdNetwork) -> bool:
+    assert a.inputs == b.inputs and a.outputs == b.outputs
+    n = len(a.inputs)
+    for p in range(1 << n):
+        assignment = {name: (p >> i) & 1 for i, name in enumerate(a.inputs)}
+        if a.evaluate(assignment) != b.evaluate(assignment):
+            return False
+    return True
+
+
+def _copy(net: ThresholdNetwork) -> ThresholdNetwork:
+    clone = ThresholdNetwork(net.name)
+    for name in net.inputs:
+        clone.add_input(name)
+    for gate in net.gates():
+        clone.add_gate(gate)
+    for out in net.outputs:
+        clone.add_output(out)
+    return clone
+
+
+class TestBufferFolding:
+    def test_internal_buffer_removed(self):
+        net = ThresholdNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate(ThresholdGate("buf", ("a",), WeightThresholdVector((1,), 1)))
+        net.add_gate(ThresholdGate("f", ("buf", "b"), make_and_vector(2)))
+        net.add_output("f")
+        reference = _copy(net)
+        removed = peephole_optimize(net)
+        assert removed >= 1
+        assert not net.has_gate("buf")
+        assert _equiv(reference, net)
+
+    def test_po_buffer_kept(self):
+        net = ThresholdNetwork()
+        net.add_input("a")
+        net.add_gate(ThresholdGate("f", ("a",), WeightThresholdVector((1,), 1)))
+        net.add_output("f")
+        peephole_optimize(net)
+        assert net.has_gate("f")
+
+    def test_buffer_into_duplicate_input_skipped(self):
+        net = ThresholdNetwork()
+        net.add_input("a")
+        net.add_gate(ThresholdGate("buf", ("a",), WeightThresholdVector((1,), 1)))
+        net.add_gate(
+            ThresholdGate("f", ("buf", "a"), WeightThresholdVector((1, 1), 2))
+        )
+        net.add_output("f")
+        reference = _copy(net)
+        peephole_optimize(net)
+        assert _equiv(reference, net)
+
+
+class TestConstantPropagation:
+    def test_always_true_gate_folds(self):
+        net = ThresholdNetwork()
+        net.add_input("a")
+        # k fires for every assignment (threshold 0).
+        net.add_gate(ThresholdGate("k", ("a",), WeightThresholdVector((1,), 0)))
+        net.add_gate(ThresholdGate("f", ("k", "a"), make_and_vector(2)))
+        net.add_output("f")
+        reference = _copy(net)
+        peephole_optimize(net)
+        assert _equiv(reference, net)
+        assert not net.has_gate("k")
+
+    def test_never_true_gate_folds(self):
+        net = ThresholdNetwork()
+        net.add_input("a")
+        net.add_gate(ThresholdGate("z", ("a",), WeightThresholdVector((1,), 5)))
+        net.add_gate(ThresholdGate("f", ("z", "a"), make_or_vector(2)))
+        net.add_output("f")
+        reference = _copy(net)
+        peephole_optimize(net)
+        assert _equiv(reference, net)
+        assert not net.has_gate("z")
+
+
+class TestTheorem2Absorption:
+    def test_or_absorbs_single_fanout_child(self):
+        net = ThresholdNetwork()
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_gate(ThresholdGate("m", ("a", "b"), make_and_vector(2)))
+        net.add_gate(ThresholdGate("f", ("m", "c"), make_or_vector(2)))
+        net.add_output("f")
+        reference = _copy(net)
+        removed = peephole_optimize(net, psi=3)
+        assert removed >= 1
+        assert not net.has_gate("m")
+        gate = net.gate("f")
+        assert set(gate.inputs) == {"a", "b", "c"}
+        assert _equiv(reference, net)
+
+    def test_respects_psi(self):
+        net = ThresholdNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_input(name)
+        net.add_gate(ThresholdGate("m", ("a", "b", "c"), make_and_vector(3)))
+        net.add_gate(ThresholdGate("f", ("m", "d"), make_or_vector(2)))
+        net.add_output("f")
+        peephole_optimize(net, psi=3)  # merged fanin would be 4 > 3
+        assert net.has_gate("m")
+
+    def test_disabled_without_psi(self):
+        net = ThresholdNetwork()
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_gate(ThresholdGate("m", ("a", "b"), make_and_vector(2)))
+        net.add_gate(ThresholdGate("f", ("m", "c"), make_or_vector(2)))
+        net.add_output("f")
+        peephole_optimize(net)  # psi=0: absorption off
+        assert net.has_gate("m")
+
+
+class TestOnSynthesizedNetworks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_preserved(self, seed):
+        source = random_network(seed + 1400)
+        th = synthesize(source, SynthesisOptions(psi=3, seed=seed))
+        peephole_optimize(th, psi=3)
+        assert th.max_fanin() <= 3
+        assert verify_threshold_network(source, th), seed
+
+    def test_never_increases_gate_count(self):
+        source = random_network(1450)
+        th = synthesize(source, SynthesisOptions(psi=4))
+        before = th.num_gates
+        peephole_optimize(th, psi=4)
+        assert th.num_gates <= before

@@ -1,0 +1,163 @@
+"""Unit tests for unate and binate node splitting (Figs. 7, 8)."""
+
+import random
+
+import pytest
+
+from repro.boolean.function import BooleanFunction
+from repro.boolean.unate import syntactic_unateness
+from repro.core.splitting import (
+    UnateSplit,
+    split_binate,
+    split_k_way,
+    split_unate,
+)
+from repro.errors import SynthesisError
+from tests.conftest import random_cover
+
+
+def or_of(parts):
+    result = None
+    for p in parts:
+        result = p if result is None else _or2(result, p)
+    return result
+
+
+def _or2(a, b):
+    union = list(a.variables)
+    for v in b.variables:
+        if v not in union:
+            union.append(v)
+    from repro.boolean.cover import Cover
+
+    ra, rb = a.rebased(union), b.rebased(union)
+    return BooleanFunction(
+        Cover(ra.cover.cubes + rb.cover.cubes, len(union)).scc(), union
+    )
+
+
+class TestUnateRules:
+    def test_rule1_all_singleton_variables(self):
+        # Paper: x1x2 + x3x4 + x5x6 splits into halves by cubes.
+        f = BooleanFunction.parse("x1 x2 + x3 x4 + x5 x6")
+        rng = random.Random(0)
+        split = split_unate(f, rng)
+        assert split.mode == "or"
+        a, b = split.parts
+        assert a.num_cubes + b.num_cubes == 3
+        assert or_of([a, b]).equivalent(f)
+
+    def test_rule2_common_variable_factored(self):
+        # Paper: x1x2 + x1x3x4 + x1x5x6 -> n1 = x1, n2 = x2 + x3x4 + x5x6.
+        f = BooleanFunction.parse("x1 x2 + x1 x3 x4 + x1 x5 x6")
+        split = split_unate(f, random.Random(0))
+        assert split.mode == "and"
+        cube_part = next(p for p in split.parts if p.num_cubes == 1)
+        quot_part = next(p for p in split.parts if p.num_cubes != 1)
+        assert cube_part.to_expression() == "x1"
+        assert quot_part.equivalent(
+            BooleanFunction.parse("x2 + x3 x4 + x5 x6")
+        )
+
+    def test_rule3_most_frequent_variable(self):
+        # Paper: x1x2 + x1x3 + x4x5 splits on x1.
+        f = BooleanFunction.parse("x1 x2 + x1 x3 + x4 x5")
+        split = split_unate(f, random.Random(0))
+        assert split.mode == "or"
+        larger = split.parts[split.larger_index]
+        assert larger.equivalent(BooleanFunction.parse("x1 x2 + x1 x3"))
+
+    def test_rule4_random_tiebreak_deterministic_per_seed(self):
+        f = BooleanFunction.parse("a b + a c + d e + d f")
+        s1 = split_unate(f, random.Random(7))
+        s2 = split_unate(f, random.Random(7))
+        assert s1 == s2
+
+    def test_single_cube_rejected(self):
+        with pytest.raises(SynthesisError):
+            split_unate(BooleanFunction.parse("a b"), random.Random(0))
+
+    def test_parts_recombine_fuzz(self):
+        rng = random.Random(17)
+        for _ in range(150):
+            cover = random_cover(rng, rng.randint(2, 5)).scc()
+            if cover.num_cubes < 2:
+                continue
+            if not syntactic_unateness(cover).is_unate:
+                continue  # split_unate's contract is unate input
+            f = BooleanFunction(
+                cover, tuple(f"v{i}" for i in range(cover.nvars))
+            )
+            split = split_unate(f, rng)
+            if split.mode == "or":
+                assert or_of(list(split.parts)).equivalent(f)
+            else:
+                # AND recombination check by evaluation.
+                union = list(f.variables)
+                fa = split.parts[0].rebased(union)
+                fb = split.parts[1].rebased(union)
+                for p in range(1 << len(union)):
+                    assert (
+                        fa.cover.evaluate(p) and fb.cover.evaluate(p)
+                    ) == f.cover.evaluate(p)
+
+
+class TestKWay:
+    def test_splits_into_k_parts(self):
+        f = BooleanFunction.parse("a b + c d + e g + h i")
+        parts = split_k_way(f, 3)
+        assert len(parts) == 3
+        assert or_of(parts).equivalent(f)
+
+    def test_k_capped_by_cube_count(self):
+        f = BooleanFunction.parse("a + b")
+        assert len(split_k_way(f, 5)) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(SynthesisError):
+            split_k_way(BooleanFunction.parse("a"), 0)
+
+
+class TestBinate:
+    def test_paper_example(self):
+        # n = x1'x4 + x2x3 + x2'x4x5 with psi=5 -> three parts.
+        f = BooleanFunction.parse("x1' x4 + x2 x3 + x2' x4 x5")
+        parts = split_binate(f, psi=5, rng=random.Random(0))
+        assert len(parts) == 3
+        assert or_of(parts).equivalent(f)
+        # Each resulting part here is unate.
+        for p in parts:
+            assert syntactic_unateness(p.cover).is_unate
+
+    def test_split_respects_psi(self):
+        f = BooleanFunction.parse(
+            "a b' + a' b + c d' + c' d + e g' + e' g"
+        )
+        parts = split_binate(f, psi=3, rng=random.Random(0))
+        assert len(parts) == 3
+        assert or_of(parts).equivalent(f)
+
+    def test_recombination_fuzz(self):
+        rng = random.Random(19)
+        for _ in range(150):
+            cover = random_cover(rng, rng.randint(2, 5)).scc()
+            if cover.num_cubes < 2:
+                continue
+            if syntactic_unateness(cover).is_unate:
+                continue
+            f = BooleanFunction(
+                cover, tuple(f"v{i}" for i in range(cover.nvars))
+            )
+            for psi in (2, 3, 4):
+                parts = split_binate(f, psi=psi, rng=rng)
+                assert or_of(parts).equivalent(f), (cover.to_strings(), psi)
+
+    def test_negative_cube_partition(self):
+        # Cubes with the negative literal go to one part, rest to the other.
+        f = BooleanFunction.parse("x1' x4 + x2 x3 + x1 x5")
+        parts = split_binate(f, psi=2, rng=random.Random(0))
+        assert len(parts) == 2
+        neg_part = next(
+            p for p in parts if p.equivalent(BooleanFunction.parse("x1' x4"))
+        )
+        assert neg_part is not None

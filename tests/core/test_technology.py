@@ -1,0 +1,46 @@
+"""Tests for the RTD/MOBILE technology cost model."""
+
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.technology import (
+    format_mobile_report,
+    gate_cost,
+    mobile_report,
+)
+from repro.core.threshold import ThresholdGate, WeightThresholdVector
+from tests.conftest import random_network
+
+
+class TestGateCost:
+    def test_branch_split(self):
+        gate = ThresholdGate(
+            "g", ("a", "b", "c"), WeightThresholdVector((2, -1, 1), 1)
+        )
+        cost = gate_cost(gate)
+        assert cost.positive_branches == 2
+        assert cost.negative_branches == 1
+        assert cost.rtd_area == 5  # |2|+|−1|+|1|+|1|
+        assert cost.input_rtds == 3
+        assert cost.total_devices == 8  # 3 branches x 2 + MOBILE core 2
+
+    def test_constant_gate(self):
+        gate = ThresholdGate("k", (), WeightThresholdVector((), 1))
+        cost = gate_cost(gate)
+        assert cost.input_rtds == 0
+        assert cost.total_devices == 2
+
+
+class TestNetworkReport:
+    def test_totals_match_metrics(self):
+        net = random_network(2200)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        report = mobile_report(th)
+        assert len(report.gates) == th.num_gates
+        assert report.total_rtd_area == th.area()
+        assert report.clock_phases == th.depth()
+
+    def test_format(self):
+        net = random_network(2201)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        text = format_mobile_report(mobile_report(th))
+        assert "MOBILE gates" in text
+        assert "clock phases" in text

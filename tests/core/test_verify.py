@@ -1,0 +1,70 @@
+"""Unit tests for functional validation of threshold networks."""
+
+from repro.boolean.function import BooleanFunction
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+from repro.core.verify import first_mismatch, verify_threshold_network
+from repro.network.network import BooleanNetwork
+from tests.conftest import random_network
+
+
+def source_and():
+    net = BooleanNetwork()
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", BooleanFunction.parse("a b"))
+    net.add_output("f")
+    return net
+
+
+def broken_or():
+    th = ThresholdNetwork()
+    th.add_input("a")
+    th.add_input("b")
+    th.add_gate(
+        ThresholdGate("f", ("a", "b"), WeightThresholdVector((1, 1), 1))
+    )
+    th.add_output("f")
+    return th
+
+
+class TestVerify:
+    def test_accepts_correct_synthesis(self):
+        net = source_and()
+        th = synthesize(net, SynthesisOptions())
+        assert verify_threshold_network(net, th)
+
+    def test_rejects_wrong_gate(self):
+        assert not verify_threshold_network(source_and(), broken_or())
+
+    def test_rejects_interface_mismatch(self):
+        th = broken_or()
+        net = source_and()
+        other = ThresholdNetwork()
+        other.add_input("a")
+        other.add_gate(
+            ThresholdGate("f", ("a",), WeightThresholdVector((1,), 1))
+        )
+        other.add_output("f")
+        assert not verify_threshold_network(net, other)
+
+    def test_randomized_path_for_wide_networks(self):
+        net = random_network(1300, npi=18, nnodes=10)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        assert verify_threshold_network(net, th, vectors=256)
+
+    def test_first_mismatch_found(self):
+        mismatch = first_mismatch(source_and(), broken_or())
+        assert mismatch is not None
+        want = source_and().evaluate(mismatch)
+        got = broken_or().evaluate(mismatch)
+        assert want != got
+
+    def test_first_mismatch_none_when_equal(self):
+        net = source_and()
+        th = synthesize(net, SynthesisOptions())
+        assert first_mismatch(net, th) is None

@@ -1,0 +1,76 @@
+"""Unit tests for the ILP model layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp.model import Constraint, IlpProblem, IlpResult, Sense, Status
+
+
+class TestProblemConstruction:
+    def test_defaults(self):
+        p = IlpProblem(num_vars=3)
+        assert p.objective == [Fraction(0)] * 3
+        assert p.integer == [True, True, True]
+        assert p.names == ["x0", "x1", "x2"]
+
+    def test_float_coefficients_become_fractions(self):
+        p = IlpProblem(num_vars=1, objective=[0.5])
+        assert p.objective[0] == Fraction(1, 2)
+
+    def test_objective_length_checked(self):
+        with pytest.raises(IlpError):
+            IlpProblem(num_vars=2, objective=[1])
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(IlpError):
+            IlpProblem(num_vars=-1)
+
+    def test_add_constraint_validates_width(self):
+        p = IlpProblem(num_vars=2)
+        with pytest.raises(IlpError):
+            p.add_constraint([1], "<=", 0)
+
+    def test_add_constraint_accepts_string_sense(self):
+        p = IlpProblem(num_vars=1)
+        p.add_constraint([1], ">=", 2)
+        assert p.constraints[0].sense is Sense.GE
+
+
+class TestFeasibility:
+    def test_is_feasible_point(self):
+        p = IlpProblem(num_vars=2)
+        p.add_constraint([1, 1], "<=", 3)
+        p.add_constraint([1, 0], ">=", 1)
+        assert p.is_feasible_point([1, 2])
+        assert not p.is_feasible_point([0, 0])
+        assert not p.is_feasible_point([-1, 0])  # nonnegativity
+
+    def test_equality_sense(self):
+        c = Constraint((Fraction(1),), Sense.EQ, Fraction(2))
+        assert c.evaluate([Fraction(2)])
+        assert not c.evaluate([Fraction(1)])
+
+    def test_objective_value(self):
+        p = IlpProblem(num_vars=2, objective=[2, 3])
+        assert p.objective_value([1, 1]) == 5
+
+
+class TestResult:
+    def test_int_values(self):
+        r = IlpResult(Status.OPTIMAL, Fraction(1), (Fraction(2), Fraction(0)))
+        assert r.int_values() == (2, 0)
+
+    def test_int_values_rejects_fractional(self):
+        r = IlpResult(Status.OPTIMAL, Fraction(1), (Fraction(1, 2),))
+        with pytest.raises(IlpError):
+            r.int_values()
+
+    def test_int_values_without_solution(self):
+        with pytest.raises(IlpError):
+            IlpResult(Status.INFEASIBLE).int_values()
+
+    def test_is_optimal(self):
+        assert IlpResult(Status.OPTIMAL, Fraction(0), ()).is_optimal
+        assert not IlpResult(Status.INFEASIBLE).is_optimal

@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the ILP substrate."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.branch_bound import solve_bb
+from repro.ilp.model import IlpProblem, Status
+from repro.ilp.simplex import solve_lp
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    objective = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5), min_size=n, max_size=n
+        )
+    )
+    p = IlpProblem(num_vars=n, objective=objective)
+    m = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(m):
+        coeffs = draw(
+            st.lists(
+                st.integers(min_value=-3, max_value=3),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        sense = draw(st.sampled_from(["<=", ">=", "=="]))
+        rhs = draw(st.integers(min_value=-5, max_value=8))
+        p.add_constraint(coeffs, sense, rhs)
+    return p
+
+
+@settings(max_examples=150, deadline=None)
+@given(problems())
+def test_lp_optimal_solutions_are_feasible(p):
+    r = solve_lp(p)
+    if r.status is Status.OPTIMAL:
+        assert p.is_feasible_point(r.values)
+        assert r.objective == p.objective_value(r.values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(problems())
+def test_ilp_optimal_solutions_are_integral_and_feasible(p):
+    r = solve_bb(p, node_limit=250)
+    if r.status is Status.OPTIMAL:
+        assert p.is_feasible_point(r.values)
+        for flag, v in zip(p.integer, r.values):
+            if flag:
+                assert v.denominator == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(problems())
+def test_relaxation_bounds_the_ilp(p):
+    lp = solve_lp(p)
+    ilp = solve_bb(p, node_limit=250)
+    if lp.status is Status.OPTIMAL and ilp.status is Status.OPTIMAL:
+        # With non-negative objectives, minimization: LP optimum <= ILP.
+        assert lp.objective <= ilp.objective
+    if lp.status is Status.INFEASIBLE:
+        assert ilp.status is Status.INFEASIBLE
+
+
+@st.composite
+def tiny_problems(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    objective = draw(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=n, max_size=n)
+    )
+    p = IlpProblem(num_vars=n, objective=objective)
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        coeffs = draw(
+            st.lists(
+                st.integers(min_value=-3, max_value=3), min_size=n, max_size=n
+            )
+        )
+        p.add_constraint(
+            coeffs,
+            draw(st.sampled_from(["<=", ">="])),
+            draw(st.integers(min_value=-4, max_value=6)),
+        )
+    return p
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiny_problems())
+def test_ilp_answer_matches_small_box_enumeration(p):
+    """Exhaustively enumerate integer points in a small box as ground truth."""
+    r = solve_bb(p)
+    n = p.num_vars
+    best = None
+    # Points with coordinates in 0..4 (covers most tiny instances' optima);
+    # kept small — this is Fraction arithmetic over 5**n points per example.
+    def points(prefix):
+        if len(prefix) == n:
+            yield tuple(prefix)
+            return
+        for v in range(5):
+            yield from points(prefix + [v])
+
+    for point in points([]):
+        xs = [Fraction(v) for v in point]
+        if p.is_feasible_point(xs):
+            value = p.objective_value(xs)
+            if best is None or value < best:
+                best = value
+    if r.status is Status.OPTIMAL and best is not None:
+        # The solver may find optima outside the box, never worse ones.
+        assert r.objective <= best

@@ -1,0 +1,102 @@
+"""Unit tests for the exact rational simplex (LP relaxation)."""
+
+from fractions import Fraction
+
+from repro.ilp.model import IlpProblem, Status
+from repro.ilp.simplex import solve_lp
+
+
+def make(num_vars, objective, rows):
+    p = IlpProblem(num_vars=num_vars, objective=objective)
+    for coeffs, sense, rhs in rows:
+        p.add_constraint(coeffs, sense, rhs)
+    return p
+
+
+class TestBasicLps:
+    def test_simple_minimization(self):
+        # min x+y s.t. x+y >= 2, x >= 0, y >= 0  => 2
+        p = make(2, [1, 1], [([1, 1], ">=", 2)])
+        r = solve_lp(p)
+        assert r.status is Status.OPTIMAL
+        assert r.objective == 2
+
+    def test_fractional_optimum(self):
+        # min x  s.t. 2x >= 1 => x = 1/2
+        p = make(1, [1], [([2], ">=", 1)])
+        r = solve_lp(p)
+        assert r.objective == Fraction(1, 2)
+
+    def test_equality_constraints(self):
+        p = make(2, [1, 2], [([1, 1], "==", 4), ([1, 0], "<=", 3)])
+        r = solve_lp(p)
+        assert r.status is Status.OPTIMAL
+        # Minimize x + 2y with x+y=4, x<=3: best x=3, y=1 -> 5.
+        assert r.objective == 5
+
+    def test_negative_rhs_normalization(self):
+        # -x <= -2  <=>  x >= 2
+        p = make(1, [1], [([-1], "<=", -2)])
+        r = solve_lp(p)
+        assert r.objective == 2
+
+    def test_degenerate_redundant_constraints(self):
+        p = make(2, [1, 1], [
+            ([1, 1], ">=", 2),
+            ([2, 2], ">=", 4),  # same halfspace, scaled
+            ([1, 1], "<=", 10),
+        ])
+        r = solve_lp(p)
+        assert r.objective == 2
+
+
+class TestInfeasibleUnbounded:
+    def test_infeasible(self):
+        p = make(1, [1], [([1], ">=", 3), ([1], "<=", 1)])
+        assert solve_lp(p).status is Status.INFEASIBLE
+
+    def test_unbounded(self):
+        p = make(1, [-1], [([1], ">=", 0)])
+        assert solve_lp(p).status is Status.UNBOUNDED
+
+    def test_bounded_despite_negative_objective(self):
+        p = make(1, [-1], [([1], "<=", 7)])
+        r = solve_lp(p)
+        assert r.objective == -7
+
+    def test_zero_equality_infeasible(self):
+        p = make(2, [0, 0], [([1, 1], "==", -1)])
+        # x,y >= 0 cannot sum to -1.
+        assert solve_lp(p).status is Status.INFEASIBLE
+
+
+class TestExactness:
+    def test_rational_exactness_no_drift(self):
+        # min x s.t. 3x >= 1: answer exactly 1/3 (floats would drift).
+        p = make(1, [1], [([3], ">=", 1)])
+        r = solve_lp(p)
+        assert r.values[0] == Fraction(1, 3)
+
+    def test_solution_satisfies_all_constraints(self):
+        p = make(3, [1, 1, 1], [
+            ([1, 1, 0], ">=", 2),
+            ([0, 1, 1], ">=", 2),
+            ([1, 0, 1], ">=", 2),
+        ])
+        r = solve_lp(p)
+        assert r.status is Status.OPTIMAL
+        assert p.is_feasible_point(r.values)
+        assert r.objective == 3  # symmetric LP optimum x=y=z=1
+
+
+class TestExtraConstraints:
+    def test_extra_constraints_do_not_mutate_problem(self):
+        from repro.ilp.model import Constraint, Sense
+
+        p = make(1, [1], [([1], ">=", 1)])
+        cut = Constraint((Fraction(1),), Sense.GE, Fraction(5))
+        r1 = solve_lp(p, [cut])
+        assert r1.objective == 5
+        assert len(p.constraints) == 1
+        r2 = solve_lp(p)
+        assert r2.objective == 1

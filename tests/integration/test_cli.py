@@ -1,0 +1,85 @@
+"""Integration tests for the ``tels`` command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    path = tmp_path / "cmb.blif"
+    assert main(["bench", "cmb", "-o", str(path)]) == 0
+    return path
+
+
+class TestCommands:
+    def test_stats(self, blif_file, capsys):
+        assert main(["stats", str(blif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:   16" in out
+        assert "outputs:  4" in out
+
+    def test_synth_and_print(self, blif_file, tmp_path, capsys):
+        th_path = tmp_path / "cmb.th"
+        assert main(["synth", str(blif_file), "-o", str(th_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert th_path.exists()
+        assert main(["print-th", str(th_path)]) == 0
+        out = capsys.readouterr().out
+        assert "<" in out and ";" in out  # weight-threshold vectors
+
+    def test_synth_with_options(self, blif_file, capsys):
+        assert main(
+            ["synth", str(blif_file), "--psi", "5", "--delta-on", "1"]
+        ) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_map(self, blif_file, capsys):
+        assert main(["map", str(blif_file)]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_simulate(self, blif_file, capsys):
+        assert main(["simulate", str(blif_file)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_to_stdout(self, capsys):
+        assert main(["bench", "tcon"]) == 0
+        out = capsys.readouterr().out
+        assert ".model tcon" in out
+
+    def test_enumerate(self, capsys):
+        assert main(["enumerate", "3"]) == 0
+        assert "5 threshold / 5" in capsys.readouterr().out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--benchmarks", "cmb", "tcon"]) == 0
+        out = capsys.readouterr().out
+        assert "cmb" in out and "tcon" in out and "TOTAL" in out
+
+    def test_fig10_fast_benchmark(self, capsys):
+        assert main(["fig10", "--benchmark", "cmb"]) == 0
+        out = capsys.readouterr().out
+        assert "psi" in out and "TELS" in out
+
+    def test_analyze_blif(self, blif_file, capsys):
+        assert main(["analyze", str(blif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fanin histogram" in out and "critical path" in out
+
+    def test_analyze_thblif(self, blif_file, tmp_path, capsys):
+        th_path = tmp_path / "cmb.th"
+        main(["synth", str(blif_file), "-o", str(th_path)])
+        capsys.readouterr()
+        assert main(["analyze", str(th_path)]) == 0
+        assert "gates:" in capsys.readouterr().out
+
+    def test_verilog_export(self, blif_file, tmp_path, capsys):
+        v_path = tmp_path / "cmb.v"
+        assert main(["verilog", str(blif_file), "-o", str(v_path)]) == 0
+        text = v_path.read_text()
+        assert "module" in text and "ltg" in text
+
+    def test_bench_extended_name(self, capsys):
+        assert main(["bench", "majority"]) == 0
+        assert ".model majority" in capsys.readouterr().out

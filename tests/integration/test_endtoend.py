@@ -1,0 +1,80 @@
+"""End-to-end integration: full flows over the benchmark suite (E1/E5).
+
+Runs the complete pipeline — benchmark generation, BLIF round trip, both
+synthesis flows, metric extraction, functional verification — on the small
+benchmarks.  The heavyweight i10 run lives behind the ``slow`` marker.
+"""
+
+import pytest
+
+from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.core.mapping import one_to_one_map
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.verify import verify_threshold_network
+from repro.experiments.flows import run_flows
+from repro.io.blif import parse_blif, to_blif
+from repro.network.scripts import prepare_one_to_one, prepare_tels
+
+SMALL = [n for n in benchmark_names() if n not in ("i10", "term1", "x1")]
+
+
+class TestFullFlow:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_both_flows_verified(self, name):
+        flow = run_flows(name, psi=3, verify_vectors=512)
+        assert flow.verified
+        assert flow.tels_stats.gates > 0
+        assert flow.one_to_one_stats.gates > 0
+
+    @pytest.mark.parametrize("name", ["cm85a", "cmb", "pm1"])
+    def test_flow_through_blif_files(self, name, tmp_path):
+        source = build_benchmark(name)
+        path = tmp_path / f"{name}.blif"
+        path.write_text(to_blif(source))
+        reloaded = parse_blif(path.read_text())
+        th = synthesize(prepare_tels(reloaded), SynthesisOptions(psi=3))
+        assert verify_threshold_network(source, th, vectors=512)
+
+    def test_tels_beats_one_to_one_on_suite(self):
+        """The paper's headline: substantial average gate reduction."""
+        total_before = total_after = 0
+        for name in SMALL:
+            flow = run_flows(name, psi=3)
+            total_before += flow.one_to_one_stats.gates
+            total_after += flow.tels_stats.gates
+        reduction = 100.0 * (total_before - total_after) / total_before
+        assert reduction > 20.0, reduction
+
+    def test_better_of_two_guarantee(self):
+        """TELS-or-one-to-one selection never exceeds one-to-one gates."""
+        for name in SMALL:
+            flow = run_flows(name, psi=3)
+            best = flow.best
+            assert best.num_gates <= flow.one_to_one_stats.gates
+
+    @pytest.mark.parametrize("psi", [3, 5])
+    def test_fanin_restriction_across_suite(self, psi):
+        for name in ("cm152a", "cmb", "tcon"):
+            flow = run_flows(name, psi=psi)
+            assert flow.tels.max_fanin() <= psi
+            assert flow.one_to_one.max_fanin() <= psi
+
+    @pytest.mark.slow
+    def test_i10_flow(self):
+        flow = run_flows("i10", psi=3, verify_vectors=256)
+        assert flow.verified
+        assert flow.tels_stats.gates < flow.one_to_one_stats.gates
+
+
+class TestDeltaConfigurations:
+    @pytest.mark.parametrize("delta_on", [0, 1, 2])
+    def test_robust_synthesis_verified(self, delta_on):
+        flow = run_flows("cmb", psi=3, delta_on=delta_on)
+        assert flow.verified
+
+    def test_area_grows_with_delta_on(self):
+        areas = [
+            run_flows("cm85a", psi=3, delta_on=d).tels_stats.area
+            for d in (0, 2)
+        ]
+        assert areas[1] >= areas[0]

@@ -1,0 +1,59 @@
+"""Unit-level tests for the suite-sweep harness (tiny circuit subset)."""
+
+import pytest
+
+from repro.experiments.extended_suite import (
+    SuiteRow,
+    SuiteSummary,
+    format_suite,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_summary():
+    return run_suite(["majority", "z4ml", "tcon"], psi=3, verify_vectors=128)
+
+
+class TestRunSuite:
+    def test_rows_cover_names(self, tiny_summary):
+        assert [r.name for r in tiny_summary.rows] == [
+            "majority",
+            "z4ml",
+            "tcon",
+        ]
+        assert all(r.verified for r in tiny_summary.rows)
+
+    def test_reduction_accounting(self, tiny_summary):
+        for row in tiny_summary.rows:
+            expected = (
+                100.0
+                * (row.one_to_one.gates - row.tels.gates)
+                / row.one_to_one.gates
+            )
+            assert abs(row.reduction_percent - expected) < 1e-9
+
+    def test_win_tie_loss_partition(self, tiny_summary):
+        s = tiny_summary
+        assert s.wins + s.ties + s.losses == len(s.rows)
+
+    def test_best_and_worst(self, tiny_summary):
+        best, worst = tiny_summary.best(), tiny_summary.worst()
+        assert best.reduction_percent >= worst.reduction_percent
+
+    def test_level_means(self, tiny_summary):
+        assert tiny_summary.mean_tels_levels > 0
+        assert tiny_summary.mean_one_to_one_levels > 0
+
+    def test_format(self, tiny_summary):
+        text = format_suite(tiny_summary)
+        assert "majority" in text
+        assert "mean reduction" in text
+
+
+class TestEmptySummary:
+    def test_zero_rows(self):
+        empty = SuiteSummary(())
+        assert empty.mean_reduction_percent == 0.0
+        assert empty.wins == empty.ties == empty.losses == 0
+        assert empty.best() is None and empty.worst() is None

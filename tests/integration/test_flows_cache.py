@@ -1,0 +1,28 @@
+"""Tests for the experiment flow cache and FlowResult invariants."""
+
+from repro.experiments.flows import clear_flow_cache, run_flows
+
+
+class TestFlowCache:
+    def test_clear_forces_recompute(self):
+        a = run_flows("cmb", psi=3)
+        clear_flow_cache()
+        b = run_flows("cmb", psi=3)
+        assert a is not b
+        # Determinism: same statistics either way.
+        assert a.tels_stats == b.tels_stats
+        assert a.one_to_one_stats == b.one_to_one_stats
+
+    def test_different_configs_are_distinct_entries(self):
+        a = run_flows("cmb", psi=3)
+        b = run_flows("cmb", psi=4)
+        c = run_flows("cmb", psi=3, delta_on=1)
+        assert a is not b and a is not c
+
+    def test_flow_result_fields(self):
+        flow = run_flows("tcon", psi=3)
+        assert flow.name == "tcon"
+        assert flow.psi == 3
+        assert flow.source.name == "tcon"
+        assert flow.tels.num_gates == flow.tels_stats.gates
+        assert flow.one_to_one.num_gates == flow.one_to_one_stats.gates

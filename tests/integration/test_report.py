@@ -1,0 +1,19 @@
+"""Smoke tests for the EXPERIMENTS.md report generator sections."""
+
+from repro.experiments.report import (
+    _motivational_section,
+    _worked_examples_section,
+)
+
+
+class TestSections:
+    def test_worked_examples_match_paper(self):
+        text = _worked_examples_section()
+        assert "<2, -1, -1; 1>" in text
+        assert "<1, -1, 2; 1>" in text
+        assert "not threshold" in text
+
+    def test_motivational_section_reports_verification(self):
+        text = _motivational_section()
+        assert "verified = True" in text
+        assert "5 gates and 3 levels" in text

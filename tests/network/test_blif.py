@@ -1,0 +1,116 @@
+"""Unit tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.errors import BlifError
+from repro.io.blif import parse_blif, read_blif, to_blif, write_blif
+from repro.network.simulate import equivalent_networks
+from tests.conftest import MOTIVATIONAL_BLIF, random_network
+
+
+class TestParsing:
+    def test_motivational_network(self):
+        net = parse_blif(MOTIVATIONAL_BLIF)
+        assert net.name == "motivational"
+        assert len(net.inputs) == 7
+        assert net.outputs == ("f",)
+        assert net.num_nodes == 7
+
+    def test_comments_stripped(self):
+        net = parse_blif(
+            ".model m # comment\n.inputs a # more\n.outputs f\n"
+            ".names a f # gate\n1 1\n.end\n"
+        )
+        assert net.evaluate({"a": 1}) == {"f": True}
+
+    def test_line_continuation(self):
+        net = parse_blif(
+            ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+        )
+        assert len(net.inputs) == 2
+
+    def test_constant_one_node(self):
+        net = parse_blif(".model m\n.inputs a\n.outputs k\n.names k\n1\n.end\n")
+        assert net.evaluate({"a": 0}) == {"k": True}
+
+    def test_constant_zero_node(self):
+        net = parse_blif(".model m\n.inputs a\n.outputs k\n.names k\n.end\n")
+        assert net.evaluate({"a": 0}) == {"k": False}
+
+    def test_offset_rows_complemented(self):
+        # Defining f by its OFF-set: f == NOT(a) here.
+        net = parse_blif(
+            ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n"
+        )
+        assert net.evaluate({"a": 0}) == {"f": True}
+        assert net.evaluate({"a": 1}) == {"f": False}
+
+    def test_dont_care_rows(self):
+        net = parse_blif(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n1-1 1\n01- 1\n.end\n"
+        )
+        assert net.evaluate({"a": 1, "b": 0, "c": 1}) == {"f": True}
+        assert net.evaluate({"a": 0, "b": 1, "c": 0}) == {"f": True}
+        assert net.evaluate({"a": 0, "b": 0, "c": 0}) == {"f": False}
+
+
+class TestErrors:
+    def test_latch_rejected(self):
+        with pytest.raises(BlifError) as err:
+            parse_blif(".model m\n.latch a b\n.end\n")
+        assert "latch" in str(err.value)
+
+    def test_mixed_on_off_rows_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a b\n.outputs f\n"
+                ".names a b f\n11 1\n00 0\n.end\n"
+            )
+
+    def test_bad_row_width(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n")
+
+    def test_bad_characters(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n")
+
+    def test_row_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n1 1\n.end\n")
+
+    def test_undefined_output(self):
+        with pytest.raises(Exception):
+            parse_blif(".model m\n.inputs a\n.outputs zz\n.end\n")
+
+    def test_duplicate_fanin(self):
+        with pytest.raises(BlifError):
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n.names a a f\n11 1\n.end\n"
+            )
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(BlifError) as err:
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\nzz 1\n.end\n")
+        assert err.value.line_number == 5
+
+
+class TestRoundtrip:
+    def test_motivational_roundtrip(self):
+        net = parse_blif(MOTIVATIONAL_BLIF)
+        again = parse_blif(to_blif(net))
+        assert equivalent_networks(net, again)
+
+    def test_random_roundtrip(self):
+        for seed in range(10):
+            net = random_network(seed + 600)
+            again = parse_blif(to_blif(net))
+            assert equivalent_networks(net, again), seed
+
+    def test_file_roundtrip(self, tmp_path):
+        net = random_network(610)
+        path = tmp_path / "net.blif"
+        write_blif(net, path)
+        again = read_blif(path)
+        assert again.name == net.name  # .model line wins over the filename
+        assert equivalent_networks(net, again)

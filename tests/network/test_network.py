@@ -1,0 +1,172 @@
+"""Unit tests for the BooleanNetwork data structure."""
+
+import pytest
+
+from repro.boolean.function import BooleanFunction
+from repro.errors import NetworkError
+from repro.network.network import BooleanNetwork, network_from_functions
+
+
+def simple_net():
+    net = BooleanNetwork("t")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("n1", BooleanFunction.parse("a b"))
+    net.add_node("n2", BooleanFunction.parse("n1 + a"))
+    net.add_output("n2")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+
+    def test_duplicate_node_rejected(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.add_node("n1", BooleanFunction.parse("a"))
+
+    def test_node_shadowing_input_rejected(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.add_node("a", BooleanFunction.parse("b"))
+
+    def test_input_shadowing_node_rejected(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.add_input("n1")
+
+    def test_self_loop_rejected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_node("x", BooleanFunction.parse("x + a"))
+
+    def test_duplicate_output_rejected(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.add_output("n2")
+
+    def test_fresh_names_are_unique(self):
+        net = simple_net()
+        names = {net.fresh_name() for _ in range(50)}
+        assert len(names) == 50
+        assert all(n not in net for n in names)
+
+    def test_network_from_functions(self):
+        net = network_from_functions(
+            "m", ["a", "b"], {"f": BooleanFunction.parse("a + b")}
+        )
+        assert net.outputs == ("f",)
+        assert net.evaluate({"a": 0, "b": 1}) == {"f": True}
+
+
+class TestTopology:
+    def test_fanins(self):
+        net = simple_net()
+        assert net.fanins("n1") == ("a", "b")
+        assert net.fanins("n2") == ("n1", "a")
+
+    def test_fanout_map(self):
+        net = simple_net()
+        fanouts = net.fanout_map()
+        assert fanouts["a"] == ["n1", "n2"]
+        assert fanouts["n1"] == ["n2"]
+        assert fanouts["n2"] == []
+
+    def test_topological_order_respects_edges(self):
+        net = simple_net()
+        order = net.topological_order()
+        assert order.index("n1") < order.index("n2")
+
+    def test_cycle_detected(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_node("p", BooleanFunction.parse("q"))
+        net.add_node("q", BooleanFunction.parse("p"))
+        with pytest.raises(NetworkError):
+            net.topological_order()
+
+    def test_undefined_fanin_detected(self):
+        net = BooleanNetwork()
+        net.add_node("n", BooleanFunction.parse("ghost"))
+        with pytest.raises(NetworkError):
+            net.check()
+
+    def test_levels_and_depth(self):
+        net = simple_net()
+        levels = net.levels()
+        assert levels["a"] == 0
+        assert levels["n1"] == 1
+        assert levels["n2"] == 2
+        assert net.depth() == 2
+
+    def test_transitive_fanin(self):
+        net = simple_net()
+        assert net.transitive_fanin("n2") == {"a", "b", "n1"}
+
+    def test_num_literals(self):
+        assert simple_net().num_literals() == 4
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        net = simple_net()
+        assert net.evaluate({"a": 1, "b": 0}) == {"n2": True}
+        assert net.evaluate({"a": 0, "b": 1}) == {"n2": False}
+
+    def test_missing_input_value(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.evaluate({"a": 1})
+
+    def test_evaluate_all_includes_internal(self):
+        values = simple_net().evaluate_all({"a": 1, "b": 1})
+        assert values["n1"] is True
+
+
+class TestMaintenance:
+    def test_copy_is_independent(self):
+        net = simple_net()
+        clone = net.copy()
+        clone.set_function("n1", BooleanFunction.parse("a + b"))
+        assert net.function("n1").to_expression() == "a b"
+
+    def test_cleanup_removes_dead_nodes(self):
+        net = simple_net()
+        net.add_node("dead", BooleanFunction.parse("a"))
+        removed = net.cleanup()
+        assert removed == 1
+        assert not net.has_node("dead")
+
+    def test_cleanup_keeps_live_cone(self):
+        net = simple_net()
+        net.cleanup()
+        assert net.has_node("n1")
+
+    def test_remove_node(self):
+        net = simple_net()
+        net.remove_node("n2")
+        assert not net.has_node("n2")
+        with pytest.raises(NetworkError):
+            net.remove_node("n2")
+
+    def test_set_function_unknown_node(self):
+        net = simple_net()
+        with pytest.raises(NetworkError):
+            net.set_function("ghost", BooleanFunction.parse("a"))
+
+    def test_check_passes_on_sane_network(self):
+        simple_net().check()
+
+    def test_output_alias_of_input_allowed(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_output("a")
+        net.check()
+
+    def test_repr(self):
+        assert "inputs=2" in repr(simple_net())

@@ -1,0 +1,85 @@
+"""Unit tests for the PLA reader/writer."""
+
+import pytest
+
+from repro.errors import PlaError
+from repro.io.pla import parse_pla, pla_to_network, read_pla, to_pla, write_pla
+
+SAMPLE = """\
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+11- 10
+--1 01
+1-1 11
+.e
+"""
+
+
+class TestParsing:
+    def test_dimensions_and_labels(self):
+        pla = parse_pla(SAMPLE)
+        assert pla.num_inputs == 3
+        assert pla.num_outputs == 2
+        assert pla.input_labels == ["a", "b", "c"]
+        assert pla.output_labels == ["f", "g"]
+
+    def test_on_sets(self):
+        pla = parse_pla(SAMPLE)
+        assert pla.on_sets[0].evaluate(0b011)  # ab
+        assert pla.on_sets[1].evaluate(0b100)  # c
+        assert not pla.on_sets[0].evaluate(0b100)
+
+    def test_default_labels(self):
+        pla = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert pla.input_labels == ["x0", "x1"]
+        assert pla.output_labels == ["z0"]
+
+    def test_dc_output_char(self):
+        pla = parse_pla(".i 1\n.o 1\n1 -\n.e\n")
+        assert pla.dc_sets[0].num_cubes == 1
+        assert pla.on_sets[0].is_zero()
+
+    def test_type_fr_accepted(self):
+        parse_pla(".i 1\n.o 1\n.type fr\n1 1\n.e\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 1\n.o 1\n.type nonsense\n1 1\n.e\n")
+
+    def test_term_before_header_rejected(self):
+        with pytest.raises(PlaError):
+            parse_pla("11 1\n.i 2\n.o 1\n.e\n")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n111 1\n.e\n")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(PlaError):
+            parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n")
+
+
+class TestNetworkConversion:
+    def test_two_level_network(self):
+        net = pla_to_network(parse_pla(SAMPLE), "sample")
+        assert net.outputs == ("f", "g")
+        assert net.evaluate({"a": 1, "b": 1, "c": 0}) == {"f": True, "g": False}
+        assert net.evaluate({"a": 1, "b": 0, "c": 1}) == {"f": True, "g": True}
+
+
+class TestRoundtrip:
+    def test_text_roundtrip(self):
+        pla = parse_pla(SAMPLE)
+        again = parse_pla(to_pla(pla))
+        for k in range(pla.num_outputs):
+            assert again.on_sets[k].equivalent(pla.on_sets[k])
+
+    def test_file_roundtrip(self, tmp_path):
+        pla = parse_pla(SAMPLE)
+        path = tmp_path / "f.pla"
+        write_pla(pla, path)
+        again = read_pla(path)
+        assert again.input_labels == pla.input_labels

@@ -1,0 +1,109 @@
+"""Hypothesis round-trip properties for the I/O formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.cover import Cover
+from repro.boolean.function import BooleanFunction
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+from repro.io.blif import parse_blif, to_blif
+from repro.io.thblif import parse_thblif, to_thblif
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import equivalent_networks
+
+
+@st.composite
+def small_boolean_networks(draw):
+    num_inputs = draw(st.integers(min_value=1, max_value=5))
+    net = BooleanNetwork("m")
+    inputs = [net.add_input(f"i{k}") for k in range(num_inputs)]
+    signals = list(inputs)
+    for j in range(draw(st.integers(min_value=1, max_value=5))):
+        k = draw(st.integers(min_value=1, max_value=min(3, len(signals))))
+        fanins = draw(
+            st.permutations(signals).map(lambda s: list(s)[:k])
+        )
+        rows = draw(
+            st.lists(
+                st.text(alphabet="01-", min_size=k, max_size=k),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        func = BooleanFunction(Cover.from_strings(rows), tuple(fanins))
+        signals.append(net.add_node(f"n{j}", func))
+    net.add_output(signals[-1])
+    if net.is_input(signals[-1]):
+        net.add_node("buf", BooleanFunction.parse(signals[-1]))
+        net._outputs = ["buf"]
+    net.check()
+    return net
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_boolean_networks())
+def test_blif_roundtrip_preserves_function(net):
+    again = parse_blif(to_blif(net))
+    assert equivalent_networks(net, again)
+
+
+@st.composite
+def small_threshold_networks(draw):
+    num_inputs = draw(st.integers(min_value=1, max_value=4))
+    net = ThresholdNetwork("t")
+    inputs = [net.add_input(f"i{k}") for k in range(num_inputs)]
+    signals = list(inputs)
+    for j in range(draw(st.integers(min_value=1, max_value=4))):
+        k = draw(st.integers(min_value=1, max_value=min(3, len(signals))))
+        fanins = tuple(draw(st.permutations(signals)))[:k]
+        weights = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=-3, max_value=3),
+                    min_size=k,
+                    max_size=k,
+                )
+            )
+        )
+        threshold = draw(st.integers(min_value=-2, max_value=5))
+        name = f"g{j}"
+        net.add_gate(
+            ThresholdGate(
+                name,
+                fanins,
+                WeightThresholdVector(weights, threshold),
+                draw(st.integers(min_value=0, max_value=2)),
+                draw(st.integers(min_value=0, max_value=2)),
+            )
+        )
+        signals.append(name)
+    net.add_output(signals[-1])
+    if net.is_input(signals[-1]):
+        return None
+    net.check()
+    return net
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_threshold_networks())
+def test_thblif_roundtrip_preserves_everything(net):
+    if net is None:
+        return
+    again = parse_thblif(to_thblif(net))
+    assert again.inputs == net.inputs
+    assert again.outputs == net.outputs
+    for gate in net.gates():
+        twin = again.gate(gate.name)
+        assert twin.vector == gate.vector
+        assert twin.inputs == gate.inputs
+        assert twin.delta_on == gate.delta_on
+        assert twin.delta_off == gate.delta_off
+    for p in range(1 << len(net.inputs)):
+        assignment = {
+            name: (p >> i) & 1 for i, name in enumerate(net.inputs)
+        }
+        assert net.evaluate(assignment) == again.evaluate(assignment)

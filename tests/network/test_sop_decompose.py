@@ -1,0 +1,71 @@
+"""Tests for the SOP (SIS-style) decomposition variant."""
+
+import pytest
+
+from repro.boolean.function import BooleanFunction
+from repro.errors import NetworkError
+from repro.network.network import BooleanNetwork
+from repro.network.simulate import equivalent_networks
+from repro.network.transform import decompose
+from tests.conftest import random_network
+
+
+def wide_node_net():
+    net = BooleanNetwork("wide")
+    for name in ("a", "b", "c", "d", "e", "g"):
+        net.add_input(name)
+    net.add_node(
+        "f", BooleanFunction.parse("a b + a c + d e + d g + b g")
+    )
+    net.add_output("f")
+    return net
+
+
+class TestSopStyle:
+    def test_unknown_style_rejected(self):
+        net = wide_node_net()
+        with pytest.raises(NetworkError):
+            decompose(net, style="magic")
+
+    def test_structure_is_and_or(self):
+        net = wide_node_net()
+        decompose(net, max_fanin=0, style="sop")
+        # Exactly: one AND gate per multi-literal cube + one OR root.
+        ands = [
+            n
+            for n in net.node_names
+            if net.function(n).num_cubes == 1
+            and net.function(n).num_literals > 1
+        ]
+        assert len(ands) == 5
+        assert equivalent_networks(wide_node_net(), net)
+
+    def test_fanin_sensitivity(self):
+        """SOP decomposition shrinks as the fanin bound is relaxed —
+        the property behind the Fig. 10 one-to-one curve."""
+        counts = {}
+        for fanin in (2, 4, 8):
+            net = wide_node_net()
+            decompose(net, max_fanin=fanin, style="sop")
+            counts[fanin] = net.num_nodes
+            assert equivalent_networks(wide_node_net(), net)
+        assert counts[2] > counts[8]
+
+    def test_equivalence_fuzz(self):
+        for seed in range(8):
+            net = random_network(seed + 2000)
+            out = net.copy()
+            decompose(out, max_fanin=3, style="sop", inverter_gates=True)
+            assert equivalent_networks(net, out), seed
+            for node in out.node_names:
+                assert len(out.fanins(node)) <= 3
+
+    def test_constant_nodes_survive(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        net.add_node("k", BooleanFunction.constant(True))
+        net.add_node("z", BooleanFunction.constant(False))
+        net.add_output("k")
+        net.add_output("z")
+        decompose(net, style="sop")
+        assert net.evaluate({"a": 0}) == {"k": True, "z": False}

@@ -1,0 +1,79 @@
+"""Unit tests for the BLIF-TH threshold-network format."""
+
+import pytest
+
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+from repro.errors import BlifError
+from repro.io.thblif import parse_thblif, read_thblif, to_thblif, write_thblif
+
+
+def sample_network():
+    net = ThresholdNetwork("s")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate(
+        ThresholdGate("g", ("a", "b"), WeightThresholdVector((2, -1), 1), 1, 1)
+    )
+    net.add_gate(
+        ThresholdGate("f", ("g", "a"), WeightThresholdVector((1, 1), 2))
+    )
+    net.add_output("f")
+    return net
+
+
+class TestRoundtrip:
+    def test_text_roundtrip(self):
+        net = sample_network()
+        again = parse_thblif(to_thblif(net))
+        assert again.inputs == net.inputs
+        assert again.outputs == net.outputs
+        assert again.num_gates == net.num_gates
+        g = again.gate("g")
+        assert g.vector == WeightThresholdVector((2, -1), 1)
+        assert g.delta_on == 1 and g.delta_off == 1
+
+    def test_behavior_preserved(self):
+        net = sample_network()
+        again = parse_thblif(to_thblif(net))
+        for p in range(4):
+            assignment = {"a": p & 1, "b": (p >> 1) & 1}
+            assert net.evaluate(assignment) == again.evaluate(assignment)
+
+    def test_file_roundtrip(self, tmp_path):
+        net = sample_network()
+        path = tmp_path / "net.th"
+        write_thblif(net, path)
+        again = read_thblif(path)
+        assert again.num_gates == 2
+
+
+class TestErrors:
+    def test_vector_outside_gate(self):
+        with pytest.raises(BlifError):
+            parse_thblif(".model m\n.inputs a\n.vector 1 1\n.end\n")
+
+    def test_gate_without_vector(self):
+        with pytest.raises(BlifError):
+            parse_thblif(
+                ".model m\n.inputs a\n.outputs f\n.thgate a f\n.end\n"
+            )
+
+    def test_wrong_vector_arity(self):
+        with pytest.raises(BlifError):
+            parse_thblif(
+                ".model m\n.inputs a\n.outputs f\n.thgate a f\n.vector 1 1 1\n.end\n"
+            )
+
+    def test_non_integer_weight(self):
+        with pytest.raises(BlifError):
+            parse_thblif(
+                ".model m\n.inputs a\n.outputs f\n.thgate a f\n.vector x 1\n.end\n"
+            )
+
+    def test_unknown_directive(self):
+        with pytest.raises(BlifError):
+            parse_thblif(".model m\n.bogus\n.end\n")

@@ -1,0 +1,76 @@
+"""Tests for the Verilog exporters (textual; no simulator available)."""
+
+import re
+
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.io.verilog import (
+    boolean_to_verilog,
+    threshold_to_verilog,
+    write_verilog,
+)
+from tests.conftest import random_network
+
+
+class TestThresholdVerilog:
+    def test_structure(self):
+        net = random_network(1600)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        text = threshold_to_verilog(th)
+        assert text.count("endmodule") >= 2  # primitives + top
+        assert f"module {th.name}" in text.replace("[", "_").replace("]", "_") or "module" in text
+        # One instantiation per gate.
+        assert text.count(" ltg") - text.count("module ltg") == th.num_gates
+
+    def test_parameters_carry_weights(self):
+        net = random_network(1601)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        text = threshold_to_verilog(th)
+        gate = next(iter(th.gates()))
+        assert f".T({gate.threshold})" in text
+
+    def test_identifiers_are_legal(self):
+        net = random_network(1602)
+        th = synthesize(net, SynthesisOptions(psi=3))  # names like [t0]
+        text = threshold_to_verilog(th)
+        assert "[t" not in text  # escaped
+
+    def test_po_aliasing_pi(self):
+        from repro.network.network import BooleanNetwork
+
+        src = BooleanNetwork("alias")
+        src.add_input("a")
+        src.add_output("a")
+        th = synthesize(src, SynthesisOptions())
+        text = threshold_to_verilog(th)
+        assert "a_po" in text
+
+    def test_write_to_file(self, tmp_path):
+        net = random_network(1603)
+        th = synthesize(net, SynthesisOptions(psi=3))
+        path = tmp_path / "net.v"
+        write_verilog(th, path)
+        assert path.read_text().startswith("//")
+
+
+class TestBooleanVerilog:
+    def test_assign_style(self):
+        net = random_network(1610)
+        text = boolean_to_verilog(net)
+        assert text.count("assign") == net.num_nodes
+        assert "module" in text
+
+    def test_write_dispatch(self, tmp_path):
+        net = random_network(1611)
+        path = tmp_path / "bool.v"
+        write_verilog(net, path)
+        assert "assign" in path.read_text()
+
+    def test_every_wire_declared_or_port(self):
+        net = random_network(1612)
+        text = boolean_to_verilog(net)
+        body = text[text.index(");") :]
+        assigned = set(re.findall(r"assign (\w+)", text))
+        declared = set(re.findall(r"wire (\w+)", text))
+        ports = set(re.findall(r"(?:input|output) (\w+)", text))
+        assert assigned <= declared | ports
+        del body

@@ -1,0 +1,42 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_path(self):
+        """The README quickstart, as a test."""
+        blif = (
+            ".model demo\n.inputs a b c\n.outputs f\n"
+            ".names a b c f\n11- 1\n1-1 1\n-11 1\n.end\n"
+        )
+        network = repro.parse_blif(blif)
+        prepared = repro.prepare_tels(network)
+        threshold_net = repro.synthesize(
+            prepared, repro.SynthesisOptions(psi=3)
+        )
+        assert repro.verify_threshold_network(network, threshold_net)
+        # Majority of three: a single gate <1,1,1;2>.
+        stats = repro.network_stats(threshold_net)
+        assert stats.gates == 1
+
+    def test_errors_hierarchy(self):
+        assert issubclass(repro.BlifError, repro.ReproError)
+        assert issubclass(repro.SynthesisError, repro.ReproError)
+        assert issubclass(repro.IlpError, repro.ReproError)
+        assert issubclass(repro.CoverError, repro.ReproError)
+        assert issubclass(repro.NetworkError, repro.ReproError)
+        assert issubclass(repro.PlaError, repro.ReproError)
+
+    def test_is_threshold_function_facade(self):
+        f = repro.BooleanFunction.parse("a b + a c")
+        vector = repro.is_threshold_function(f)
+        assert vector is not None
+        assert vector.area >= 4

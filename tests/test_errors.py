@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BlifError,
+    CoverError,
+    IlpError,
+    NetworkError,
+    PlaError,
+    ReproError,
+    SynthesisError,
+    UnboundedError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [BlifError, CoverError, IlpError, NetworkError, PlaError, SynthesisError],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_unbounded_is_ilp_error(self):
+        assert issubclass(UnboundedError, IlpError)
+
+    def test_blif_error_line_numbers(self):
+        err = BlifError("bad row", line_number=17)
+        assert "line 17" in str(err)
+        assert err.line_number == 17
+
+    def test_blif_error_without_line(self):
+        err = BlifError("bad row")
+        assert str(err) == "bad row"
+        assert err.line_number is None
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise SynthesisError("nope")
