@@ -1,0 +1,116 @@
+"""Bench smoke for CI: time the engine on a Table-I subset.
+
+Writes ``BENCH_synth.json`` with per-benchmark wall time, gate count, and
+the store cache-hit rates for both a cold run and a warm re-run against the
+same shared store — the number CI tracks to catch regressions in the
+shared-result-store reuse.
+
+Run as a module::
+
+    python -m benchmarks.synth_bench [-o BENCH_synth.json] [--jobs N]
+
+(or ``python benchmarks/synth_bench.py`` with ``src`` on ``PYTHONPATH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Small, fast Table-I subset — CI smoke, not the full suite.
+DEFAULT_BENCHMARKS = ("cm152a", "cm85a", "cmb", "comp")
+
+
+def run_bench(
+    names: tuple[str, ...] = DEFAULT_BENCHMARKS,
+    psi: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+) -> dict:
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.core.area import network_stats
+    from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+    from repro.core.verify import verify_threshold_network
+    from repro.engine.store import ResultStore
+    from repro.network.scripts import prepare_tels
+
+    store = ResultStore()
+    options = SynthesisOptions(psi=psi, seed=seed)
+    rows = []
+    for name in names:
+        source = build_extended_benchmark(name)
+        prepared = prepare_tels(source)
+        before = store.stats.snapshot()
+        start = time.perf_counter()
+        network, report = synthesize_with_report(
+            prepared, options, jobs=jobs, store=store
+        )
+        wall = time.perf_counter() - start
+        if not verify_threshold_network(source, network, vectors=256):
+            raise SystemExit(f"bench verification failed on {name!r}")
+        stats = network_stats(network)
+        check = report.checker.stats
+        spent = store.stats.since(before)
+        rows.append(
+            {
+                "benchmark": name,
+                "gates": stats.gates,
+                "levels": stats.levels,
+                "area": stats.area,
+                "wall_s": round(wall, 4),
+                "checker_calls": check.calls,
+                "checker_cache_hit_rate": round(check.cache_hit_rate, 4),
+                "store_analysis_hit_rate": round(
+                    spent.analysis_hit_rate, 4
+                ),
+            }
+        )
+
+    # Warm re-run over the same store: near-total reuse is the invariant.
+    warm_before = store.stats.snapshot()
+    start = time.perf_counter()
+    for name in names:
+        prepared = prepare_tels(build_extended_benchmark(name))
+        synthesize_with_report(prepared, options, jobs=jobs, store=store)
+    warm_wall = time.perf_counter() - start
+    warm = store.stats.since(warm_before)
+
+    return {
+        "psi": psi,
+        "seed": seed,
+        "jobs": jobs,
+        "benchmarks": rows,
+        "cold_wall_s": round(sum(r["wall_s"] for r in rows), 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "warm_vector_hit_rate": round(warm.vector_hit_rate, 4),
+        "warm_analysis_hit_rate": round(warm.analysis_hit_rate, 4),
+        "store_entries": len(store),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_synth.json")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=list(DEFAULT_BENCHMARKS)
+    )
+    args = parser.parse_args(argv)
+    result = run_bench(tuple(args.benchmarks), jobs=args.jobs)
+    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    # A vector-tier hit short-circuits the whole check, so the warm run's
+    # analysis tier sees no traffic at all; the reuse invariant is that the
+    # vector tier answers every warm lookup.
+    if result["warm_vector_hit_rate"] < 1.0:
+        print("FAIL: warm re-run did not fully reuse the result store")
+        return 1
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,11 @@ class Cover:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Cover is immutable")
 
+    def __reduce__(self):
+        # Slotted immutables can't use default pickling (it restores via
+        # setattr); rebuild through the constructor instead.
+        return (Cover, (self.cubes, self.nvars))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -46,6 +46,11 @@ class Cube:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Cube is immutable")
 
+    def __reduce__(self):
+        # Slotted immutables can't use default pickling (it restores via
+        # setattr); rebuild through the constructor instead.
+        return (Cube, (self.pos, self.neg, self.nvars))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

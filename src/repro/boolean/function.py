@@ -37,6 +37,11 @@ class BooleanFunction:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("BooleanFunction is immutable")
 
+    def __reduce__(self):
+        # Slotted immutables can't use default pickling (it restores via
+        # setattr); rebuild through the constructor instead.
+        return (type(self), (self.cover, self.variables))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ Extras for the reproduction:
 * ``tels bench NAME``       — emit a benchmark stand-in as BLIF;
 * ``tels table1`` / ``fig10`` / ``fig11`` / ``fig12`` — regenerate the
   paper's experiments;
+* ``tels sweep``            — delta_on sweep sharing one engine result store;
 * ``tels enumerate N``      — the Section VI-B function counts.
 """
 
@@ -45,6 +46,12 @@ def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
         choices=("auto", "exact", "scipy"),
         help="ILP backend",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="cone-synthesis worker processes (0 = all cores)",
+    )
 
 
 def _options(args: argparse.Namespace) -> SynthesisOptions:
@@ -55,6 +62,10 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         seed=args.seed,
         backend=args.backend,
     )
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    return getattr(args, "jobs", 1)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -72,7 +83,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_synth(args: argparse.Namespace) -> int:
     network = read_blif(args.file)
     prepared = prepare_tels(network)
-    threshold_net, report = synthesize_with_report(prepared, _options(args))
+    threshold_net, report = synthesize_with_report(
+        prepared, _options(args), jobs=_jobs(args)
+    )
     ok = verify_threshold_network(network, threshold_net)
     stats = network_stats(threshold_net)
     print(f"TELS: {stats} verified={ok}")
@@ -81,6 +94,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
         f"{report.binate_splits} unate_splits={report.unate_splits} "
         f"theorem2={report.theorem2_applications}"
     )
+    check = report.checker.stats if report.checker else None
+    if check is not None:
+        print(
+            f"checks: {check.calls} calls, {check.cache_hits} cache hits "
+            f"({100.0 * check.cache_hit_rate:.1f}%), "
+            f"{check.ilp_solved} ILPs ({check.ilp_feasible} feasible), "
+            f"constraints {check.constraints_emitted} "
+            f"(vs {check.constraints_without_elimination} unrestricted)"
+        )
+    if report.trace is not None:
+        print(report.trace.format_summary())
     if args.output:
         write_thblif(threshold_net, args.output)
         print(f"wrote {args.output}")
@@ -168,8 +192,23 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from repro.experiments.extended_suite import format_suite, run_suite
 
     names = [n for n in all_benchmark_names() if args.full or n != "i10"]
-    summary = run_suite(names, psi=args.psi, seed=args.seed)
+    summary = run_suite(names, psi=args.psi, seed=args.seed, jobs=args.jobs)
     print(format_suite(summary))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import format_sweep, run_delta_sweep
+
+    points = run_delta_sweep(
+        args.benchmarks,
+        delta_ons=tuple(args.deltas),
+        delta_off=args.delta_off,
+        psi=args.psi,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(format_sweep(points))
     return 0
 
 
@@ -299,7 +338,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="include i10")
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="benchmark worker processes (0 = all cores)",
+    )
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "sweep",
+        help="delta_on sweep over a shared result store (Section VI-C)",
+    )
+    p.add_argument(
+        "--benchmarks", nargs="*", default=["cm152a", "cm85a", "cmb"]
+    )
+    p.add_argument(
+        "--deltas",
+        nargs="*",
+        type=int,
+        default=[0, 1, 2, 3],
+        help="delta_on values to sweep",
+    )
+    p.add_argument("--delta-off", type=int, default=1)
+    p.add_argument("--psi", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table1", help="regenerate Table I")
     p.add_argument("--benchmarks", nargs="*", help="subset of benchmarks")

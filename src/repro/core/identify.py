@@ -15,13 +15,18 @@ Given a unate SOP, the checker:
 
 Don't-care positions generate no inequalities — this is the paper's
 "redundant constraint elimination" (each dropped constraint is dominated by
-the cube's own constraint).  Results are memoized on the canonical cover so
-structurally repeated nodes — ubiquitous during synthesis — are free.
+the cube's own constraint).  Results are memoized on the canonical cover in
+a two-tier :class:`~repro.engine.store.ResultStore` so structurally repeated
+nodes — ubiquitous during synthesis — are free, and so the delta-independent
+preprocessing (minimization, positive-unate rewrite, complement) survives
+across δ-sweep points that must re-solve the ILP.  A store may be injected
+to share those results across checkers, tasks, and whole experiment sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
@@ -31,6 +36,9 @@ from repro.core.threshold import WeightThresholdVector
 from repro.errors import CoverError
 from repro.ilp.model import IlpProblem
 from repro.ilp.solve import solve_ilp
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep core below engine
+    from repro.engine.store import ResultStore
 
 
 @dataclass
@@ -43,6 +51,23 @@ class CheckStats:
     ilp_feasible: int = 0
     constraints_emitted: int = 0
     constraints_without_elimination: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.calls if self.calls else 0.0
+
+    def snapshot(self) -> "CheckStats":
+        """An independent copy (for before/after deltas in the engine)."""
+        return CheckStats(
+            calls=self.calls,
+            cache_hits=self.cache_hits,
+            ilp_solved=self.ilp_solved,
+            ilp_feasible=self.ilp_feasible,
+            constraints_emitted=self.constraints_emitted,
+            constraints_without_elimination=(
+                self.constraints_without_elimination
+            ),
+        )
 
 
 @dataclass
@@ -61,6 +86,9 @@ class ThresholdChecker:
             realize weights as device areas, so practical weight ranges are
             small); functions needing a larger weight are declared
             non-threshold and split instead.
+        store: the shared :class:`~repro.engine.store.ResultStore` backing
+            the memo; inject one to share results across checkers, parallel
+            tasks, and sweep points.  A private store is created on demand.
     """
 
     delta_on: int = 0
@@ -69,9 +97,14 @@ class ThresholdChecker:
     minimize_cover: bool = True
     max_weight: int | None = None
     stats: CheckStats = field(default_factory=CheckStats)
-    _cache: dict[tuple, WeightThresholdVector | None] = field(
-        default_factory=dict, repr=False
-    )
+    store: "ResultStore | None" = field(default=None, repr=False)
+
+    def _ensure_store(self) -> "ResultStore":
+        if self.store is None:
+            from repro.engine.store import ResultStore
+
+            self.store = ResultStore()
+        return self.store
 
     def check_function(
         self, function: BooleanFunction
@@ -91,39 +124,56 @@ class ThresholdChecker:
         cover's variables; absent variables get weight 0.
         """
         self.stats.calls += 1
+        store = self._ensure_store()
         cover = cover.scc()
-        key = (
-            cover.canonical_key(),
-            self.delta_on,
-            self.delta_off,
-            self.max_weight,
-        )
-        if key in self._cache:
+        canonical = cover.canonical_key()
+        key = (canonical, self.delta_on, self.delta_off, self.max_weight)
+        found = store.get_vector(key)
+        if not store.is_miss(found):
             self.stats.cache_hits += 1
-            return self._cache[key]
-        result = self._check_uncached(cover)
-        self._cache[key] = result
+            return found
+        result = self._check_uncached(cover, canonical)
+        store.put_vector(key, result)
         return result
 
-    def _check_uncached(self, cover: Cover) -> WeightThresholdVector | None:
+    def _analysis(self, cover: Cover, canonical: tuple):
+        """Delta-independent preprocessing, via the store's analysis tier."""
+        from repro.engine.store import CoverAnalysis
+
+        store = self._ensure_store()
+        key = (canonical, self.minimize_cover)
+        found = store.get_analysis(key)
+        if not store.is_miss(found):
+            return found
+        if self.minimize_cover and cover.nvars <= 12:
+            cover = minimize(cover)
+        analysis: CoverAnalysis | None = None
+        if syntactic_unateness(cover).is_unate:
+            positive, flipped = to_positive_unate(cover)
+            off_cubes = minimize(positive.complement())
+            if not any(c.pos for c in off_cubes.cubes):
+                analysis = CoverAnalysis(positive, tuple(flipped), off_cubes)
+            # else: the complement of a positive-unate function is
+            # negative-unate; a positive literal here means the cover was
+            # only syntactically unate, not semantically, so it cannot be a
+            # threshold function under any tolerance setting.
+        store.put_analysis(key, analysis)
+        return analysis
+
+    def _check_uncached(
+        self, cover: Cover, canonical: tuple
+    ) -> WeightThresholdVector | None:
         nvars = cover.nvars
         # Constants: vacuous threshold gates.
         if cover.is_zero():
             return WeightThresholdVector((0,) * nvars, self.delta_on + 1)
         if cover.is_tautology():
             return WeightThresholdVector((0,) * nvars, -self.delta_on if self.delta_on else 0)
-        if self.minimize_cover and nvars <= 12:
-            cover = minimize(cover)
-        report = syntactic_unateness(cover)
-        if not report.is_unate:
+        analysis = self._analysis(cover, canonical)
+        if analysis is None:
             return None
-        positive, flipped = to_positive_unate(cover)
-        off_cubes = minimize(positive.complement())
-        if any(c.pos for c in off_cubes.cubes):
-            # The complement of a positive-unate function is negative-unate;
-            # a positive literal here means the cover was only syntactically
-            # unate, not semantically, so it cannot be a threshold function.
-            return None
+        positive, flipped = analysis.positive, analysis.flipped
+        off_cubes = analysis.off_cubes
         problem, support = self._formulate(positive, off_cubes)
         self.stats.ilp_solved += 1
         result = solve_ilp(problem, backend=self.backend)
@@ -201,7 +251,7 @@ class ThresholdChecker:
         return problem
 
     def cache_size(self) -> int:
-        return len(self._cache)
+        return self._ensure_store().num_vectors
 
 
 def is_threshold_function(

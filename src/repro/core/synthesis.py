@@ -1,4 +1,4 @@
-"""The TELS recursive threshold-network synthesis flow (Fig. 3).
+"""The TELS threshold-network synthesis flow (Fig. 3) — façade.
 
 The input is an algebraically-factored multi-output Boolean network; the
 output is a functionally equivalent :class:`ThresholdNetwork` in which every
@@ -18,29 +18,27 @@ per node (starting from the primary outputs):
 Fanout nodes of the input network (and primary outputs) are *preserved*:
 collapsing stops at them, so logic sharing survives into the threshold
 network (Section V-A).
+
+Since the engine refactor this module is a thin compatibility façade: the
+recursion lives in :mod:`repro.engine` as per-cone tasks driven by a
+work-queue scheduler (:func:`repro.engine.scheduler.run_synthesis`), which
+is what adds ``jobs`` (process-pool parallelism across cones) and ``store``
+(a shared result cache across runs and sweeps) to the signatures below.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.boolean.cover import Cover
-from repro.boolean.cube import Cube
-from repro.boolean.function import BooleanFunction
-from repro.boolean.unate import syntactic_unateness
-from repro.core.collapse import collapse_node
 from repro.core.identify import ThresholdChecker
-from repro.core.splitting import split_binate, split_k_way
-from repro.core.theorems import theorem2_extend
-from repro.core.threshold import (
-    ThresholdGate,
-    ThresholdNetwork,
-    WeightThresholdVector,
-    make_or_vector,
-)
+from repro.core.threshold import ThresholdNetwork
 from repro.errors import SynthesisError
 from repro.network.network import BooleanNetwork
+
+if TYPE_CHECKING:
+    from repro.engine.events import EngineTrace
+    from repro.engine.store import ResultStore
 
 
 @dataclass
@@ -52,7 +50,9 @@ class SynthesisOptions:
         delta_on / delta_off: defect tolerances in Eq. (1); the paper's
             experiments use ``delta_on`` in 0..3 and ``delta_off`` = 1.
         backend: ILP backend (``auto`` / ``exact`` / ``scipy``).
-        seed: RNG seed for the random tie-breaks of splitting rule 4.
+        seed: RNG seed for the random tie-breaks of splitting rule 4.  Each
+            cone task derives its own ``random.Random("{seed}:{task_id}")``
+            stream, so results are reproducible under parallel execution.
         apply_theorem2: enable the Theorem-2 combining step (ablation knob).
         preserve_sharing: treat fanout nodes as collapse barriers (ablation
             knob; the paper argues this preserves network structure).
@@ -87,7 +87,12 @@ class SynthesisOptions:
 
 @dataclass
 class SynthesisReport:
-    """Bookkeeping of one synthesis run."""
+    """Bookkeeping of one synthesis run.
+
+    ``trace`` carries the engine's per-task instrumentation (collapse /
+    check / split timings, cache activity) when the run came through the
+    pass-based engine — always, since the façade delegates to it.
+    """
 
     nodes_processed: int = 0
     gates_emitted: int = 0
@@ -97,393 +102,39 @@ class SynthesisReport:
     theorem2_applications: int = 0
     and_factor_splits: int = 0
     checker: ThresholdChecker | None = None
-
-
-class _Synthesizer:
-    """One synthesis run: mutable working state bundled together."""
-
-    def __init__(self, network: BooleanNetwork, options: SynthesisOptions):
-        self.options = options
-        self.work = network.copy(network.name)
-        self.rng = random.Random(options.seed)
-        self.checker = ThresholdChecker(
-            delta_on=options.delta_on,
-            delta_off=options.delta_off,
-            backend=options.backend,
-            max_weight=options.max_weight,
-        )
-        self.result = ThresholdNetwork(network.name + "_th")
-        self.report = SynthesisReport(checker=self.checker)
-        self.preserved = self._preserved_set()
-        self.pending: list[str] = []
-        self.done: set[str] = set()
-        from repro.core.strategies import make_splitter
-
-        self.splitter = make_splitter(
-            options.splitting_strategy, self.checker, options.psi
-        )
-
-    def _preserved_set(self) -> frozenset[str]:
-        preserved: set[str] = set(
-            o for o in self.work.outputs if self.work.has_node(o)
-        )
-        if self.options.preserve_sharing:
-            for signal, readers in self.work.fanout_map().items():
-                if self.work.has_node(signal):
-                    uses = len(readers) + (1 if self.work.is_output(signal) else 0)
-                    if uses >= 2:
-                        preserved.add(signal)
-        return frozenset(preserved)
-
-    # ------------------------------------------------------------------
-    def run(self) -> ThresholdNetwork:
-        for pi in self.work.inputs:
-            self.result.add_input(pi)
-        for out in self.work.outputs:
-            self.result.add_output(out)
-            if self.work.has_node(out):
-                self.pending.append(out)
-        budget = 1000 * (self.work.num_nodes + 10)
-        while self.pending:
-            name = self.pending.pop()
-            if name in self.done or self.work.is_input(name):
-                continue
-            self.done.add(name)
-            if self.report.nodes_processed > budget:
-                raise SynthesisError(
-                    "synthesis is not converging (split/collapse loop?)"
-                )
-            self.report.nodes_processed += 1
-            function = collapse_node(
-                self.work,
-                name,
-                self.options.psi,
-                self.preserved - {name},
-                max_cubes=self.options.max_collapse_cubes,
-            )
-            self._process(name, function)
-        self.result.cleanup()
-        self.result.check()
-        return self.result
-
-    # ------------------------------------------------------------------
-    def _process(self, name: str, function: BooleanFunction) -> None:
-        function = function.trimmed()
-        if function.nvars == 0:
-            self._emit_constant(name, not function.cover.is_zero())
-            return
-        if not syntactic_unateness(function.cover).is_unate:
-            self._process_binate(name, function)
-            return
-        if function.nvars <= self.options.psi:
-            vector = self.checker.check_function(function)
-            if vector is not None:
-                self._emit(name, function.variables, vector)
-                return
-        self._process_unate_nonthreshold(name, function)
-
-    def _process_binate(self, name: str, function: BooleanFunction) -> None:
-        self.report.binate_splits += 1
-        parts = split_binate(function, self.options.psi, self.rng)
-        if len(parts) < 2:
-            raise SynthesisError(
-                f"binate split of {name!r} produced {len(parts)} part(s)"
-            )
-        self._emit_or_of_parts(name, parts)
-
-    def _emit_or_of_parts(
-        self, name: str, parts: list[BooleanFunction]
-    ) -> None:
-        """Emit ``name = part_1 OR ... OR part_k``.
-
-        When the largest part is itself a threshold function and the fanin
-        budget allows, Theorem 2 folds it into the root gate directly (the
-        remaining parts enter through weight ``T_pos + delta_on`` inputs),
-        saving one gate per split — an XNOR costs two gates instead of
-        three.  Otherwise the root is a plain ``<1,...,1;1>`` OR.
-        """
-        if self.options.apply_theorem2:
-            largest = max(range(len(parts)), key=lambda i: parts[i].num_cubes)
-            main = parts[largest]
-            rest = [p for i, p in enumerate(parts) if i != largest]
-            if main.nvars + len(rest) <= self.options.psi and rest:
-                vector = self.checker.check_function(main)
-                if vector is not None and self._theorem2_weight_ok(vector):
-                    children = [self._new_node(p) for p in rest]
-                    if len(set(children) | set(main.variables)) == len(
-                        children
-                    ) + main.nvars:
-                        extended = theorem2_extend(
-                            vector, len(children), self.options.delta_on
-                        )
-                        self._emit(
-                            name,
-                            tuple(main.variables) + tuple(children),
-                            extended,
-                        )
-                        self.report.theorem2_applications += 1
-                        return
-                    # A child collapsed onto a signal the main part already
-                    # reads; fall through to the plain OR root below, giving
-                    # the children their own nodes.
-        children = [self._new_node(part) for part in parts]
-        if len(set(children)) != len(children):
-            # Two parts reduced to the same signal; deduplicate.
-            children = list(dict.fromkeys(children))
-            if len(children) == 1:
-                # The OR collapsed to a single signal: emit a buffer.
-                vector = WeightThresholdVector((1,), 1)
-                self._emit(name, (children[0],), vector)
-                return
-        self._emit(
-            name,
-            tuple(children),
-            make_or_vector(
-                len(children), self.options.delta_on, self.options.delta_off
-            ),
-        )
-
-    def _process_unate_nonthreshold(
-        self, name: str, function: BooleanFunction
-    ) -> None:
-        if function.num_cubes < 2:
-            if function.nvars > self.options.psi:
-                # One wide cube: break the AND into a tree of psi-input ANDs.
-                self._split_large_cube(name, function)
-                return
-            # A single unate cube within the fanin bound is always a
-            # threshold function, so reaching here means extreme defect
-            # tolerances made even an AND infeasible; splitting cannot help.
-            raise SynthesisError(
-                f"single-cube node {name!r} has no threshold realization "
-                f"under delta_on={self.options.delta_on}, "
-                f"delta_off={self.options.delta_off}"
-            )
-        self.report.unate_splits += 1
-        split = self.splitter(function, self.rng)
-        if not self.options.split_on_most_frequent and split.mode == "or":
-            split = self._random_or_split(function)
-        if split.mode == "and":
-            self._emit_and_root(name, split.parts)
-            return
-        larger = split.parts[split.larger_index]
-        smaller = split.parts[1 - split.larger_index]
-        if self.options.apply_theorem2 and larger.nvars + 1 <= self.options.psi:
-            vector = self.checker.check_function(larger)
-            if vector is not None and self._theorem2_weight_ok(vector):
-                child = self._new_node(smaller)
-                if child not in larger.variables:
-                    extended = theorem2_extend(
-                        vector, 1, self.options.delta_on
-                    )
-                    self._emit(
-                        name, tuple(larger.variables) + (child,), extended
-                    )
-                    self.report.theorem2_applications += 1
-                    return
-        k = min(self.options.psi, function.num_cubes)
-        parts = split_k_way(function, k)
-        if len(parts) < 2:
-            raise SynthesisError(f"k-way split of {name!r} failed")
-        self.report.kway_splits += 1
-        self._emit_or_of_parts(name, parts)
-
-    def _split_large_cube(self, name: str, function: BooleanFunction) -> None:
-        """Emit a wide AND cube as a tree of at-most-ψ-input AND gates."""
-        cube = function.cover.cubes[0]
-        literals = [(function.variables[v], ph) for v, ph in cube.literals()]
-        psi = self.options.psi
-        groups = [literals[i : i + psi] for i in range(0, len(literals), psi)]
-        children: list[str] = []
-        for group in groups:
-            if len(group) == 1 and group[0][1]:
-                children.append(group[0][0])
-                if self.work.has_node(group[0][0]):
-                    self.pending.append(group[0][0])
-                continue
-            names = [n for n, _ in group]
-            child_func = BooleanFunction(
-                Cover(
-                    (
-                        Cube.from_literals(
-                            {i: ph for i, (_, ph) in enumerate(group)},
-                            len(group),
-                        ),
-                    ),
-                    len(group),
-                ),
-                names,
-            )
-            children.append(self._new_node(child_func))
-        if len(children) > psi:
-            # Too many chunks for one root: AND the children hierarchically.
-            and_vars = tuple(children)
-            child_func = BooleanFunction(
-                Cover(
-                    (
-                        Cube.from_literals(
-                            {i: True for i in range(len(and_vars))},
-                            len(and_vars),
-                        ),
-                    ),
-                    len(and_vars),
-                ),
-                and_vars,
-            )
-            self._split_large_cube(name, child_func)
-            return
-        root_func = BooleanFunction(
-            Cover(
-                (
-                    Cube.from_literals(
-                        {i: True for i in range(len(children))}, len(children)
-                    ),
-                ),
-                len(children),
-            ),
-            tuple(children),
-        )
-        vector = self.checker.check_function(root_func)
-        if vector is None:
-            raise SynthesisError(f"AND tree root of {name!r} not threshold")
-        self._emit(name, tuple(children), vector)
-
-    def _theorem2_weight_ok(self, vector: WeightThresholdVector) -> bool:
-        """Check the Theorem-2 extension weight against the weight bound."""
-        if self.options.max_weight is None:
-            return True
-        new_weight = max(
-            vector.to_positive_threshold() + self.options.delta_on, 0
-        )
-        return new_weight <= self.options.max_weight
-
-    def _random_or_split(self, function: BooleanFunction):
-        """Ablation variant of rule 3: split on a random present variable."""
-        from repro.core.splitting import UnateSplit
-
-        cover = function.cover.scc()
-        present = cover.support_vars()
-        self.rng.shuffle(present)
-        for var in present:
-            bit = 1 << var
-            with_var = [c for c in cover.cubes if (c.pos | c.neg) & bit]
-            without = [c for c in cover.cubes if not ((c.pos | c.neg) & bit)]
-            if with_var and without:
-                part_a = BooleanFunction(
-                    Cover(with_var, cover.nvars), function.variables
-                ).trimmed()
-                part_b = BooleanFunction(
-                    Cover(without, cover.nvars), function.variables
-                ).trimmed()
-                return UnateSplit("or", (part_a, part_b))
-        half = (cover.num_cubes + 1) // 2
-        part_a = BooleanFunction(
-            Cover(cover.cubes[:half], cover.nvars), function.variables
-        ).trimmed()
-        part_b = BooleanFunction(
-            Cover(cover.cubes[half:], cover.nvars), function.variables
-        ).trimmed()
-        return UnateSplit("or", (part_a, part_b))
-
-    def _emit_and_root(
-        self, name: str, parts: tuple[BooleanFunction, BooleanFunction]
-    ) -> None:
-        """Emit ``name = common-cube AND quotient`` (Fig. 7 rule 2)."""
-        self.report.and_factor_splits += 1
-        cube_part, quotient = parts
-        if cube_part.num_cubes != 1:
-            cube_part, quotient = quotient, cube_part
-        child = self._new_node(quotient)
-        # Root = AND of the common-cube literals and the quotient node.
-        literal_names = list(cube_part.variables)
-        variables = tuple(literal_names) + (child,)
-        cube = cube_part.cover.cubes[0]
-        lits = {var: phase for var, phase in cube.literals()}
-        lits[len(literal_names)] = True
-        root = BooleanFunction(
-            Cover(
-                (Cube.from_literals(lits, len(variables)),), len(variables)
-            ),
-            variables,
-        )
-        if root.nvars > self.options.psi:
-            # The common cube alone exceeds psi: build an AND tree instead.
-            self._split_large_cube(name, root)
-            return
-        vector = self.checker.check_function(root)
-        if vector is None:
-            raise SynthesisError(
-                f"AND root of {name!r} unexpectedly not threshold"
-            )
-        self._emit(name, variables, vector)
-
-    # ------------------------------------------------------------------
-    def _new_node(self, function: BooleanFunction) -> str:
-        """Install a split part as a fresh work node and queue it."""
-        if function.nvars == 1 and function.num_cubes == 1:
-            cube = function.cover.cubes[0]
-            if cube.num_literals == 1 and cube.pos:
-                # A bare positive literal needs no gate: reference the signal.
-                signal = function.variables[0]
-                if self.work.has_node(signal):
-                    self.pending.append(signal)
-                return signal
-        name = self.work.fresh_name("t")
-        self.work.add_node(name, function)
-        self.pending.append(name)
-        return name
-
-    def _emit_constant(self, name: str, value: bool) -> None:
-        threshold = 0 if value else 1 + self.options.delta_on
-        gate = ThresholdGate(
-            name,
-            (),
-            WeightThresholdVector((), threshold),
-            self.options.delta_on,
-            self.options.delta_off,
-        )
-        self.result.add_gate(gate)
-        self.report.gates_emitted += 1
-
-    def _emit(
-        self,
-        name: str,
-        inputs: tuple[str, ...],
-        vector: WeightThresholdVector,
-    ) -> None:
-        if len(inputs) > self.options.psi:
-            raise SynthesisError(
-                f"gate {name!r} fanin {len(inputs)} exceeds psi="
-                f"{self.options.psi}"
-            )
-        gate = ThresholdGate(
-            name,
-            tuple(inputs),
-            vector,
-            self.options.delta_on,
-            self.options.delta_off,
-        )
-        self.result.add_gate(gate)
-        self.report.gates_emitted += 1
-        for fanin in inputs:
-            if self.work.has_node(fanin) and fanin not in self.done:
-                self.pending.append(fanin)
+    trace: "EngineTrace | None" = None
 
 
 def synthesize(
     network: BooleanNetwork,
     options: SynthesisOptions | None = None,
+    jobs: int = 1,
+    store: "ResultStore | None" = None,
 ) -> ThresholdNetwork:
-    """Run TELS on an (ideally algebraically-factored) Boolean network."""
-    synthesizer = _Synthesizer(network, options or SynthesisOptions())
-    return synthesizer.run()
+    """Run TELS on an (ideally algebraically-factored) Boolean network.
+
+    Args:
+        network: the prepared source network.
+        options: flow parameters (defaults mirror the paper).
+        jobs: cone-synthesis worker processes; 1 runs inline, 0 uses every
+            core.  Serial and parallel runs emit identical networks.
+        store: optional shared :class:`~repro.engine.store.ResultStore`;
+            pass the same store across runs/sweeps to reuse threshold-check
+            results and re-solve only what changed.
+    """
+    from repro.engine.scheduler import run_synthesis
+
+    return run_synthesis(network, options, jobs=jobs, store=store).network
 
 
 def synthesize_with_report(
     network: BooleanNetwork,
     options: SynthesisOptions | None = None,
+    jobs: int = 1,
+    store: "ResultStore | None" = None,
 ) -> tuple[ThresholdNetwork, SynthesisReport]:
     """Like :func:`synthesize` but also returns run statistics."""
-    synthesizer = _Synthesizer(network, options or SynthesisOptions())
-    result = synthesizer.run()
-    return result, synthesizer.report
+    from repro.engine.scheduler import run_synthesis
+
+    result = run_synthesis(network, options, jobs=jobs, store=store)
+    return result.network, result.report

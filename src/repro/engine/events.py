@@ -1,0 +1,164 @@
+"""Engine instrumentation: structured per-task events and run traces.
+
+Every cone task reports a :class:`TaskMetrics` record — wall time split into
+the three passes of the Fig. 3 flow (collapse / check / split), the node and
+gate counters, and the checker activity it caused.  The scheduler folds the
+records into an :class:`EngineTrace`, which the CLI summary, the extended
+suite, and ``experiments/report.py`` consume.  Fine-grained
+:class:`TaskEvent` rows (one per pass per task) are derived on demand for
+structured consumers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One structured event: a task spent ``seconds`` in ``phase``."""
+
+    task_id: str
+    phase: str
+    seconds: float
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class TaskMetrics:
+    """Aggregated instrumentation for one cone task."""
+
+    task_id: str
+    wall_s: float = 0.0
+    collapse_s: float = 0.0
+    check_s: float = 0.0
+    split_s: float = 0.0
+    nodes_processed: int = 0
+    gates_emitted: int = 0
+    binate_splits: int = 0
+    unate_splits: int = 0
+    kway_splits: int = 0
+    and_factor_splits: int = 0
+    theorem2_applications: int = 0
+    checker_calls: int = 0
+    checker_cache_hits: int = 0
+    ilp_solved: int = 0
+    constraints_emitted: int = 0
+
+    def events(self) -> Iterator[TaskEvent]:
+        """Expand this record into structured per-phase events."""
+        yield TaskEvent(
+            self.task_id,
+            "collapse",
+            self.collapse_s,
+            {"nodes": self.nodes_processed},
+        )
+        yield TaskEvent(
+            self.task_id,
+            "check",
+            self.check_s,
+            {
+                "calls": self.checker_calls,
+                "cache_hits": self.checker_cache_hits,
+                "ilp_solved": self.ilp_solved,
+                "constraints": self.constraints_emitted,
+            },
+        )
+        yield TaskEvent(
+            self.task_id,
+            "split",
+            self.split_s,
+            {
+                "binate": self.binate_splits,
+                "unate": self.unate_splits,
+                "kway": self.kway_splits,
+                "and_factor": self.and_factor_splits,
+                "theorem2": self.theorem2_applications,
+            },
+        )
+        yield TaskEvent(
+            self.task_id, "done", self.wall_s, {"gates": self.gates_emitted}
+        )
+
+
+class _Timer:
+    """Context manager adding elapsed seconds to a metrics attribute."""
+
+    __slots__ = ("metrics", "attr", "_t0")
+
+    def __init__(self, metrics: TaskMetrics, attr: str):
+        self.metrics = metrics
+        self.attr = attr
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        setattr(
+            self.metrics, self.attr, getattr(self.metrics, self.attr) + elapsed
+        )
+
+
+def timed(metrics: TaskMetrics, attr: str) -> _Timer:
+    """``with timed(metrics, "collapse_s"): ...`` accumulates wall time."""
+    return _Timer(metrics, attr)
+
+
+@dataclass
+class EngineTrace:
+    """All task metrics of one engine run, plus run-level aggregates."""
+
+    tasks: list[TaskMetrics] = field(default_factory=list)
+    jobs: int = 1
+    backend: str = "serial"
+    wall_s: float = 0.0
+
+    def add(self, metrics: TaskMetrics) -> None:
+        self.tasks.append(metrics)
+
+    def events(self) -> Iterator[TaskEvent]:
+        for metrics in self.tasks:
+            yield from metrics.events()
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def total(self, attr: str) -> float:
+        return sum(getattr(m, attr) for m in self.tasks)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        calls = self.total("checker_calls")
+        return self.total("checker_cache_hits") / calls if calls else 0.0
+
+    def slowest(self, n: int = 3) -> list[TaskMetrics]:
+        return sorted(self.tasks, key=lambda m: -m.wall_s)[:n]
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable run summary for the CLI."""
+        lines = [
+            f"engine: {self.num_tasks} tasks, backend={self.backend} "
+            f"jobs={self.jobs}, wall {self.wall_s:.3f}s "
+            f"(task time {self.total('wall_s'):.3f}s)",
+            f"passes: collapse {self.total('collapse_s'):.3f}s  "
+            f"check {self.total('check_s'):.3f}s  "
+            f"split {self.total('split_s'):.3f}s",
+            f"checker: {int(self.total('checker_calls'))} calls, "
+            f"{int(self.total('checker_cache_hits'))} cache hits "
+            f"({100.0 * self.cache_hit_rate:.1f}%), "
+            f"{int(self.total('ilp_solved'))} ILPs solved, "
+            f"{int(self.total('constraints_emitted'))} constraints",
+        ]
+        slow = [m for m in self.slowest(3) if m.wall_s > 0]
+        if slow:
+            tasks = ", ".join(f"{m.task_id} {m.wall_s:.3f}s" for m in slow)
+            lines.append(f"slowest tasks: {tasks}")
+        return lines
+
+    def format_summary(self) -> str:
+        return "\n".join(self.summary_lines())

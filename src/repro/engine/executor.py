@@ -1,0 +1,181 @@
+"""The executor layer: serial and process-pool cone dispatch backends.
+
+Both backends expose the same three-call surface the scheduler drives —
+``submit(task)``, ``wait() -> list[TaskResult]``, ``close()`` — and both
+produce byte-identical gates for the same prepared network and options,
+because every cone runs under its own ``random.Random("{seed}:{task_id}")``
+stream and reads only the immutable source network.
+
+The process backend ships the source network, options, and a snapshot of
+the shared result store to each worker once (pool initializer); workers keep
+a long-lived checker whose store journals new entries, and every
+:class:`TaskResult` carries the journal back for the scheduler to merge into
+the master store.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+
+from repro.core.identify import ThresholdChecker
+from repro.engine.cone import ConeSynthesizer
+from repro.engine.store import ResultStore, StoreDelta
+from repro.engine.tasks import SynthTask, TaskResult
+from repro.network.network import BooleanNetwork
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` request (None/0 → all cores)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class SerialExecutor:
+    """Run cones inline, sharing one checker (and its store) with the caller."""
+
+    backend_name = "serial"
+
+    def __init__(
+        self,
+        network: BooleanNetwork,
+        options,
+        preserved: frozenset[str],
+        checker: ThresholdChecker,
+    ):
+        self._network = network
+        self._options = options
+        self._preserved = preserved
+        self._checker = checker
+        self._queue: list[SynthTask] = []
+
+    def submit(self, task: SynthTask) -> None:
+        self._queue.append(task)
+
+    def wait(self) -> list[TaskResult]:
+        task = self._queue.pop(0)
+        outcome = ConeSynthesizer(
+            self._network, task.root, self._options, self._checker,
+            self._preserved,
+        ).run()
+        return [
+            TaskResult(
+                task_id=task.task_id,
+                gates=outcome.gates,
+                discovered=outcome.discovered,
+                metrics=outcome.metrics,
+                stats_delta=outcome.stats_delta,
+                store_delta=None,
+            )
+        ]
+
+    def close(self) -> None:
+        self._queue.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend.  Worker state lives in module globals, installed
+# once per process by the pool initializer; tasks then travel as bare root
+# names, keeping per-task IPC to a few hundred bytes each way.
+# ----------------------------------------------------------------------
+_WORKER: dict | None = None
+
+
+def _worker_init(
+    network: BooleanNetwork,
+    options,
+    preserved: frozenset[str],
+    store_seed: StoreDelta,
+) -> None:
+    global _WORKER
+    store = ResultStore()
+    store.merge(store_seed)
+    store.begin_journal()
+    checker = ThresholdChecker(
+        delta_on=options.delta_on,
+        delta_off=options.delta_off,
+        backend=options.backend,
+        max_weight=options.max_weight,
+        store=store,
+    )
+    _WORKER = {
+        "network": network,
+        "options": options,
+        "preserved": preserved,
+        "checker": checker,
+        "store": store,
+    }
+
+
+def _worker_run(task_id: str, root: str) -> TaskResult:
+    assert _WORKER is not None, "worker pool not initialized"
+    outcome = ConeSynthesizer(
+        _WORKER["network"],
+        root,
+        _WORKER["options"],
+        _WORKER["checker"],
+        _WORKER["preserved"],
+    ).run()
+    return TaskResult(
+        task_id=task_id,
+        gates=outcome.gates,
+        discovered=outcome.discovered,
+        metrics=outcome.metrics,
+        stats_delta=outcome.stats_delta,
+        store_delta=_WORKER["store"].take_journal(),
+    )
+
+
+class ProcessExecutor:
+    """Dispatch cones across a process pool (one long-lived worker per job)."""
+
+    backend_name = "process"
+
+    def __init__(
+        self,
+        network: BooleanNetwork,
+        options,
+        preserved: frozenset[str],
+        store: ResultStore,
+        jobs: int,
+    ):
+        self._pool = ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(network, options, preserved, store.export()),
+        )
+        self._futures: set[Future] = set()
+
+    def submit(self, task: SynthTask) -> None:
+        self._futures.add(
+            self._pool.submit(_worker_run, task.task_id, task.root)
+        )
+
+    def wait(self) -> list[TaskResult]:
+        done, pending = futures_wait(
+            self._futures, return_when=FIRST_COMPLETED
+        )
+        self._futures = set(pending)
+        return [future.result() for future in done]
+
+    def close(self) -> None:
+        for future in self._futures:
+            future.cancel()
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self._futures.clear()
+
+
+def make_executor(
+    jobs: int,
+    network: BooleanNetwork,
+    options,
+    preserved: frozenset[str],
+    store: ResultStore,
+    checker: ThresholdChecker,
+):
+    """The backend for a jobs count: inline below 2, process pool above."""
+    if jobs <= 1:
+        return SerialExecutor(network, options, preserved, checker)
+    return ProcessExecutor(network, options, preserved, store, jobs)

@@ -1,0 +1,171 @@
+"""The work-queue scheduler driving the pass-based synthesis engine.
+
+``run_synthesis`` plans one task per primary-output cone, dispatches ready
+tasks to the executor backend, and turns every newly *discovered* root (a
+preserved or collapse-blocked node some finished cone's gates read) into a
+new task exactly once.  When the queue drains, the per-task gate lists are
+merged into one :class:`ThresholdNetwork` by a deterministic DFS over the
+task graph — primary outputs in declaration order, then each task's
+discovered roots in discovery order — so the executor's completion order
+(and hence the jobs count) never changes the emitted network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.identify import CheckStats, ThresholdChecker
+from repro.core.threshold import ThresholdNetwork
+from repro.engine.events import EngineTrace
+from repro.engine.executor import make_executor, resolve_jobs
+from repro.engine.store import ResultStore
+from repro.engine.tasks import (
+    SynthTask,
+    TaskResult,
+    plan_initial_tasks,
+    preserved_set,
+)
+from repro.errors import SynthesisError
+from repro.network.network import BooleanNetwork
+
+
+@dataclass
+class EngineResult:
+    """A finished engine run: the network plus everything we measured."""
+
+    network: ThresholdNetwork
+    report: "SynthesisReport"  # repro.core.synthesis.SynthesisReport
+    trace: EngineTrace
+    store: ResultStore
+
+
+def run_synthesis(
+    network: BooleanNetwork,
+    options=None,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> EngineResult:
+    """Synthesize ``network`` with the pass-based engine.
+
+    Args:
+        network: a prepared (ideally algebraically-factored) Boolean network.
+        options: :class:`repro.core.synthesis.SynthesisOptions`.
+        jobs: worker processes; 1 runs inline, 0/None uses every core.
+        store: a shared :class:`ResultStore` to read and extend — pass the
+            same store across sweep points to re-solve only what changed.
+    """
+    from repro.core.synthesis import SynthesisOptions, SynthesisReport
+
+    options = options or SynthesisOptions()
+    jobs = resolve_jobs(jobs)
+    store = store if store is not None else ResultStore()
+    checker = ThresholdChecker(
+        delta_on=options.delta_on,
+        delta_off=options.delta_off,
+        backend=options.backend,
+        max_weight=options.max_weight,
+        store=store,
+    )
+    preserved = preserved_set(network, options.preserve_sharing)
+    initial = plan_initial_tasks(network)
+
+    started = time.perf_counter()
+    executor = make_executor(
+        jobs, network, options, preserved, store, checker
+    )
+    trace = EngineTrace(jobs=jobs, backend=executor.backend_name)
+    tasks: dict[str, SynthTask] = {}
+    results: dict[str, TaskResult] = {}
+    try:
+        for task in initial:
+            tasks[task.task_id] = task
+            executor.submit(task)
+        while len(results) < len(tasks):
+            for result in executor.wait():
+                results[result.task_id] = result
+                trace.add(result.metrics)
+                if result.store_delta is not None:
+                    store.merge(result.store_delta)
+                for root in result.discovered:
+                    if root not in tasks:
+                        task = SynthTask.for_root(
+                            root, requested_by=result.task_id
+                        )
+                        tasks[task.task_id] = task
+                        executor.submit(task)
+    finally:
+        executor.close()
+    trace.wall_s = time.perf_counter() - started
+
+    result_net = _assemble(network, initial, results)
+    report = _build_report(options, checker, trace, results, store)
+    return EngineResult(
+        network=result_net, report=report, trace=trace, store=store
+    )
+
+
+def _assemble(
+    network: BooleanNetwork,
+    initial: list[SynthTask],
+    results: dict[str, TaskResult],
+) -> ThresholdNetwork:
+    """Merge per-task gates into one network, in canonical task order."""
+    result_net = ThresholdNetwork(network.name + "_th")
+    for pi in network.inputs:
+        result_net.add_input(pi)
+    for out in network.outputs:
+        result_net.add_output(out)
+    visited: set[str] = set()
+    stack = [task.task_id for task in reversed(initial)]
+    while stack:
+        task_id = stack.pop()
+        if task_id in visited:
+            continue
+        visited.add(task_id)
+        result = results.get(task_id)
+        if result is None:
+            raise SynthesisError(f"task {task_id!r} was never completed")
+        for gate in result.gates:
+            result_net.add_gate(gate)
+        stack.extend(reversed(result.discovered))
+    result_net.cleanup()
+    result_net.check()
+    return result_net
+
+
+def _build_report(
+    options,
+    checker: ThresholdChecker,
+    trace: EngineTrace,
+    results: dict[str, TaskResult],
+    store: ResultStore,
+):
+    """Aggregate per-task metrics into the façade's SynthesisReport."""
+    from repro.core.synthesis import SynthesisReport
+
+    report = SynthesisReport(checker=checker, trace=trace)
+    for result in results.values():
+        m = result.metrics
+        report.nodes_processed += m.nodes_processed
+        report.gates_emitted += m.gates_emitted
+        report.binate_splits += m.binate_splits
+        report.unate_splits += m.unate_splits
+        report.kway_splits += m.kway_splits
+        report.theorem2_applications += m.theorem2_applications
+        report.and_factor_splits += m.and_factor_splits
+    if trace.backend != "serial":
+        # Worker checkers did the work; fold their per-task stat deltas into
+        # the parent checker so report.checker.stats reads the same either way.
+        stats = checker.stats
+        for result in results.values():
+            delta = result.stats_delta
+            stats.calls += delta.calls
+            stats.cache_hits += delta.cache_hits
+            stats.ilp_solved += delta.ilp_solved
+            stats.ilp_feasible += delta.ilp_feasible
+            stats.constraints_emitted += delta.constraints_emitted
+            stats.constraints_without_elimination += (
+                delta.constraints_without_elimination
+            )
+    return report

@@ -1,0 +1,198 @@
+"""The shared result store: canonical-cover keyed caches for the engine.
+
+The store generalizes the old per-run :class:`ThresholdChecker` memo into a
+two-tier cache that can be shared across tasks, outputs, whole benchmark
+runs, and experiment sweeps:
+
+* **analysis tier** (delta-independent): canonical cover → the positive-unate
+  rewrite, its phase substitution, and the minimized complement (the maximal
+  false points).  These are the expensive two-level steps of Fig. 6 and do
+  not depend on the defect tolerances, so a ψ/δ ablation sweep reuses them
+  wholesale — only the ILP is re-solved.  ``None`` records a cover proven
+  non-unate (hence non-threshold for *every* tolerance setting).
+* **vector tier** (delta-dependent): (canonical cover, δ_on, δ_off, w_max) →
+  the solved weight–threshold vector, or ``None`` for ILP-infeasible.
+
+Process-pool workers keep their own store and journal every new entry; the
+scheduler merges the journals back into the master store so later tasks,
+runs, and sweep points see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boolean.cover import Cover
+from repro.core.threshold import WeightThresholdVector
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CoverAnalysis:
+    """Delta-independent threshold-check preprocessing of one cover.
+
+    Attributes:
+        positive: the positive-unate rewrite of the cover (Section IV).
+        flipped: per-variable phase-substitution flags.
+        off_cubes: minimized complement of ``positive`` — one cube per
+            maximal false point (the OFF-set constraint generators).
+    """
+
+    positive: Cover
+    flipped: tuple[bool, ...]
+    off_cubes: Cover
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters, per tier."""
+
+    vector_hits: int = 0
+    vector_misses: int = 0
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+
+    @property
+    def vector_lookups(self) -> int:
+        return self.vector_hits + self.vector_misses
+
+    @property
+    def vector_hit_rate(self) -> float:
+        lookups = self.vector_lookups
+        return self.vector_hits / lookups if lookups else 0.0
+
+    @property
+    def analysis_lookups(self) -> int:
+        return self.analysis_hits + self.analysis_misses
+
+    @property
+    def analysis_hit_rate(self) -> float:
+        lookups = self.analysis_lookups
+        return self.analysis_hits / lookups if lookups else 0.0
+
+    @property
+    def hits(self) -> int:
+        return self.vector_hits + self.analysis_hits
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(
+            self.vector_hits,
+            self.vector_misses,
+            self.analysis_hits,
+            self.analysis_misses,
+        )
+
+    def since(self, earlier: "StoreStats") -> "StoreStats":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return StoreStats(
+            self.vector_hits - earlier.vector_hits,
+            self.vector_misses - earlier.vector_misses,
+            self.analysis_hits - earlier.analysis_hits,
+            self.analysis_misses - earlier.analysis_misses,
+        )
+
+
+@dataclass
+class StoreDelta:
+    """New entries journaled since :meth:`ResultStore.begin_journal`."""
+
+    vectors: dict[tuple, WeightThresholdVector | None] = field(
+        default_factory=dict
+    )
+    analyses: dict[tuple, CoverAnalysis | None] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.vectors) + len(self.analyses)
+
+
+class ResultStore:
+    """Canonical-cover keyed cache shared across synthesis tasks and sweeps."""
+
+    def __init__(self) -> None:
+        self._vectors: dict[tuple, WeightThresholdVector | None] = {}
+        self._analyses: dict[tuple, CoverAnalysis | None] = {}
+        self.stats = StoreStats()
+        self._journal: StoreDelta | None = None
+
+    # -- vector tier ---------------------------------------------------
+    def get_vector(self, key: tuple):
+        """Cached vector for a (cover, deltas) key, or the miss sentinel."""
+        found = self._vectors.get(key, _MISSING)
+        if found is _MISSING:
+            self.stats.vector_misses += 1
+        else:
+            self.stats.vector_hits += 1
+        return found
+
+    def put_vector(
+        self, key: tuple, vector: WeightThresholdVector | None
+    ) -> None:
+        self._vectors[key] = vector
+        if self._journal is not None:
+            self._journal.vectors[key] = vector
+
+    # -- analysis tier -------------------------------------------------
+    def get_analysis(self, key: tuple):
+        found = self._analyses.get(key, _MISSING)
+        if found is _MISSING:
+            self.stats.analysis_misses += 1
+        else:
+            self.stats.analysis_hits += 1
+        return found
+
+    def put_analysis(self, key: tuple, analysis: CoverAnalysis | None) -> None:
+        self._analyses[key] = analysis
+        if self._journal is not None:
+            self._journal.analyses[key] = analysis
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        return value is _MISSING
+
+    # -- sharing -------------------------------------------------------
+    def begin_journal(self) -> None:
+        """Start recording new entries (process-pool workers)."""
+        self._journal = StoreDelta()
+
+    def take_journal(self) -> StoreDelta:
+        """Return the entries recorded since :meth:`begin_journal`."""
+        delta = self._journal or StoreDelta()
+        self._journal = StoreDelta()
+        return delta
+
+    def merge(self, delta: StoreDelta) -> int:
+        """Fold a worker's journal into this store; returns entries added."""
+        added = 0
+        for key, vector in delta.vectors.items():
+            if key not in self._vectors:
+                self._vectors[key] = vector
+                added += 1
+        for key, analysis in delta.analyses.items():
+            if key not in self._analyses:
+                self._analyses[key] = analysis
+                added += 1
+        return added
+
+    def export(self) -> StoreDelta:
+        """A full snapshot, for seeding worker processes."""
+        return StoreDelta(dict(self._vectors), dict(self._analyses))
+
+    # -- introspection -------------------------------------------------
+    @property
+    def num_vectors(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def num_analyses(self) -> int:
+        return len(self._analyses)
+
+    def __len__(self) -> int:
+        return len(self._vectors) + len(self._analyses)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(vectors={len(self._vectors)}, "
+            f"analyses={len(self._analyses)}, "
+            f"hits={self.stats.hits})"
+        )

@@ -84,35 +84,54 @@ class SuiteSummary:
         return sum(r.one_to_one.levels for r in self.rows) / len(self.rows)
 
 
+def _run_one(
+    name: str, psi: int, seed: int, verify_vectors: int
+) -> SuiteRow:
+    """Both flows for one benchmark (module-level: process-pool friendly)."""
+    source = build_extended_benchmark(name)
+    one_net = one_to_one_map(prepare_one_to_one(source, max_fanin=psi))
+    tels_net = synthesize(
+        prepare_tels(source), SynthesisOptions(psi=psi, seed=seed)
+    )
+    verified = verify_threshold_network(
+        source, tels_net, vectors=verify_vectors
+    ) and verify_threshold_network(
+        source, one_net, vectors=verify_vectors
+    )
+    if not verified:
+        raise SynthesisError(f"suite verification failed on {name!r}")
+    return SuiteRow(
+        name, network_stats(one_net), network_stats(tels_net), verified
+    )
+
+
 def run_suite(
     names: list[str],
     psi: int = 3,
     seed: int = 0,
     verify_vectors: int = 512,
+    jobs: int = 1,
 ) -> SuiteSummary:
-    """Run both flows over every named benchmark; verify everything."""
-    rows = []
-    for name in names:
-        source = build_extended_benchmark(name)
-        one_net = one_to_one_map(prepare_one_to_one(source, max_fanin=psi))
-        tels_net = synthesize(
-            prepare_tels(source), SynthesisOptions(psi=psi, seed=seed)
-        )
-        verified = verify_threshold_network(
-            source, tels_net, vectors=verify_vectors
-        ) and verify_threshold_network(
-            source, one_net, vectors=verify_vectors
-        )
-        if not verified:
-            raise SynthesisError(f"suite verification failed on {name!r}")
-        rows.append(
-            SuiteRow(
-                name,
-                network_stats(one_net),
-                network_stats(tels_net),
-                verified,
-            )
-        )
+    """Run both flows over every named benchmark; verify everything.
+
+    With ``jobs > 1`` whole benchmarks are dispatched across a process pool
+    (the sweep is embarrassingly parallel); row order — and every synthesized
+    network — is identical to a serial run.
+    """
+    from repro.engine.executor import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(names) <= 1:
+        rows = [_run_one(n, psi, seed, verify_vectors) for n in names]
+        return SuiteSummary(tuple(rows))
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = [
+            pool.submit(_run_one, n, psi, seed, verify_vectors)
+            for n in names
+        ]
+        rows = [f.result() for f in futures]
     return SuiteSummary(tuple(rows))
 
 

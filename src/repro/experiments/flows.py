@@ -84,8 +84,14 @@ def run_flows(
     delta_off: int = 1,
     seed: int = 0,
     verify_vectors: int = 1024,
+    jobs: int = 1,
+    store=None,
 ) -> FlowResult:
-    """Run (or fetch cached) one-to-one and TELS flows for one benchmark."""
+    """Run (or fetch cached) one-to-one and TELS flows for one benchmark.
+
+    ``jobs`` and ``store`` pass straight to the synthesis engine; neither
+    changes the emitted network, so they are not part of the cache key.
+    """
     key = (name, psi, delta_on, delta_off, seed)
     if key in _CACHE:
         return _CACHE[key]
@@ -106,6 +112,8 @@ def run_flows(
         SynthesisOptions(
             psi=psi, delta_on=delta_on, delta_off=delta_off, seed=seed
         ),
+        jobs=jobs,
+        store=store,
     )
 
     verified = verify_threshold_network(

@@ -1,0 +1,90 @@
+"""The shared result store: tiers, journaling, merge, statistics."""
+
+from __future__ import annotations
+
+from repro.engine.store import CoverAnalysis, ResultStore, StoreStats
+
+
+class TestVectorTier:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        key = ("canon", 0, 1, None)
+        assert store.is_miss(store.get_vector(key))
+        store.put_vector(key, (1, 2, 3))
+        assert store.get_vector(key) == (1, 2, 3)
+        assert store.stats.vector_hits == 1
+        assert store.stats.vector_misses == 1
+
+    def test_none_is_a_cached_value(self):
+        """`None` means "proved non-threshold" — distinct from a miss."""
+        store = ResultStore()
+        key = ("canon", 0, 1, None)
+        store.put_vector(key, None)
+        hit = store.get_vector(key)
+        assert hit is None
+        assert not store.is_miss(hit)
+
+    def test_delta_settings_are_separate_keys(self):
+        store = ResultStore()
+        store.put_vector(("c", 0, 1, None), "a")
+        store.put_vector(("c", 2, 1, None), "b")
+        assert store.num_vectors == 2
+
+
+class TestAnalysisTier:
+    def test_analysis_round_trip(self):
+        store = ResultStore()
+        analysis = CoverAnalysis(
+            positive="pos", flipped=(True, False), off_cubes=("off",)
+        )
+        key = ("canon", True)
+        assert store.is_miss(store.get_analysis(key))
+        store.put_analysis(key, analysis)
+        assert store.get_analysis(key) is analysis
+        assert store.stats.analysis_hits == 1
+
+
+class TestJournal:
+    def test_journal_captures_only_new_entries(self):
+        store = ResultStore()
+        store.put_vector(("old", 0, 1, None), 1)
+        store.begin_journal()
+        store.put_vector(("new", 0, 1, None), 2)
+        delta = store.take_journal()
+        assert ("new", 0, 1, None) in delta.vectors
+        assert ("old", 0, 1, None) not in delta.vectors
+
+    def test_merge_applies_delta(self):
+        a = ResultStore()
+        a.begin_journal()
+        a.put_vector(("k", 0, 1, None), 7)
+        delta = a.take_journal()
+        b = ResultStore()
+        b.merge(delta)
+        assert b.get_vector(("k", 0, 1, None)) == 7
+
+    def test_export_snapshot(self):
+        store = ResultStore()
+        store.put_vector(("k", 0, 1, None), 7)
+        exported = store.export()
+        fresh = ResultStore()
+        fresh.merge(exported)
+        assert fresh.num_vectors == 1
+
+
+class TestStats:
+    def test_since_subtracts_baseline(self):
+        store = ResultStore()
+        store.put_vector(("k", 0, 1, None), 1)
+        store.get_vector(("k", 0, 1, None))
+        before = store.stats.snapshot()
+        store.get_vector(("k", 0, 1, None))
+        store.get_vector(("absent", 0, 1, None))
+        delta = store.stats.since(before)
+        assert delta.vector_hits == 1
+        assert delta.vector_misses == 1
+
+    def test_hit_rates_handle_zero_traffic(self):
+        stats = StoreStats()
+        assert stats.vector_hit_rate == 0.0
+        assert stats.analysis_hit_rate == 0.0

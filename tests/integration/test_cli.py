@@ -83,3 +83,25 @@ class TestCommands:
     def test_bench_extended_name(self, capsys):
         assert main(["bench", "majority"]) == 0
         assert ".model majority" in capsys.readouterr().out
+
+    def test_synth_prints_check_stats_and_trace(self, blif_file, capsys):
+        assert main(["synth", str(blif_file)]) == 0
+        out = capsys.readouterr().out
+        assert "checks:" in out and "cache hits" in out and "ILPs" in out
+        assert "engine:" in out and "backend=serial" in out
+        assert "passes: collapse" in out
+        assert "slowest tasks:" in out
+
+    def test_synth_jobs_flag(self, blif_file, capsys):
+        assert main(["synth", str(blif_file), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert "backend=process jobs=2" in out
+
+    def test_sweep(self, capsys):
+        assert main(
+            ["sweep", "--benchmarks", "cm152a", "--deltas", "0", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "d_on" in out
+        assert "analyses reused after the first sweep point" in out
