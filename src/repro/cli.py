@@ -35,17 +35,35 @@ from repro.io.thblif import read_thblif, to_thblif, write_thblif
 from repro.network.scripts import prepare_one_to_one, prepare_tels
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    from repro.ilp.backends import registered_backends
+
+    parser.add_argument(
+        "--ilp-backend",
+        "--backend",  # legacy alias
+        dest="ilp_backend",
+        default="auto",
+        choices=("auto", *registered_backends()),
+        help="ILP solver backend",
+    )
+    parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the Chow-parameter fast path (always solve the ILP)",
+    )
+    parser.add_argument(
+        "--no-presolve",
+        action="store_true",
+        help="disable the ILP presolve reductions",
+    )
+
+
 def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--psi", type=int, default=3, help="fanin restriction")
     parser.add_argument("--delta-on", type=int, default=0, help="ON tolerance")
     parser.add_argument("--delta-off", type=int, default=1, help="OFF tolerance")
     parser.add_argument("--seed", type=int, default=0, help="tie-break seed")
-    parser.add_argument(
-        "--backend",
-        default="auto",
-        choices=("auto", "exact", "scipy"),
-        help="ILP backend",
-    )
+    _add_backend_args(parser)
     parser.add_argument(
         "--jobs",
         type=int,
@@ -60,7 +78,9 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         delta_on=args.delta_on,
         delta_off=args.delta_off,
         seed=args.seed,
-        backend=args.backend,
+        backend=args.ilp_backend,
+        use_fastpath=not args.no_fastpath,
+        use_presolve=not args.no_presolve,
     )
 
 
@@ -103,6 +123,18 @@ def cmd_synth(args: argparse.Namespace) -> int:
             f"constraints {check.constraints_emitted} "
             f"(vs {check.constraints_without_elimination} unrestricted)"
         )
+        print(
+            f"fastpath: {check.fastpath_hits} hits, "
+            f"{check.fastpath_negatives} negatives, "
+            f"{check.fastpath_misses} misses "
+            f"({100.0 * check.fastpath_hit_rate:.1f}% resolved without ILP)"
+        )
+        print(
+            f"solvers: exact {check.exact_solves} solves "
+            f"{check.exact_wall_s:.3f}s, "
+            f"scipy {check.scipy_solves} solves {check.scipy_wall_s:.3f}s, "
+            f"presolve removed {check.presolve_rows_removed} rows"
+        )
     if report.trace is not None:
         print(report.trace.format_summary())
     if args.output:
@@ -118,7 +150,7 @@ def cmd_map(args: argparse.Namespace) -> int:
     prepared = prepare_one_to_one(network, max_fanin=args.psi)
     threshold_net = one_to_one_map(
         prepared, delta_on=args.delta_on, delta_off=args.delta_off,
-        backend=args.backend,
+        backend=args.ilp_backend,
     )
     ok = verify_threshold_network(network, threshold_net)
     print(f"one-to-one: {network_stats(threshold_net)} verified={ok}")
@@ -192,7 +224,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from repro.experiments.extended_suite import format_suite, run_suite
 
     names = [n for n in all_benchmark_names() if args.full or n != "i10"]
-    summary = run_suite(names, psi=args.psi, seed=args.seed, jobs=args.jobs)
+    summary = run_suite(
+        names,
+        psi=args.psi,
+        seed=args.seed,
+        jobs=args.jobs,
+        backend=args.ilp_backend,
+    )
     print(format_suite(summary))
     return 0
 
@@ -338,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="include i10")
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    _add_backend_args(p)
     p.add_argument(
         "--jobs",
         type=int,

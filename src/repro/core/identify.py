@@ -25,7 +25,8 @@ to share those results across checkers, tasks, and whole experiment sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from fractions import Fraction
 from typing import TYPE_CHECKING
 
 from repro.boolean.cover import Cover
@@ -34,8 +35,10 @@ from repro.boolean.minimize import minimize
 from repro.boolean.unate import Phase, syntactic_unateness, to_positive_unate
 from repro.core.threshold import WeightThresholdVector
 from repro.errors import CoverError
+from repro.ilp.backends import SolveInfo
+from repro.ilp.fastpath import FastpathStatus, fastpath_check
 from repro.ilp.model import IlpProblem
-from repro.ilp.solve import solve_ilp
+from repro.ilp.solve import solve_ilp_info
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep core below engine
     from repro.engine.store import ResultStore
@@ -43,7 +46,12 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep core below engine
 
 @dataclass
 class CheckStats:
-    """Counters for instrumentation and the ILP ablation benchmarks."""
+    """Counters for instrumentation and the ILP ablation benchmarks.
+
+    All fields are additive numbers, so deltas (:meth:`since`) and folds
+    (:meth:`add`) are derived generically — a new counter only needs a field
+    declaration here to travel through the engine's per-task journaling.
+    """
 
     calls: int = 0
     cache_hits: int = 0
@@ -51,23 +59,48 @@ class CheckStats:
     ilp_feasible: int = 0
     constraints_emitted: int = 0
     constraints_without_elimination: int = 0
+    fastpath_hits: int = 0
+    fastpath_negatives: int = 0
+    fastpath_misses: int = 0
+    presolve_rows_removed: int = 0
+    exact_solves: int = 0
+    scipy_solves: int = 0
+    exact_wall_s: float = 0.0
+    scipy_wall_s: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.calls if self.calls else 0.0
 
+    @property
+    def fastpath_attempts(self) -> int:
+        return self.fastpath_hits + self.fastpath_negatives + self.fastpath_misses
+
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Share of fast-path attempts that skipped the ILP entirely."""
+        attempts = self.fastpath_attempts
+        if not attempts:
+            return 0.0
+        return (self.fastpath_hits + self.fastpath_negatives) / attempts
+
     def snapshot(self) -> "CheckStats":
         """An independent copy (for before/after deltas in the engine)."""
+        return replace(self)
+
+    def since(self, before: "CheckStats") -> "CheckStats":
+        """The counter delta accumulated since ``before`` was snapshotted."""
         return CheckStats(
-            calls=self.calls,
-            cache_hits=self.cache_hits,
-            ilp_solved=self.ilp_solved,
-            ilp_feasible=self.ilp_feasible,
-            constraints_emitted=self.constraints_emitted,
-            constraints_without_elimination=(
-                self.constraints_without_elimination
-            ),
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in fields(self)
+            }
         )
+
+    def add(self, delta: "CheckStats") -> None:
+        """Fold another stats record (e.g. a worker's delta) into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(delta, f.name))
 
 
 @dataclass
@@ -86,6 +119,12 @@ class ThresholdChecker:
             realize weights as device areas, so practical weight ranges are
             small); functions needing a larger weight are declared
             non-threshold and split instead.
+        use_fastpath: try the Chow-parameter fast path
+            (:mod:`repro.ilp.fastpath`) before formulating an ILP.  Only
+            attempted on minimized covers (the fast path's weight lower
+            bound requires every support variable to be essential).
+        use_presolve: run the :mod:`repro.ilp.presolve` reductions inside
+            the solver stack (ablation knob).
         store: the shared :class:`~repro.engine.store.ResultStore` backing
             the memo; inject one to share results across checkers, parallel
             tasks, and sweep points.  A private store is created on demand.
@@ -96,8 +135,25 @@ class ThresholdChecker:
     backend: str = "auto"
     minimize_cover: bool = True
     max_weight: int | None = None
+    use_fastpath: bool = True
+    use_presolve: bool = True
     stats: CheckStats = field(default_factory=CheckStats)
     store: "ResultStore | None" = field(default=None, repr=False)
+
+    @classmethod
+    def from_options(
+        cls, options, store: "ResultStore | None" = None
+    ) -> "ThresholdChecker":
+        """Build a checker from :class:`~repro.core.synthesis.SynthesisOptions`."""
+        return cls(
+            delta_on=options.delta_on,
+            delta_off=options.delta_off,
+            backend=options.backend,
+            max_weight=options.max_weight,
+            use_fastpath=getattr(options, "use_fastpath", True),
+            use_presolve=getattr(options, "use_presolve", True),
+            store=store,
+        )
 
     def _ensure_store(self) -> "ResultStore":
         if self.store is None:
@@ -174,13 +230,62 @@ class ThresholdChecker:
             return None
         positive, flipped = analysis.positive, analysis.flipped
         off_cubes = analysis.off_cubes
+        warm_start: tuple[Fraction, ...] | None = None
+        # The fast path's weight lower bound needs every support variable
+        # essential, which only the minimized irredundant prime cover
+        # guarantees — same gate as the minimization in _analysis.
+        if self.use_fastpath and self.minimize_cover and cover.nvars <= 12:
+            fast = fastpath_check(
+                positive,
+                off_cubes,
+                delta_on=self.delta_on,
+                delta_off=self.delta_off,
+                max_weight=self.max_weight,
+            )
+            if fast.status is FastpathStatus.HIT:
+                self.stats.fastpath_hits += 1
+                return self._vector_from_solution(
+                    nvars, positive.support_vars(), flipped, list(fast.values)
+                )
+            if fast.status is FastpathStatus.NOT_THRESHOLD:
+                self.stats.fastpath_negatives += 1
+                return None
+            self.stats.fastpath_misses += 1
+            if fast.candidate is not None:
+                warm_start = tuple(Fraction(v) for v in fast.candidate)
         problem, support = self._formulate(positive, off_cubes)
         self.stats.ilp_solved += 1
-        result = solve_ilp(problem, backend=self.backend)
+        result, info = solve_ilp_info(
+            problem,
+            backend=self.backend,
+            presolve=self.use_presolve,
+            warm_start=warm_start,
+        )
+        self._record_solve(info)
         if not result.is_optimal:
             return None
         self.stats.ilp_feasible += 1
-        solution = result.int_values()
+        return self._vector_from_solution(
+            nvars, support, flipped, result.int_values()
+        )
+
+    def _record_solve(self, info: SolveInfo) -> None:
+        """Fold one dispatch-layer SolveInfo into the counters."""
+        self.stats.exact_solves += info.solves_for("exact")
+        self.stats.scipy_solves += info.solves_for("scipy")
+        self.stats.exact_wall_s += info.wall_for("exact")
+        self.stats.scipy_wall_s += info.wall_for("scipy")
+        if info.presolve is not None:
+            self.stats.presolve_rows_removed += info.presolve.rows_removed
+
+    def _vector_from_solution(
+        self,
+        nvars: int,
+        support: list[int],
+        flipped: tuple[bool, ...],
+        solution: list[int],
+    ) -> WeightThresholdVector:
+        """Splice an ILP/fast-path solution (support slots + T) into a vector."""
         weights = [0] * nvars
         threshold = solution[-1]
         for slot, var in enumerate(support):
@@ -234,6 +339,17 @@ class ThresholdChecker:
                 coeffs = [0] * (n + 1)
                 coeffs[slot_index] = 1
                 problem.add_constraint(coeffs, "<=", self.max_weight)
+            # Implied bound tightening: every ON cube gives
+            # T <= sum(cube weights) - delta_on <= |cube| * max_weight -
+            # delta_on, so the smallest cube caps T.  Redundant for the
+            # feasible set, but it shrinks the branch & bound's T range.
+            if positive.cubes:
+                min_lits = min(c.num_literals for c in positive.cubes)
+                coeffs = [0] * (n + 1)
+                coeffs[n] = 1
+                problem.add_constraint(
+                    coeffs, "<=", min_lits * self.max_weight - self.delta_on
+                )
         return problem, support
 
     def formulate_only(self, cover: Cover) -> IlpProblem | None:
@@ -259,10 +375,21 @@ def is_threshold_function(
     delta_on: int = 0,
     delta_off: int = 1,
     backend: str = "auto",
+    max_weight: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> WeightThresholdVector | None:
-    """One-shot convenience wrapper around :class:`ThresholdChecker`."""
+    """One-shot convenience wrapper around :class:`ThresholdChecker`.
+
+    ``max_weight`` and ``store`` mirror the engine-configured checker, so a
+    one-shot call can enforce the device weight bound and share (or warm) a
+    result store across calls.
+    """
     checker = ThresholdChecker(
-        delta_on=delta_on, delta_off=delta_off, backend=backend
+        delta_on=delta_on,
+        delta_off=delta_off,
+        backend=backend,
+        max_weight=max_weight,
+        store=store,
     )
     if isinstance(function, BooleanFunction):
         return checker.check_function(function)

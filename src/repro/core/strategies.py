@@ -40,14 +40,29 @@ STRATEGIES = ("paper", "lookahead", "balanced")
 
 
 def make_splitter(
-    strategy: str, checker: _ChecksThreshold | None = None, psi: int = 3
+    strategy: str,
+    checker: _ChecksThreshold | None = None,
+    psi: int = 3,
+    options=None,
 ) -> Splitter:
-    """Build the unate splitter for a strategy name."""
+    """Build the unate splitter for a strategy name.
+
+    ``options`` (a :class:`~repro.core.synthesis.SynthesisOptions`) is an
+    alternative way to configure the oracle-backed strategies: it supplies
+    ``psi`` and, when no ``checker`` is passed, a checker built with the
+    run's ILP backend / tolerance / fast-path configuration.
+    """
+    if options is not None:
+        psi = options.psi
     if strategy == "paper":
         return split_unate
     if strategy == "balanced":
         return _split_balanced
     if strategy == "lookahead":
+        if checker is None and options is not None:
+            from repro.core.identify import ThresholdChecker
+
+            checker = ThresholdChecker.from_options(options)
         if checker is None:
             raise SynthesisError("lookahead strategy needs a checker")
         return _LookaheadSplitter(checker, psi)

@@ -63,6 +63,10 @@ class SynthesisOptions:
             (ILP-guided split-variable selection), or ``"balanced"``
             (depth-oriented cube halving) — the future-work directions of
             the paper's conclusion, selectable per run.
+        use_fastpath: resolve threshold checks with the Chow-parameter fast
+            path before formulating an ILP (ablation knob).
+        use_presolve: run the ILP presolve reductions inside the solver
+            stack (ablation knob).
         max_collapse_cubes: SOP size guard during collapsing.
     """
 
@@ -75,6 +79,8 @@ class SynthesisOptions:
     preserve_sharing: bool = True
     split_on_most_frequent: bool = True
     splitting_strategy: str = "paper"
+    use_fastpath: bool = True
+    use_presolve: bool = True
     max_weight: int | None = None
     max_collapse_cubes: int = 128
 

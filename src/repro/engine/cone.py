@@ -43,22 +43,6 @@ def task_rng(seed: int, task_id: str) -> random.Random:
     return random.Random(f"{seed}:{task_id}")
 
 
-def _stats_delta(after: CheckStats, before: CheckStats) -> CheckStats:
-    return CheckStats(
-        calls=after.calls - before.calls,
-        cache_hits=after.cache_hits - before.cache_hits,
-        ilp_solved=after.ilp_solved - before.ilp_solved,
-        ilp_feasible=after.ilp_feasible - before.ilp_feasible,
-        constraints_emitted=(
-            after.constraints_emitted - before.constraints_emitted
-        ),
-        constraints_without_elimination=(
-            after.constraints_without_elimination
-            - before.constraints_without_elimination
-        ),
-    )
-
-
 @dataclass
 class ConeOutcome:
     """What one cone run produced (pre-TaskResult, executor-agnostic)."""
@@ -98,7 +82,7 @@ class ConeSynthesizer:
         from repro.core.strategies import make_splitter
 
         self.splitter = make_splitter(
-            options.splitting_strategy, self.checker, options.psi
+            options.splitting_strategy, self.checker, options=options
         )
 
     # ------------------------------------------------------------------
@@ -126,12 +110,20 @@ class ConeSynthesizer:
                     max_cubes=self.options.max_collapse_cubes,
                 )
             self._process(name, function)
-        delta = _stats_delta(self.checker.stats, stats_before)
+        delta = self.checker.stats.since(stats_before)
         self.metrics.wall_s = time.perf_counter() - run_started
         self.metrics.checker_calls = delta.calls
         self.metrics.checker_cache_hits = delta.cache_hits
         self.metrics.ilp_solved = delta.ilp_solved
         self.metrics.constraints_emitted = delta.constraints_emitted
+        self.metrics.fastpath_hits = delta.fastpath_hits
+        self.metrics.fastpath_negatives = delta.fastpath_negatives
+        self.metrics.fastpath_misses = delta.fastpath_misses
+        self.metrics.exact_solves = delta.exact_solves
+        self.metrics.scipy_solves = delta.scipy_solves
+        self.metrics.exact_wall_s = delta.exact_wall_s
+        self.metrics.scipy_wall_s = delta.scipy_wall_s
+        self.metrics.presolve_rows_removed = delta.presolve_rows_removed
         return ConeOutcome(
             gates=tuple(self.gates),
             discovered=tuple(self._discovered),

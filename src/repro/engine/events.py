@@ -46,6 +46,14 @@ class TaskMetrics:
     checker_cache_hits: int = 0
     ilp_solved: int = 0
     constraints_emitted: int = 0
+    fastpath_hits: int = 0
+    fastpath_negatives: int = 0
+    fastpath_misses: int = 0
+    exact_solves: int = 0
+    scipy_solves: int = 0
+    exact_wall_s: float = 0.0
+    scipy_wall_s: float = 0.0
+    presolve_rows_removed: int = 0
 
     def events(self) -> Iterator[TaskEvent]:
         """Expand this record into structured per-phase events."""
@@ -64,6 +72,12 @@ class TaskMetrics:
                 "cache_hits": self.checker_cache_hits,
                 "ilp_solved": self.ilp_solved,
                 "constraints": self.constraints_emitted,
+                "fastpath_hits": self.fastpath_hits,
+                "fastpath_negatives": self.fastpath_negatives,
+                "fastpath_misses": self.fastpath_misses,
+                "exact_solves": self.exact_solves,
+                "scipy_solves": self.scipy_solves,
+                "presolve_rows_removed": self.presolve_rows_removed,
             },
         )
         yield TaskEvent(
@@ -136,6 +150,18 @@ class EngineTrace:
         calls = self.total("checker_calls")
         return self.total("checker_cache_hits") / calls if calls else 0.0
 
+    @property
+    def fastpath_hit_rate(self) -> float:
+        """Share of fast-path attempts that skipped the ILP entirely."""
+        attempts = self.total("fastpath_hits") + self.total(
+            "fastpath_negatives"
+        ) + self.total("fastpath_misses")
+        if not attempts:
+            return 0.0
+        return (
+            self.total("fastpath_hits") + self.total("fastpath_negatives")
+        ) / attempts
+
     def slowest(self, n: int = 3) -> list[TaskMetrics]:
         return sorted(self.tasks, key=lambda m: -m.wall_s)[:n]
 
@@ -153,6 +179,15 @@ class EngineTrace:
             f"({100.0 * self.cache_hit_rate:.1f}%), "
             f"{int(self.total('ilp_solved'))} ILPs solved, "
             f"{int(self.total('constraints_emitted'))} constraints",
+            f"fastpath: {int(self.total('fastpath_hits'))} hits, "
+            f"{int(self.total('fastpath_negatives'))} negatives, "
+            f"{int(self.total('fastpath_misses'))} misses "
+            f"({100.0 * self.fastpath_hit_rate:.1f}% resolved without ILP)",
+            f"solvers: exact {int(self.total('exact_solves'))} solves "
+            f"{self.total('exact_wall_s'):.3f}s, "
+            f"scipy {int(self.total('scipy_solves'))} solves "
+            f"{self.total('scipy_wall_s'):.3f}s, "
+            f"presolve removed {int(self.total('presolve_rows_removed'))} rows",
         ]
         slow = [m for m in self.slowest(3) if m.wall_s > 0]
         if slow:

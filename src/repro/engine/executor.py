@@ -93,13 +93,7 @@ def _worker_init(
     store = ResultStore()
     store.merge(store_seed)
     store.begin_journal()
-    checker = ThresholdChecker(
-        delta_on=options.delta_on,
-        delta_off=options.delta_off,
-        backend=options.backend,
-        max_weight=options.max_weight,
-        store=store,
-    )
+    checker = ThresholdChecker.from_options(options, store=store)
     _WORKER = {
         "network": network,
         "options": options,

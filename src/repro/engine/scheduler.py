@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.identify import CheckStats, ThresholdChecker
+from repro.core.identify import ThresholdChecker
 from repro.core.threshold import ThresholdNetwork
 from repro.engine.events import EngineTrace
 from repro.engine.executor import make_executor, resolve_jobs
@@ -60,13 +60,7 @@ def run_synthesis(
     options = options or SynthesisOptions()
     jobs = resolve_jobs(jobs)
     store = store if store is not None else ResultStore()
-    checker = ThresholdChecker(
-        delta_on=options.delta_on,
-        delta_off=options.delta_off,
-        backend=options.backend,
-        max_weight=options.max_weight,
-        store=store,
-    )
+    checker = ThresholdChecker.from_options(options, store=store)
     preserved = preserved_set(network, options.preserve_sharing)
     initial = plan_initial_tasks(network)
 
@@ -157,15 +151,6 @@ def _build_report(
     if trace.backend != "serial":
         # Worker checkers did the work; fold their per-task stat deltas into
         # the parent checker so report.checker.stats reads the same either way.
-        stats = checker.stats
         for result in results.values():
-            delta = result.stats_delta
-            stats.calls += delta.calls
-            stats.cache_hits += delta.cache_hits
-            stats.ilp_solved += delta.ilp_solved
-            stats.ilp_feasible += delta.ilp_feasible
-            stats.constraints_emitted += delta.constraints_emitted
-            stats.constraints_without_elimination += (
-                delta.constraints_without_elimination
-            )
+            checker.stats.add(result.stats_delta)
     return report

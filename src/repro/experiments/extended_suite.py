@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 from repro.benchgen.extended import build_extended_benchmark
 from repro.core.area import NetworkStats, network_stats
+from repro.core.identify import CheckStats
 from repro.core.mapping import one_to_one_map
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize_with_report
 from repro.core.verify import verify_threshold_network
 from repro.errors import SynthesisError
 from repro.network.scripts import prepare_one_to_one, prepare_tels
@@ -28,6 +29,7 @@ class SuiteRow:
     one_to_one: NetworkStats
     tels: NetworkStats
     verified: bool
+    check_stats: CheckStats | None = None
 
     @property
     def reduction_percent(self) -> float:
@@ -83,15 +85,24 @@ class SuiteSummary:
             return 0.0
         return sum(r.one_to_one.levels for r in self.rows) / len(self.rows)
 
+    def check_totals(self) -> CheckStats:
+        """Checker counters folded over every row (missing rows skipped)."""
+        totals = CheckStats()
+        for row in self.rows:
+            if row.check_stats is not None:
+                totals.add(row.check_stats)
+        return totals
+
 
 def _run_one(
-    name: str, psi: int, seed: int, verify_vectors: int
+    name: str, psi: int, seed: int, verify_vectors: int, backend: str = "auto"
 ) -> SuiteRow:
     """Both flows for one benchmark (module-level: process-pool friendly)."""
     source = build_extended_benchmark(name)
     one_net = one_to_one_map(prepare_one_to_one(source, max_fanin=psi))
-    tels_net = synthesize(
-        prepare_tels(source), SynthesisOptions(psi=psi, seed=seed)
+    tels_net, report = synthesize_with_report(
+        prepare_tels(source),
+        SynthesisOptions(psi=psi, seed=seed, backend=backend),
     )
     verified = verify_threshold_network(
         source, tels_net, vectors=verify_vectors
@@ -100,8 +111,15 @@ def _run_one(
     )
     if not verified:
         raise SynthesisError(f"suite verification failed on {name!r}")
+    check = (
+        report.checker.stats.snapshot() if report.checker is not None else None
+    )
     return SuiteRow(
-        name, network_stats(one_net), network_stats(tels_net), verified
+        name,
+        network_stats(one_net),
+        network_stats(tels_net),
+        verified,
+        check_stats=check,
     )
 
 
@@ -111,24 +129,26 @@ def run_suite(
     seed: int = 0,
     verify_vectors: int = 512,
     jobs: int = 1,
+    backend: str = "auto",
 ) -> SuiteSummary:
     """Run both flows over every named benchmark; verify everything.
 
     With ``jobs > 1`` whole benchmarks are dispatched across a process pool
     (the sweep is embarrassingly parallel); row order — and every synthesized
-    network — is identical to a serial run.
+    network — is identical to a serial run.  ``backend`` selects the ILP
+    solver backend for the TELS flow.
     """
     from repro.engine.executor import resolve_jobs
 
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(names) <= 1:
-        rows = [_run_one(n, psi, seed, verify_vectors) for n in names]
+        rows = [_run_one(n, psi, seed, verify_vectors, backend) for n in names]
         return SuiteSummary(tuple(rows))
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = [
-            pool.submit(_run_one, n, psi, seed, verify_vectors)
+            pool.submit(_run_one, n, psi, seed, verify_vectors, backend)
             for n in names
         ]
         rows = [f.result() for f in futures]
@@ -154,4 +174,16 @@ def format_suite(summary: SuiteSummary) -> str:
         if worst
         else "no rows"
     )
+    totals = summary.check_totals()
+    if totals.calls:
+        lines.append(
+            f"checks: {totals.calls} calls, {totals.ilp_solved} ILPs; "
+            f"fastpath {totals.fastpath_hits} hits / "
+            f"{totals.fastpath_negatives} negatives / "
+            f"{totals.fastpath_misses} misses "
+            f"({100.0 * totals.fastpath_hit_rate:.1f}% without ILP); "
+            f"solvers: exact {totals.exact_solves} "
+            f"({totals.exact_wall_s:.3f}s), "
+            f"scipy {totals.scipy_solves} ({totals.scipy_wall_s:.3f}s)"
+        )
     return "\n".join(lines)

@@ -23,13 +23,21 @@ DEFAULT_NODE_LIMIT = 1_000
 
 
 def solve_bb(
-    problem: IlpProblem, node_limit: int = DEFAULT_NODE_LIMIT
+    problem: IlpProblem,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    incumbent_values: tuple[Fraction, ...] | None = None,
 ) -> IlpResult:
     """Solve an ILP by branch & bound; exact rational arithmetic.
 
     Mirrors the paper's practical stance on NP-completeness: if the search
     exceeds ``node_limit`` LP nodes the problem is declared infeasible (the
     synthesis flow then simply splits the node further).
+
+    ``incumbent_values`` warm-starts the search with a known point (the
+    Chow-parameter fast path or a symmetry-collapsed pre-solve supply one):
+    if it is a feasible integral point it becomes the starting incumbent,
+    so every node whose relaxation cannot beat it is pruned immediately.
+    An infeasible or non-integral hint is silently ignored.
     """
     if _gcd_infeasible(problem):
         return IlpResult(Status.INFEASIBLE)
@@ -42,6 +50,20 @@ def solve_bb(
         return root
 
     incumbent: IlpResult | None = None
+    if incumbent_values is not None:
+        seeded = tuple(Fraction(v) for v in incumbent_values)
+        if (
+            len(seeded) == problem.num_vars
+            and all(
+                v.denominator == 1
+                for v, flag in zip(seeded, problem.integer)
+                if flag
+            )
+            and problem.is_feasible_point(seeded)
+        ):
+            incumbent = IlpResult(
+                Status.OPTIMAL, problem.objective_value(seeded), seeded
+            )
     nodes_used = 0
     # Each node carries per-variable integer bounds (lo, hi); branching
     # *tightens* a bound instead of stacking a new cut row, so the LP at

@@ -1,55 +1,256 @@
-"""Backend dispatch for ILP solving.
+"""The layered dispatch for ILP solving: presolve → backend → verify.
 
 ``backend`` choices:
 
 * ``"exact"`` — pure-Python rational simplex + branch & bound (always
   available, exact feasibility);
 * ``"scipy"`` — HiGHS via scipy (fast, float-based, re-verified);
-* ``"auto"`` (default) — scipy when importable, verified against the exact
-  solver on disagreement-prone cases by construction: a scipy INFEASIBLE is
-  re-checked with the exact solver before being trusted, because threshold
-  identification treats infeasibility as a *semantic* answer.
+* ``"auto"`` (default) — scipy when importable, with a *verification
+  chain*: a scipy OPTIMAL is rounded to integers and re-checked against
+  every constraint of the original model (falling back to the exact solver
+  on any violation), and a scipy INFEASIBLE is re-proved by the exact
+  solver before being trusted, because threshold identification treats
+  infeasibility as a *semantic* answer;
+* any other registered name — see :mod:`repro.ilp.backends`.
+
+Every call runs the exactness-preserving :mod:`repro.ilp.presolve` pass
+first (duplicate/dominated-row elimination, bound consolidation), and when
+the reduced model still has interchangeable variables, a symmetry-collapsed
+pre-solve supplies the exact backend with a warm-start incumbent.
+:func:`solve_ilp_info` returns the result together with a
+:class:`~repro.ilp.backends.SolveInfo` record (per-backend attempts, wall
+times, presolve effect, verification outcome) for the telemetry pipeline.
 """
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 from repro.errors import IlpError
-from repro.ilp.branch_bound import solve_bb, verify_integral_solution
+from repro.ilp.backends import (
+    SolveAttempt,
+    SolveInfo,
+    available_backends,
+    get_backend,
+    registered_backends,
+    timed_solve,
+)
+from repro.ilp.branch_bound import verify_integral_solution
 from repro.ilp.model import IlpProblem, IlpResult, Status
-from repro.ilp.scipy_backend import have_scipy, solve_scipy
+from repro.ilp.presolve import (
+    collapse_symmetric,
+    expand_solution,
+    presolve as run_presolve,
+)
+
+__all__ = [
+    "available_backends",
+    "registered_backends",
+    "solve_ilp",
+    "solve_ilp_info",
+]
+
+#: Node budget for the symmetry-collapsed incumbent pre-solve; the collapsed
+#: model is strictly smaller, so a small budget is enough and a blown budget
+#: just means "no warm start".
+_COLLAPSE_NODE_LIMIT = 200
 
 
-def available_backends() -> list[str]:
-    """Names of usable backends on this machine."""
-    backends = ["exact"]
-    if have_scipy():
-        backends.append("scipy")
-    return backends
+def _round_to_integral(
+    problem: IlpProblem, result: IlpResult
+) -> IlpResult | None:
+    """Round integer variables and re-verify against the model.
+
+    Returns the verified (possibly repaired) result, or None when the
+    rounded point violates a constraint — the caller then falls back.
+    """
+    assert result.values is not None
+    values = []
+    for j, v in enumerate(result.values):
+        values.append(Fraction(round(v)) if problem.integer[j] else v)
+    values_t = tuple(values)
+    if not problem.is_feasible_point(values_t):
+        return None
+    return IlpResult(
+        Status.OPTIMAL,
+        problem.objective_value(values_t),
+        values_t,
+        limit_hit=result.limit_hit,
+    )
 
 
-def solve_ilp(problem: IlpProblem, backend: str = "auto") -> IlpResult:
-    """Solve an ILP with the chosen backend.
+def _exact_warm_start(
+    problem: IlpProblem,
+    info: SolveInfo,
+    warm_start: tuple[Fraction, ...] | None,
+) -> tuple[Fraction, ...] | None:
+    """A warm-start incumbent for the exact backend.
 
-    ``auto`` uses HiGHS when present but never trusts a float INFEASIBLE:
-    that answer is confirmed with the exact solver, since TELS interprets
+    A caller-supplied candidate wins; otherwise, when presolve found
+    interchangeable variables, solve the symmetry-collapsed model (strictly
+    smaller) and expand its solution.  The expansion is only used after it
+    verifies against the *original* model, and only ever as an incumbent
+    bound — the full model is still solved to optimality.
+    """
+    if warm_start is not None:
+        return warm_start
+    if info.presolve is None or not info.presolve.symmetry_classes:
+        return None
+    collapse = collapse_symmetric(problem, info.presolve.symmetry_classes)
+    if collapse is None or collapse.problem.num_vars >= problem.num_vars:
+        return None
+    from repro.ilp.branch_bound import solve_bb
+
+    import time
+
+    started = time.perf_counter()
+    reduced = solve_bb(collapse.problem, node_limit=_COLLAPSE_NODE_LIMIT)
+    info.attempts.append(
+        SolveAttempt(
+            backend="exact",
+            status=reduced.status,
+            wall_s=time.perf_counter() - started,
+        )
+    )
+    if not reduced.is_optimal or reduced.limit_hit:
+        return None
+    expanded = expand_solution(collapse, reduced.values)
+    if not problem.is_feasible_point(expanded):
+        return None
+    return expanded
+
+
+def solve_ilp_info(
+    problem: IlpProblem,
+    backend: str = "auto",
+    *,
+    presolve: bool = True,
+    warm_start: tuple[Fraction, ...] | None = None,
+) -> tuple[IlpResult, SolveInfo]:
+    """Solve an ILP and report structured per-solve telemetry.
+
+    Args:
+        problem: the model (left untouched; presolve works on a copy).
+        backend: registered backend name, or ``"auto"``.
+        presolve: run the reduction pass before any backend.
+        warm_start: a candidate point (full variable space) used as the
+            exact backend's starting incumbent when feasible.
+    """
+    info = SolveInfo()
+    reduced = problem
+    if presolve:
+        reduced, pinfo = run_presolve(problem)
+        info.presolve = pinfo
+        if pinfo.infeasible:
+            info.backend = "presolve"
+            info.status = Status.INFEASIBLE
+            info.verified = True
+            return IlpResult(Status.INFEASIBLE), info
+
+    if backend == "auto":
+        result = _solve_auto(problem, reduced, info, warm_start)
+    elif backend == "exact":
+        result = _solve_exact(problem, reduced, info, warm_start)
+    else:
+        result = _solve_named(problem, reduced, info, backend, warm_start)
+    info.status = result.status
+    return result, info
+
+
+def _solve_exact(
+    problem: IlpProblem,
+    reduced: IlpProblem,
+    info: SolveInfo,
+    warm_start: tuple[Fraction, ...] | None,
+) -> IlpResult:
+    incumbent = _exact_warm_start(reduced, info, warm_start)
+    result, attempt = timed_solve(
+        get_backend("exact"), reduced, warm_start=incumbent
+    )
+    info.attempts.append(attempt)
+    info.backend = "exact"
+    # Verify against the ORIGINAL model: this also guards the presolve
+    # reductions themselves, not just the backend.
+    verify_integral_solution(problem, result)
+    info.verified = True
+    return result
+
+
+def _solve_named(
+    problem: IlpProblem,
+    reduced: IlpProblem,
+    info: SolveInfo,
+    backend: str,
+    warm_start: tuple[Fraction, ...] | None,
+) -> IlpResult:
+    solver = get_backend(backend)
+    if not solver.available():
+        raise IlpError(
+            f"{backend} backend requested but {backend} is unavailable"
+        )
+    result, attempt = timed_solve(solver, reduced, warm_start=warm_start)
+    info.attempts.append(attempt)
+    info.backend = backend
+    if result.is_optimal:
+        repaired = _round_to_integral(problem, result)
+        if repaired is None:
+            raise IlpError(
+                f"{backend} returned an OPTIMAL point violating the model"
+            )
+        info.verified = True
+        return repaired
+    return result
+
+
+def _solve_auto(
+    problem: IlpProblem,
+    reduced: IlpProblem,
+    info: SolveInfo,
+    warm_start: tuple[Fraction, ...] | None,
+) -> IlpResult:
+    """scipy when present, under the verification chain; exact otherwise."""
+    scipy = get_backend("scipy")
+    if not scipy.available():
+        return _solve_exact(problem, reduced, info, warm_start)
+    result, attempt = timed_solve(scipy, reduced)
+    info.attempts.append(attempt)
+    if result.is_optimal:
+        repaired = _round_to_integral(problem, result)
+        if repaired is not None:
+            info.backend = "scipy"
+            info.verified = True
+            return repaired
+        # Rounded point violates the model: never trust it — fall back.
+        info.fallback = True
+        return _solve_exact(problem, reduced, info, warm_start)
+    if result.status is Status.UNBOUNDED:
+        info.backend = "scipy"
+        return result
+    # A float INFEASIBLE is a *semantic* answer for threshold
+    # identification (the function would be declared non-threshold), so it
+    # is always re-proved by the exact solver — and that fallback result is
+    # verified exactly like a first-class exact solve.
+    info.fallback = True
+    return _solve_exact(problem, reduced, info, warm_start)
+
+
+def solve_ilp(
+    problem: IlpProblem,
+    backend: str = "auto",
+    *,
+    presolve: bool = True,
+    warm_start: tuple[Fraction, ...] | None = None,
+) -> IlpResult:
+    """Solve an ILP with the chosen backend (telemetry discarded).
+
+    ``auto`` uses HiGHS when present but never trusts a float answer: an
+    OPTIMAL point is rounded to integers and re-checked against every
+    constraint (with an exact-solver fallback on violation), and an
+    INFEASIBLE is confirmed with the exact solver, since TELS interprets
     infeasibility as "not a threshold function" and a false negative would
     silently degrade synthesis quality (never correctness).
     """
-    if backend == "exact":
-        result = solve_bb(problem)
-        verify_integral_solution(problem, result)
-        return result
-    if backend == "scipy":
-        if not have_scipy():
-            raise IlpError("scipy backend requested but scipy is unavailable")
-        return solve_scipy(problem)
-    if backend == "auto":
-        if have_scipy():
-            result = solve_scipy(problem)
-            if result.status is Status.INFEASIBLE:
-                return solve_bb(problem)
-            return result
-        result = solve_bb(problem)
-        verify_integral_solution(problem, result)
-        return result
-    raise IlpError(f"unknown backend {backend!r}")
+    result, _ = solve_ilp_info(
+        problem, backend, presolve=presolve, warm_start=warm_start
+    )
+    return result

@@ -175,7 +175,9 @@ class TestCaching:
         assert checker.stats.cache_hits == before + 1
 
     def test_constraint_elimination_counted(self):
-        checker = ThresholdChecker()
+        # The Chow fast path would resolve this without formulating an ILP,
+        # leaving both counters at zero; this test is about formulation.
+        checker = ThresholdChecker(use_fastpath=False)
         checker.check_function(BooleanFunction.parse("a b + a c"))
         stats = checker.stats
         assert stats.constraints_emitted < stats.constraints_without_elimination
