@@ -1,0 +1,49 @@
+"""Persistent NP-canonical synthesis cache.
+
+``repro.cache`` is the cross-run tier of the result-store stack: covers are
+reduced to NP-semi-canonical function-class representatives
+(:mod:`repro.cache.canonical`), and solved weight–threshold vectors are
+persisted per class in a corruption-tolerant JSON-lines file
+(:mod:`repro.cache.store`).  The engine's in-memory
+:class:`~repro.engine.store.ResultStore` consults this layer on a miss and
+commits every newly solved vector back, so repeated ``tels synth`` /
+``tels suite`` / sweep invocations become near-pure lookups.
+"""
+
+from repro.cache.canonical import (
+    CANONICAL_FINGERPRINT,
+    MAX_CANONICAL_VARS,
+    NPCanonical,
+    NPTransform,
+    np_canonicalize,
+    vector_from_canonical,
+    vector_to_canonical,
+    verify_vector_key,
+)
+from repro.cache.store import (
+    ABSENT,
+    PersistentCache,
+    cache_file,
+    entry_key,
+    open_cache,
+    parse_signature,
+    signature_string,
+)
+
+__all__ = [
+    "ABSENT",
+    "CANONICAL_FINGERPRINT",
+    "MAX_CANONICAL_VARS",
+    "NPCanonical",
+    "NPTransform",
+    "PersistentCache",
+    "cache_file",
+    "entry_key",
+    "np_canonicalize",
+    "open_cache",
+    "parse_signature",
+    "signature_string",
+    "vector_from_canonical",
+    "vector_to_canonical",
+    "verify_vector_key",
+]

@@ -1,0 +1,280 @@
+"""Disk-backed persistent cache of solved weight–threshold vectors.
+
+The cache is a JSON-lines file (``cache.jsonl`` inside a cache directory):
+a header line identifying the format, version, and canonicalization
+fingerprint, then one line per entry mapping an NP-canonical cover
+signature plus the solver-relevant parameters to the solved vector in
+canonical space (or ``null`` for a proven non-threshold class).
+
+Design points:
+
+* **atomic append** — :meth:`PersistentCache.flush` writes all journaled
+  entries in one buffered write to an append-mode handle, so concurrent
+  writers (parallel suite benchmarks) interleave whole batches; a torn
+  line from a crash is skipped by the corruption-tolerant loader.
+* **journal/merge semantics** — new entries accumulate in a dirty journal;
+  the engine's process-pool workers hold read-only copies (pickling a
+  cache drops its journal and write permission), journal through the
+  existing :class:`~repro.engine.store.StoreDelta` path, and the parent
+  commits the merged deltas here.
+* **graceful degradation** — a corrupted, truncated, or version- or
+  fingerprint-mismatched file is logged and treated as empty (the run goes
+  cold instead of failing); the next :meth:`flush` rewrites it whole.
+* **compaction** — duplicated keys from concurrent appends are deduplicated
+  on load; :meth:`compact` rewrites the file atomically (temp + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.canonical import CANONICAL_FINGERPRINT
+
+logger = logging.getLogger("repro.cache")
+
+CACHE_FILENAME = "cache.jsonl"
+FORMAT_NAME = "tels-cache"
+FORMAT_VERSION = 1
+
+#: Miss sentinel: distinguishes "no entry" from a cached ``None`` verdict.
+ABSENT = object()
+
+
+@dataclass
+class CacheFileStats:
+    """What loading (and using) a cache file observed."""
+
+    entries: int = 0
+    corrupt_lines: int = 0
+    rejected_header: bool = False
+    path: str = ""
+
+
+def signature_string(cover_key: tuple) -> str:
+    """Serialize a canonical cover key as a compact, exact string."""
+    nvars, rows = cover_key
+    return f"{nvars}:" + ",".join(f"{pos}.{neg}" for pos, neg in rows)
+
+
+def parse_signature(text: str) -> tuple:
+    """Inverse of :func:`signature_string`."""
+    head, _, body = text.partition(":")
+    nvars = int(head)
+    rows = []
+    if body:
+        for item in body.split(","):
+            pos, _, neg = item.partition(".")
+            rows.append((int(pos), int(neg)))
+    return (nvars, tuple(rows))
+
+
+def entry_key(
+    signature: str, delta_on: int, delta_off: int, max_weight: int | None
+) -> str:
+    """The persisted lookup key: canonical signature + solve parameters."""
+    wmax = "-" if max_weight is None else str(max_weight)
+    return f"{signature}|{delta_on}|{delta_off}|{wmax}"
+
+
+class PersistentCache:
+    """One on-disk vector cache, loaded eagerly, journaled incrementally."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str = CANONICAL_FINGERPRINT,
+        read_only: bool = False,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.read_only = read_only
+        self._entries: dict[str, list[int] | None] = {}
+        self._dirty: dict[str, list[int] | None] = {}
+        self._needs_rewrite = False
+        self.file_stats = CacheFileStats(path=str(self.path))
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _header(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+        }
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            text = self.path.read_text()
+        except OSError as exc:
+            logger.warning("cache %s unreadable (%s); starting cold", self.path, exc)
+            self._needs_rewrite = True
+            return
+        lines = text.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            ok = (
+                header.get("format") == FORMAT_NAME
+                and header.get("version") == FORMAT_VERSION
+                and header.get("fingerprint") == self.fingerprint
+            )
+        except (json.JSONDecodeError, AttributeError):
+            ok = False
+        if not ok:
+            logger.warning(
+                "cache %s has a mismatched or corrupt header; starting cold",
+                self.path,
+            )
+            self.file_stats.rejected_header = True
+            self._needs_rewrite = True
+            return
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key = record["k"]
+                values = record["v"]
+                if values is not None:
+                    values = [int(v) for v in values]
+                if not isinstance(key, str):
+                    raise TypeError("entry key must be a string")
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.file_stats.corrupt_lines += 1
+                continue
+            self._entries[key] = values
+        self.file_stats.entries = len(self._entries)
+        if self.file_stats.corrupt_lines:
+            logger.warning(
+                "cache %s: skipped %d corrupt line(s)",
+                self.path,
+                self.file_stats.corrupt_lines,
+            )
+
+    # -- lookups -------------------------------------------------------
+    def get(self, key: str):
+        """The canonical-space values for ``key``, or :data:`ABSENT`."""
+        return self._entries.get(key, ABSENT)
+
+    def put(self, key: str, values: list[int] | None) -> bool:
+        """Install an entry; journals it for the next flush. False if known."""
+        if key in self._entries:
+            return False
+        self._entries[key] = values
+        if not self.read_only:
+            self._dirty[key] = values
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def solved_count(self) -> int:
+        """Entries holding a vector (the rest are non-threshold verdicts)."""
+        return sum(1 for v in self._entries.values() if v is not None)
+
+    # -- persistence ---------------------------------------------------
+    def _encode(self, key: str, values: list[int] | None) -> str:
+        return json.dumps({"k": key, "v": values}, separators=(",", ":"))
+
+    def flush(self) -> int:
+        """Append journaled entries to disk; returns lines written."""
+        if self.read_only or (not self._dirty and not self._needs_rewrite):
+            return 0
+        if self._needs_rewrite or not self.path.exists():
+            written = len(self._entries)
+            self.compact()
+            self._dirty.clear()
+            return written
+        lines = [self._encode(k, v) for k, v in self._dirty.items()]
+        payload = "".join(line + "\n" for line in lines)
+        try:
+            with open(self.path, "a") as handle:
+                handle.write(payload)
+        except OSError as exc:
+            logger.warning("cache %s flush failed (%s)", self.path, exc)
+            return 0
+        self._dirty.clear()
+        return len(lines)
+
+    def compact(self) -> None:
+        """Atomically rewrite the file: header + deduplicated entries."""
+        if self.read_only:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        lines = [json.dumps(self._header())]
+        lines.extend(self._encode(k, v) for k, v in sorted(self._entries.items()))
+        try:
+            tmp.write_text("".join(line + "\n" for line in lines))
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            logger.warning("cache %s compaction failed (%s)", self.path, exc)
+            return
+        self._needs_rewrite = False
+        self._dirty.clear()
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._entries.clear()
+        self._dirty.clear()
+        self._needs_rewrite = False
+        if not self.read_only:
+            try:
+                self.path.unlink(missing_ok=True)
+            except OSError as exc:
+                logger.warning("cache %s clear failed (%s)", self.path, exc)
+
+    # -- worker shipping -----------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as a read-only snapshot: workers look up, never write."""
+        return {
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "entries": self._entries,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = Path(state["path"])
+        self.fingerprint = state["fingerprint"]
+        self.read_only = True
+        self._entries = state["entries"]
+        self._dirty = {}
+        self._needs_rewrite = False
+        self.file_stats = CacheFileStats(
+            entries=len(self._entries), path=str(self.path)
+        )
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        return (
+            f"PersistentCache({str(self.path)!r}, {mode}, "
+            f"entries={len(self._entries)}, dirty={len(self._dirty)})"
+        )
+
+
+def cache_file(directory: str | Path) -> Path:
+    return Path(directory) / CACHE_FILENAME
+
+
+def open_cache(
+    directory: str | Path,
+    fingerprint: str = CANONICAL_FINGERPRINT,
+    read_only: bool = False,
+) -> PersistentCache:
+    """Open (creating the directory for) the cache file under ``directory``."""
+    path = cache_file(directory)
+    if not read_only:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    return PersistentCache(path, fingerprint=fingerprint, read_only=read_only)

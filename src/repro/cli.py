@@ -58,12 +58,40 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent synthesis-cache directory "
+        "(default: the TELS_CACHE environment variable, if set)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the persistent cache even when TELS_CACHE is set",
+    )
+
+
+def _cache_dir(args: argparse.Namespace) -> str | None:
+    """Resolve the persistent-cache directory from flags and environment."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache", None)
+    if explicit:
+        return explicit
+    return os.environ.get("TELS_CACHE") or None
+
+
 def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--psi", type=int, default=3, help="fanin restriction")
     parser.add_argument("--delta-on", type=int, default=0, help="ON tolerance")
     parser.add_argument("--delta-off", type=int, default=1, help="OFF tolerance")
     parser.add_argument("--seed", type=int, default=0, help="tie-break seed")
     _add_backend_args(parser)
+    _add_cache_args(parser)
     parser.add_argument(
         "--jobs",
         type=int,
@@ -104,7 +132,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
     network = read_blif(args.file)
     prepared = prepare_tels(network)
     threshold_net, report = synthesize_with_report(
-        prepared, _options(args), jobs=_jobs(args)
+        prepared, _options(args), jobs=_jobs(args), cache_dir=_cache_dir(args)
     )
     ok = verify_threshold_network(network, threshold_net)
     stats = network_stats(threshold_net)
@@ -137,6 +165,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
         )
     if report.trace is not None:
         print(report.trace.format_summary())
+    cache_dir = _cache_dir(args)
+    store = report.checker.store if report.checker else None
+    if cache_dir and store is not None and store.persistent is not None:
+        s = store.stats
+        print(
+            f"cache: {cache_dir} holds {len(store.persistent)} entries; "
+            f"this run: {s.persistent_hits} hits, "
+            f"{s.persistent_misses} misses, "
+            f"{s.transformed_hits} NP-transformed, "
+            f"{s.transform_rejects} rejected"
+        )
     if args.output:
         write_thblif(threshold_net, args.output)
         print(f"wrote {args.output}")
@@ -230,6 +269,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         backend=args.ilp_backend,
+        cache_dir=_cache_dir(args),
     )
     print(format_suite(summary))
     return 0
@@ -245,6 +285,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         psi=args.psi,
         seed=args.seed,
         jobs=args.jobs,
+        cache_dir=_cache_dir(args),
     )
     print(format_sweep(points))
     return 0
@@ -293,6 +334,67 @@ def cmd_fig12(args: argparse.Namespace) -> int:
 
     points = run_fig12(trials=args.trials, seed=args.seed)
     print(format_fig12(points))
+    return 0
+
+
+def _require_cache_dir(args: argparse.Namespace) -> str | None:
+    cache_dir = _cache_dir(args)
+    if cache_dir is None:
+        print(
+            "no cache directory: pass --cache DIR or set TELS_CACHE",
+            file=sys.stderr,
+        )
+    return cache_dir
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache.store import cache_file, open_cache
+
+    cache_dir = _require_cache_dir(args)
+    if cache_dir is None:
+        return 2
+
+    if args.cache_command == "stats":
+        cache = open_cache(cache_dir, read_only=True)
+        info = cache.file_stats
+        print(f"cache:    {cache_file(cache_dir)}")
+        print(f"entries:  {len(cache)}")
+        print(f"solved:   {cache.solved_count}")
+        print(f"negative: {len(cache) - cache.solved_count}")
+        if info.rejected_header:
+            print("header:   REJECTED (stale format/version/fingerprint)")
+        if info.corrupt_lines:
+            print(f"corrupt:  {info.corrupt_lines} lines skipped")
+        return 0
+
+    if args.cache_command == "clear":
+        cache = open_cache(cache_dir)
+        removed = len(cache)
+        cache.clear()
+        print(f"cleared {removed} entries from {cache_file(cache_dir)}")
+        return 0
+
+    # warm: synthesize the named benchmarks against the cache to seed it.
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.engine.store import ResultStore
+    from repro.network.scripts import prepare_tels
+
+    store = ResultStore.with_cache_dir(cache_dir)
+    for name in args.benchmarks:
+        source = build_extended_benchmark(name)
+        synthesize_with_report(
+            prepare_tels(source),
+            SynthesisOptions(psi=args.psi, seed=args.seed),
+            jobs=_jobs(args),
+            store=store,
+        )
+        print(f"warmed {name}: cache now {len(store.persistent)} entries")
+    s = store.stats
+    print(
+        f"warm run: {s.persistent_hits} persistent hits, "
+        f"{s.persistent_misses} misses; "
+        f"{len(store.persistent)} entries on disk"
+    )
     return 0
 
 
@@ -377,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     _add_backend_args(p)
+    _add_cache_args(p)
     p.add_argument(
         "--jobs",
         type=int,
@@ -403,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
+    _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table1", help="regenerate Table I")
@@ -426,6 +530,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser(
+        "cache", help="inspect or manage the persistent synthesis cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "print cache file statistics"),
+        ("clear", "drop every cached entry"),
+        ("warm", "seed the cache by synthesizing benchmarks"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        _add_cache_args(cp)
+        if name == "warm":
+            cp.add_argument(
+                "benchmarks",
+                nargs="*",
+                default=["cm152a", "cm85a", "cmb"],
+                help="benchmarks to synthesize into the cache",
+            )
+            cp.add_argument("--psi", type=int, default=3)
+            cp.add_argument("--seed", type=int, default=0)
+            cp.add_argument("--jobs", type=int, default=1)
+        cp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("enumerate", help="Section VI-B function counts")
     p.add_argument("nvars", type=int, choices=range(1, 6))

@@ -377,13 +377,22 @@ def is_threshold_function(
     backend: str = "auto",
     max_weight: int | None = None,
     store: "ResultStore | None" = None,
+    cache_dir: str | None = None,
 ) -> WeightThresholdVector | None:
     """One-shot convenience wrapper around :class:`ThresholdChecker`.
 
     ``max_weight`` and ``store`` mirror the engine-configured checker, so a
     one-shot call can enforce the device weight bound and share (or warm) a
-    result store across calls.
+    result store across calls.  ``cache_dir`` (ignored when ``store`` is
+    given) layers the persistent NP-canonical cache under a fresh store and
+    flushes any new solve back to disk before returning.
     """
+    flush_after = False
+    if store is None and cache_dir is not None:
+        from repro.engine.store import ResultStore
+
+        store = ResultStore.with_cache_dir(cache_dir)
+        flush_after = True
     checker = ThresholdChecker(
         delta_on=delta_on,
         delta_off=delta_off,
@@ -392,5 +401,9 @@ def is_threshold_function(
         store=store,
     )
     if isinstance(function, BooleanFunction):
-        return checker.check_function(function)
-    return checker.check(function)
+        result = checker.check_function(function)
+    else:
+        result = checker.check(function)
+    if flush_after:
+        store.flush_persistent()
+    return result

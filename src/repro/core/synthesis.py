@@ -116,6 +116,7 @@ def synthesize(
     options: SynthesisOptions | None = None,
     jobs: int = 1,
     store: "ResultStore | None" = None,
+    cache_dir: str | None = None,
 ) -> ThresholdNetwork:
     """Run TELS on an (ideally algebraically-factored) Boolean network.
 
@@ -127,10 +128,15 @@ def synthesize(
         store: optional shared :class:`~repro.engine.store.ResultStore`;
             pass the same store across runs/sweeps to reuse threshold-check
             results and re-solve only what changed.
+        cache_dir: directory of the persistent NP-canonical synthesis cache
+            (ignored when ``store`` is given — attach the cache to the
+            store instead).
     """
     from repro.engine.scheduler import run_synthesis
 
-    return run_synthesis(network, options, jobs=jobs, store=store).network
+    return run_synthesis(
+        network, options, jobs=jobs, store=store, cache_dir=cache_dir
+    ).network
 
 
 def synthesize_with_report(
@@ -138,9 +144,12 @@ def synthesize_with_report(
     options: SynthesisOptions | None = None,
     jobs: int = 1,
     store: "ResultStore | None" = None,
+    cache_dir: str | None = None,
 ) -> tuple[ThresholdNetwork, SynthesisReport]:
     """Like :func:`synthesize` but also returns run statistics."""
     from repro.engine.scheduler import run_synthesis
 
-    result = run_synthesis(network, options, jobs=jobs, store=store)
+    result = run_synthesis(
+        network, options, jobs=jobs, store=store, cache_dir=cache_dir
+    )
     return result.network, result.report

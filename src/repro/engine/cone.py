@@ -34,6 +34,7 @@ from repro.core.threshold import (
     make_or_vector,
 )
 from repro.engine.events import TaskMetrics, timed
+from repro.engine.store import StoreStats
 from repro.errors import SynthesisError
 from repro.network.network import BooleanNetwork
 
@@ -51,6 +52,7 @@ class ConeOutcome:
     discovered: tuple[str, ...]
     metrics: TaskMetrics
     stats_delta: CheckStats
+    store_stats_delta: "StoreStats | None" = None
 
 
 class ConeSynthesizer:
@@ -89,6 +91,8 @@ class ConeSynthesizer:
     def run(self) -> ConeOutcome:
         run_started = time.perf_counter()
         stats_before = self.checker.stats.snapshot()
+        store = self.checker.store
+        store_before = store.stats.snapshot() if store is not None else None
         budget = 1000 * (self.work.num_nodes + 10)
         self.pending.append(self.root)
         while self.pending:
@@ -124,11 +128,19 @@ class ConeSynthesizer:
         self.metrics.exact_wall_s = delta.exact_wall_s
         self.metrics.scipy_wall_s = delta.scipy_wall_s
         self.metrics.presolve_rows_removed = delta.presolve_rows_removed
+        store_delta: StoreStats | None = None
+        if store_before is not None and self.checker.store is not None:
+            store_delta = self.checker.store.stats.since(store_before)
+            self.metrics.persistent_hits = store_delta.persistent_hits
+            self.metrics.persistent_misses = store_delta.persistent_misses
+            self.metrics.transformed_hits = store_delta.transformed_hits
+            self.metrics.transform_rejects = store_delta.transform_rejects
         return ConeOutcome(
             gates=tuple(self.gates),
             discovered=tuple(self._discovered),
             metrics=self.metrics,
             stats_delta=delta,
+            store_stats_delta=store_delta,
         )
 
     # ------------------------------------------------------------------

@@ -54,6 +54,10 @@ class TaskMetrics:
     exact_wall_s: float = 0.0
     scipy_wall_s: float = 0.0
     presolve_rows_removed: int = 0
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    transformed_hits: int = 0
+    transform_rejects: int = 0
 
     def events(self) -> Iterator[TaskEvent]:
         """Expand this record into structured per-phase events."""
@@ -78,6 +82,9 @@ class TaskMetrics:
                 "exact_solves": self.exact_solves,
                 "scipy_solves": self.scipy_solves,
                 "presolve_rows_removed": self.presolve_rows_removed,
+                "persistent_hits": self.persistent_hits,
+                "persistent_misses": self.persistent_misses,
+                "transformed_hits": self.transformed_hits,
             },
         )
         yield TaskEvent(
@@ -162,6 +169,16 @@ class EngineTrace:
             self.total("fastpath_hits") + self.total("fastpath_negatives")
         ) / attempts
 
+    @property
+    def persistent_hit_rate(self) -> float:
+        """Share of persistent-tier lookups answered from disk."""
+        lookups = self.total("persistent_hits") + self.total(
+            "persistent_misses"
+        )
+        if not lookups:
+            return 0.0
+        return self.total("persistent_hits") / lookups
+
     def slowest(self, n: int = 3) -> list[TaskMetrics]:
         return sorted(self.tasks, key=lambda m: -m.wall_s)[:n]
 
@@ -189,6 +206,14 @@ class EngineTrace:
             f"{self.total('scipy_wall_s'):.3f}s, "
             f"presolve removed {int(self.total('presolve_rows_removed'))} rows",
         ]
+        if self.total("persistent_hits") or self.total("persistent_misses"):
+            lines.append(
+                f"persistent cache: {int(self.total('persistent_hits'))} hits, "
+                f"{int(self.total('persistent_misses'))} misses "
+                f"({100.0 * self.persistent_hit_rate:.1f}%), "
+                f"{int(self.total('transformed_hits'))} NP-transformed, "
+                f"{int(self.total('transform_rejects'))} rejected"
+            )
         slow = [m for m in self.slowest(3) if m.wall_s > 0]
         if slow:
             tasks = ", ".join(f"{m.task_id} {m.wall_s:.3f}s" for m in slow)

@@ -68,6 +68,7 @@ class SerialExecutor:
                 metrics=outcome.metrics,
                 stats_delta=outcome.stats_delta,
                 store_delta=None,
+                store_stats_delta=outcome.store_stats_delta,
             )
         ]
 
@@ -88,9 +89,13 @@ def _worker_init(
     options,
     preserved: frozenset[str],
     store_seed: StoreDelta,
+    persistent=None,
 ) -> None:
     global _WORKER
-    store = ResultStore()
+    # The persistent cache pickles as a read-only snapshot: workers get its
+    # lookups but journal new solves through the StoreDelta path, which the
+    # scheduler commits to disk on the parent side.
+    store = ResultStore(persistent=persistent)
     store.merge(store_seed)
     store.begin_journal()
     checker = ThresholdChecker.from_options(options, store=store)
@@ -119,6 +124,7 @@ def _worker_run(task_id: str, root: str) -> TaskResult:
         metrics=outcome.metrics,
         stats_delta=outcome.stats_delta,
         store_delta=_WORKER["store"].take_journal(),
+        store_stats_delta=outcome.store_stats_delta,
     )
 
 
@@ -138,7 +144,13 @@ class ProcessExecutor:
         self._pool = ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_worker_init,
-            initargs=(network, options, preserved, store.export()),
+            initargs=(
+                network,
+                options,
+                preserved,
+                store.export(),
+                store.persistent,
+            ),
         )
         self._futures: set[Future] = set()
 

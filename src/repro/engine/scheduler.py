@@ -45,6 +45,7 @@ def run_synthesis(
     options=None,
     jobs: int = 1,
     store: ResultStore | None = None,
+    cache_dir: str | None = None,
 ) -> EngineResult:
     """Synthesize ``network`` with the pass-based engine.
 
@@ -54,12 +55,20 @@ def run_synthesis(
         jobs: worker processes; 1 runs inline, 0/None uses every core.
         store: a shared :class:`ResultStore` to read and extend — pass the
             same store across sweep points to re-solve only what changed.
+        cache_dir: directory of the persistent NP-canonical cache; ignored
+            when ``store`` is given (attach the cache to the store instead).
+            New solves are flushed back to disk when the run completes.
     """
     from repro.core.synthesis import SynthesisOptions, SynthesisReport
 
     options = options or SynthesisOptions()
     jobs = resolve_jobs(jobs)
-    store = store if store is not None else ResultStore()
+    if store is None:
+        store = (
+            ResultStore.with_cache_dir(cache_dir)
+            if cache_dir is not None
+            else ResultStore()
+        )
     checker = ThresholdChecker.from_options(options, store=store)
     preserved = preserved_set(network, options.preserve_sharing)
     initial = plan_initial_tasks(network)
@@ -91,6 +100,7 @@ def run_synthesis(
     finally:
         executor.close()
     trace.wall_s = time.perf_counter() - started
+    store.flush_persistent()
 
     result_net = _assemble(network, initial, results)
     report = _build_report(options, checker, trace, results, store)
@@ -150,7 +160,11 @@ def _build_report(
         report.and_factor_splits += m.and_factor_splits
     if trace.backend != "serial":
         # Worker checkers did the work; fold their per-task stat deltas into
-        # the parent checker so report.checker.stats reads the same either way.
+        # the parent checker (and store) so report.checker.stats and
+        # store.stats read the same either way.  Serial runs share the
+        # master store, so their counts are already in place.
         for result in results.values():
             checker.stats.add(result.stats_delta)
+            if result.store_stats_delta is not None:
+                store.stats.add(result.store_stats_delta)
     return report

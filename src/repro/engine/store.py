@@ -16,11 +16,19 @@ runs, and experiment sweeps:
 Process-pool workers keep their own store and journal every new entry; the
 scheduler merges the journals back into the master store so later tasks,
 runs, and sweep points see them.
+
+A third, *persistent* tier (:class:`repro.cache.store.PersistentCache`) can
+be layered underneath: a vector-tier miss is retried against the on-disk
+cache under the cover's NP-semi-canonical signature, and a hit is mapped
+back through the recorded permutation/negation transform — then re-verified
+against the cover's ON/OFF sets before being trusted.  Every newly solved
+vector (including merged worker journals) is committed back to the
+persistent journal; :meth:`ResultStore.flush_persistent` writes it out.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.boolean.cover import Cover
 from repro.core.threshold import WeightThresholdVector
@@ -46,12 +54,29 @@ class CoverAnalysis:
 
 @dataclass
 class StoreStats:
-    """Hit/miss counters, per tier."""
+    """Hit/miss counters, per tier.
+
+    All fields are additive counters, so :meth:`snapshot`, :meth:`since`,
+    and :meth:`add` are derived generically over the dataclass fields — a
+    new counter only needs a declaration here to travel through per-task
+    deltas and process-pool merges without double counting.
+
+    Vector-tier semantics: ``vector_hits`` counts every *served* lookup
+    (whichever tier answered); the ``persistent_*`` counters break out the
+    subset that reached the on-disk tier, and ``transformed_hits`` /
+    ``transform_rejects`` the persistent hits that needed a nontrivial
+    NP transform (rejects failed re-verification and fell through to a
+    miss).
+    """
 
     vector_hits: int = 0
     vector_misses: int = 0
     analysis_hits: int = 0
     analysis_misses: int = 0
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    transformed_hits: int = 0
+    transform_rejects: int = 0
 
     @property
     def vector_lookups(self) -> int:
@@ -72,25 +97,35 @@ class StoreStats:
         return self.analysis_hits / lookups if lookups else 0.0
 
     @property
+    def persistent_lookups(self) -> int:
+        return self.persistent_hits + self.persistent_misses
+
+    @property
+    def persistent_hit_rate(self) -> float:
+        lookups = self.persistent_lookups
+        return self.persistent_hits / lookups if lookups else 0.0
+
+    @property
     def hits(self) -> int:
         return self.vector_hits + self.analysis_hits
 
     def snapshot(self) -> "StoreStats":
-        return StoreStats(
-            self.vector_hits,
-            self.vector_misses,
-            self.analysis_hits,
-            self.analysis_misses,
-        )
+        """An independent copy (for before/after deltas)."""
+        return replace(self)
 
     def since(self, earlier: "StoreStats") -> "StoreStats":
         """Counter deltas accumulated after ``earlier`` was snapshotted."""
         return StoreStats(
-            self.vector_hits - earlier.vector_hits,
-            self.vector_misses - earlier.vector_misses,
-            self.analysis_hits - earlier.analysis_hits,
-            self.analysis_misses - earlier.analysis_misses,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
+
+    def add(self, delta: "StoreStats") -> None:
+        """Fold another stats record (e.g. a worker's delta) into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(delta, f.name))
 
 
 @dataclass
@@ -107,23 +142,46 @@ class StoreDelta:
 
 
 class ResultStore:
-    """Canonical-cover keyed cache shared across synthesis tasks and sweeps."""
+    """Canonical-cover keyed cache shared across synthesis tasks and sweeps.
 
-    def __init__(self) -> None:
+    ``persistent`` optionally layers a
+    :class:`repro.cache.store.PersistentCache` under the vector tier: misses
+    are retried on disk under the cover's NP-canonical signature, and every
+    new solve (local or merged from a worker journal) is committed back.
+    """
+
+    def __init__(self, persistent=None) -> None:
         self._vectors: dict[tuple, WeightThresholdVector | None] = {}
         self._analyses: dict[tuple, CoverAnalysis | None] = {}
         self.stats = StoreStats()
         self._journal: StoreDelta | None = None
+        self.persistent = persistent
+        self._canonical_memo: dict[tuple, tuple] = {}
+
+    @classmethod
+    def with_cache_dir(cls, cache_dir) -> "ResultStore":
+        """A store layered over the persistent cache at ``cache_dir``."""
+        from repro.cache.store import open_cache
+
+        return cls(persistent=open_cache(cache_dir))
 
     # -- vector tier ---------------------------------------------------
     def get_vector(self, key: tuple):
         """Cached vector for a (cover, deltas) key, or the miss sentinel."""
         found = self._vectors.get(key, _MISSING)
-        if found is _MISSING:
-            self.stats.vector_misses += 1
-        else:
+        if found is not _MISSING:
             self.stats.vector_hits += 1
-        return found
+            return found
+        if self.persistent is not None:
+            found = self._persistent_lookup(key)
+            if found is not _MISSING:
+                self.stats.vector_hits += 1
+                self._vectors[key] = found
+                if self._journal is not None:
+                    self._journal.vectors[key] = found
+                return found
+        self.stats.vector_misses += 1
+        return _MISSING
 
     def put_vector(
         self, key: tuple, vector: WeightThresholdVector | None
@@ -131,6 +189,108 @@ class ResultStore:
         self._vectors[key] = vector
         if self._journal is not None:
             self._journal.vectors[key] = vector
+        if self.persistent is not None:
+            self._persistent_put(key, vector)
+
+    # -- persistent tier -----------------------------------------------
+    @staticmethod
+    def _split_key(key: tuple):
+        """(cover_key, delta_on, delta_off, max_weight) or None if foreign.
+
+        The persistent tier only understands the checker's key shape; other
+        shapes (tests, ad-hoc callers) silently stay memory-only.
+        """
+        if not (isinstance(key, tuple) and len(key) == 4):
+            return None
+        cover_key = key[0]
+        if not (
+            isinstance(cover_key, tuple)
+            and len(cover_key) == 2
+            and isinstance(cover_key[0], int)
+            and isinstance(cover_key[1], tuple)
+        ):
+            return None
+        return cover_key, key[1], key[2], key[3]
+
+    def _canonicalize(self, cover_key: tuple):
+        """Memoized NP-canonicalization of a cover key (None if too wide)."""
+        from repro.cache.canonical import MAX_CANONICAL_VARS, np_canonicalize
+
+        if cover_key[0] > MAX_CANONICAL_VARS:
+            return None
+        cached = self._canonical_memo.get(cover_key)
+        if cached is None:
+            cached = np_canonicalize(cover_key)
+            self._canonical_memo[cover_key] = cached
+        return cached
+
+    def _persistent_lookup(self, key: tuple):
+        from repro.cache.canonical import (
+            vector_from_canonical,
+            verify_vector_key,
+        )
+        from repro.cache.store import ABSENT, entry_key, signature_string
+
+        parts = self._split_key(key)
+        if parts is None:
+            return _MISSING
+        cover_key, delta_on, delta_off, max_weight = parts
+        canonical = self._canonicalize(cover_key)
+        if canonical is None:
+            return _MISSING
+        skey = entry_key(
+            signature_string(canonical.key), delta_on, delta_off, max_weight
+        )
+        values = self.persistent.get(skey)
+        if values is ABSENT:
+            self.stats.persistent_misses += 1
+            return _MISSING
+        if values is None:
+            # A cached non-threshold verdict: NP-invariant, nothing to map.
+            self.stats.persistent_hits += 1
+            return None
+        vector = vector_from_canonical(values, canonical.transform)
+        # Never trust a transformed (or on-disk) gate unverified: check it
+        # against this cover's ON/OFF sets with the delta margins.
+        if not verify_vector_key(cover_key, vector, delta_on, delta_off):
+            self.stats.transform_rejects += 1
+            self.stats.persistent_misses += 1
+            return _MISSING
+        self.stats.persistent_hits += 1
+        if not canonical.transform.is_identity:
+            self.stats.transformed_hits += 1
+        return vector
+
+    def _persistent_put(
+        self, key: tuple, vector: WeightThresholdVector | None
+    ) -> None:
+        from repro.cache.canonical import vector_to_canonical
+        from repro.cache.store import entry_key, signature_string
+
+        if getattr(self.persistent, "read_only", False):
+            return  # worker-side snapshot: deltas travel via the journal
+        parts = self._split_key(key)
+        if parts is None:
+            return
+        cover_key, delta_on, delta_off, max_weight = parts
+        canonical = self._canonicalize(cover_key)
+        if canonical is None:
+            return
+        skey = entry_key(
+            signature_string(canonical.key), delta_on, delta_off, max_weight
+        )
+        values = (
+            None
+            if vector is None
+            else vector_to_canonical(vector, canonical.transform)
+        )
+        self.persistent.put(skey, values)
+
+    def flush_persistent(self) -> int:
+        """Write journaled persistent entries to disk; returns lines written."""
+        if self.persistent is None:
+            return 0
+        return self.persistent.flush()
 
     # -- analysis tier -------------------------------------------------
     def get_analysis(self, key: tuple):
@@ -162,12 +322,19 @@ class ResultStore:
         return delta
 
     def merge(self, delta: StoreDelta) -> int:
-        """Fold a worker's journal into this store; returns entries added."""
+        """Fold a worker's journal into this store; returns entries added.
+
+        Newly merged vectors are also committed to the persistent journal —
+        this is how process-pool solves reach the on-disk cache, since
+        workers hold read-only cache snapshots.
+        """
         added = 0
         for key, vector in delta.vectors.items():
             if key not in self._vectors:
                 self._vectors[key] = vector
                 added += 1
+                if self.persistent is not None:
+                    self._persistent_put(key, vector)
         for key, analysis in delta.analyses.items():
             if key not in self._analyses:
                 self._analyses[key] = analysis
@@ -191,8 +358,11 @@ class ResultStore:
         return len(self._vectors) + len(self._analyses)
 
     def __repr__(self) -> str:
+        persistent = (
+            f", persistent={len(self.persistent)}" if self.persistent else ""
+        )
         return (
             f"ResultStore(vectors={len(self._vectors)}, "
             f"analyses={len(self._analyses)}, "
-            f"hits={self.stats.hits})"
+            f"hits={self.stats.hits}{persistent})"
         )

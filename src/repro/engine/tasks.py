@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.identify import CheckStats
 from repro.core.threshold import ThresholdGate
 from repro.engine.events import TaskMetrics
-from repro.engine.store import StoreDelta
+from repro.engine.store import StoreDelta, StoreStats
 from repro.network.network import BooleanNetwork
 
 
@@ -56,6 +56,7 @@ class TaskResult:
     metrics: TaskMetrics
     stats_delta: CheckStats = field(default_factory=CheckStats)
     store_delta: StoreDelta | None = None
+    store_stats_delta: StoreStats | None = None
 
 
 def preserved_set(

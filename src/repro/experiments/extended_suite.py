@@ -17,6 +17,7 @@ from repro.core.identify import CheckStats
 from repro.core.mapping import one_to_one_map
 from repro.core.synthesis import SynthesisOptions, synthesize_with_report
 from repro.core.verify import verify_threshold_network
+from repro.engine.store import StoreStats
 from repro.errors import SynthesisError
 from repro.network.scripts import prepare_one_to_one, prepare_tels
 
@@ -30,6 +31,7 @@ class SuiteRow:
     tels: NetworkStats
     verified: bool
     check_stats: CheckStats | None = None
+    store_stats: StoreStats | None = None
 
     @property
     def reduction_percent(self) -> float:
@@ -93,9 +95,22 @@ class SuiteSummary:
                 totals.add(row.check_stats)
         return totals
 
+    def store_totals(self) -> StoreStats:
+        """Store counters folded over every row (missing rows skipped)."""
+        totals = StoreStats()
+        for row in self.rows:
+            if row.store_stats is not None:
+                totals.add(row.store_stats)
+        return totals
+
 
 def _run_one(
-    name: str, psi: int, seed: int, verify_vectors: int, backend: str = "auto"
+    name: str,
+    psi: int,
+    seed: int,
+    verify_vectors: int,
+    backend: str = "auto",
+    cache_dir: str | None = None,
 ) -> SuiteRow:
     """Both flows for one benchmark (module-level: process-pool friendly)."""
     source = build_extended_benchmark(name)
@@ -103,6 +118,7 @@ def _run_one(
     tels_net, report = synthesize_with_report(
         prepare_tels(source),
         SynthesisOptions(psi=psi, seed=seed, backend=backend),
+        cache_dir=cache_dir,
     )
     verified = verify_threshold_network(
         source, tels_net, vectors=verify_vectors
@@ -114,12 +130,14 @@ def _run_one(
     check = (
         report.checker.stats.snapshot() if report.checker is not None else None
     )
+    store = report.checker.store if report.checker is not None else None
     return SuiteRow(
         name,
         network_stats(one_net),
         network_stats(tels_net),
         verified,
         check_stats=check,
+        store_stats=store.stats.snapshot() if store is not None else None,
     )
 
 
@@ -130,25 +148,33 @@ def run_suite(
     verify_vectors: int = 512,
     jobs: int = 1,
     backend: str = "auto",
+    cache_dir: str | None = None,
 ) -> SuiteSummary:
     """Run both flows over every named benchmark; verify everything.
 
     With ``jobs > 1`` whole benchmarks are dispatched across a process pool
     (the sweep is embarrassingly parallel); row order — and every synthesized
     network — is identical to a serial run.  ``backend`` selects the ILP
-    solver backend for the TELS flow.
+    solver backend for the TELS flow.  ``cache_dir`` points every run at the
+    same persistent synthesis cache; loads are corruption-tolerant and each
+    benchmark flushes only its new entries, so concurrent rows stay safe.
     """
     from repro.engine.executor import resolve_jobs
 
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(names) <= 1:
-        rows = [_run_one(n, psi, seed, verify_vectors, backend) for n in names]
+        rows = [
+            _run_one(n, psi, seed, verify_vectors, backend, cache_dir)
+            for n in names
+        ]
         return SuiteSummary(tuple(rows))
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = [
-            pool.submit(_run_one, n, psi, seed, verify_vectors, backend)
+            pool.submit(
+                _run_one, n, psi, seed, verify_vectors, backend, cache_dir
+            )
             for n in names
         ]
         rows = [f.result() for f in futures]
@@ -185,5 +211,14 @@ def format_suite(summary: SuiteSummary) -> str:
             f"solvers: exact {totals.exact_solves} "
             f"({totals.exact_wall_s:.3f}s), "
             f"scipy {totals.scipy_solves} ({totals.scipy_wall_s:.3f}s)"
+        )
+    store = summary.store_totals()
+    if store.persistent_lookups:
+        lines.append(
+            f"persistent cache: {store.persistent_hits} hits / "
+            f"{store.persistent_misses} misses "
+            f"({100.0 * store.persistent_hit_rate:.1f}%), "
+            f"{store.transformed_hits} NP-transformed, "
+            f"{store.transform_rejects} rejected"
         )
     return "\n".join(lines)

@@ -54,9 +54,20 @@ def run_delta_sweep(
     jobs: int = 1,
     store: ResultStore | None = None,
     verify_vectors: int = 512,
+    cache_dir: str | None = None,
 ) -> list[SweepPoint]:
-    """Synthesize every benchmark at every ``delta_on``, sharing one store."""
-    store = store if store is not None else ResultStore()
+    """Synthesize every benchmark at every ``delta_on``, sharing one store.
+
+    ``cache_dir`` (ignored when ``store`` is given) additionally layers the
+    persistent NP-canonical cache under the shared store, so repeated sweeps
+    warm-start from disk.
+    """
+    if store is None:
+        store = (
+            ResultStore.with_cache_dir(cache_dir)
+            if cache_dir is not None
+            else ResultStore()
+        )
     sources = {name: build_extended_benchmark(name) for name in names}
     prepared = {name: prepare_tels(net) for name, net in sources.items()}
     points: list[SweepPoint] = []

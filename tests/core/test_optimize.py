@@ -133,6 +133,59 @@ class TestTheorem2Absorption:
         assert net.has_gate("m")
 
 
+class TestIdempotence:
+    @pytest.mark.parametrize("delta_on", [0, 1])
+    def test_second_pass_is_a_no_op_on_paper_examples(self, delta_on):
+        from repro.benchgen.paper_examples import (
+            fig5_network,
+            motivational_network,
+        )
+
+        for source in (motivational_network(), fig5_network()):
+            th = synthesize(
+                source, SynthesisOptions(psi=3, delta_on=delta_on)
+            )
+            peephole_optimize(th, psi=3, delta_on=delta_on)
+            snapshot = {g.name: g for g in th.gates()}
+            assert peephole_optimize(th, psi=3, delta_on=delta_on) == 0
+            assert {g.name: g for g in th.gates()} == snapshot
+
+    def test_idempotent_on_random_synthesized_networks(self):
+        for seed in range(4):
+            source = random_network(seed + 1500)
+            th = synthesize(source, SynthesisOptions(psi=4, seed=seed))
+            peephole_optimize(th, psi=4)
+            assert peephole_optimize(th, psi=4) == 0
+
+
+class TestDefectTolerancePreservation:
+    @pytest.mark.parametrize("delta_on,delta_off", [(0, 1), (1, 1), (1, 2)])
+    def test_margins_still_meet_gate_labels(self, delta_on, delta_off):
+        """Peephole rewrites must not shrink any gate below the tolerances
+        it is labeled with (Eq. 1) — Theorem-2 absorption and constant
+        folding both rebuild vectors, so this is worth checking per gate."""
+        from repro.benchgen.paper_examples import (
+            fig5_network,
+            motivational_network,
+        )
+
+        for source in (motivational_network(), fig5_network()):
+            th = synthesize(
+                source,
+                SynthesisOptions(
+                    psi=3, delta_on=delta_on, delta_off=delta_off
+                ),
+            )
+            peephole_optimize(th, psi=3, delta_on=delta_on)
+            assert verify_threshold_network(source, th)
+            for gate in th.gates():
+                on_margin, off_margin = gate.margins()
+                if on_margin is not None:
+                    assert on_margin >= gate.delta_on, gate.name
+                if off_margin is not None:
+                    assert off_margin >= gate.delta_off, gate.name
+
+
 class TestOnSynthesizedNetworks:
     @pytest.mark.parametrize("seed", range(6))
     def test_equivalence_preserved(self, seed):

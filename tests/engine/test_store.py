@@ -88,3 +88,88 @@ class TestStats:
         stats = StoreStats()
         assert stats.vector_hit_rate == 0.0
         assert stats.analysis_hit_rate == 0.0
+        assert stats.persistent_hit_rate == 0.0
+
+    def test_snapshot_is_isolated(self):
+        stats = StoreStats(vector_hits=1, persistent_hits=2)
+        frozen = stats.snapshot()
+        stats.vector_hits += 5
+        stats.transformed_hits += 1
+        assert frozen.vector_hits == 1
+        assert frozen.transformed_hits == 0
+
+    def test_since_covers_every_counter(self):
+        """before + since(before) == after, field by field — a new counter
+        that misses the generic derivation would break this."""
+        from dataclasses import fields
+
+        before = StoreStats(vector_hits=1, analysis_misses=2)
+        after = StoreStats(
+            vector_hits=4,
+            vector_misses=3,
+            analysis_hits=2,
+            analysis_misses=5,
+            persistent_hits=7,
+            persistent_misses=1,
+            transformed_hits=6,
+            transform_rejects=1,
+        )
+        delta = after.since(before)
+        rebuilt = before.snapshot()
+        rebuilt.add(delta)
+        for f in fields(StoreStats):
+            assert getattr(rebuilt, f.name) == getattr(after, f.name), f.name
+
+
+class TestProcessPoolAccounting:
+    """The scheduler's fold: per-task deltas from worker stores merge into
+    the master's stats exactly once."""
+
+    def _worker_round(self, store, hits, misses):
+        """Simulate one task: `hits` served lookups, `misses` new solves."""
+        before = store.stats.snapshot()
+        for i in range(misses):
+            key = (f"k{i}", 0, 1, None)
+            assert store.is_miss(store.get_vector(key))
+            store.put_vector(key, (i,))
+        for i in range(hits):
+            store.get_vector((f"k{i % max(misses, 1)}", 0, 1, None))
+        return store.take_journal(), store.stats.since(before)
+
+    def test_merged_deltas_sum_without_double_counting(self):
+        master = ResultStore()
+        # Master does some serial work of its own first.
+        master.put_vector(("own", 0, 1, None), (0,))
+        master.get_vector(("own", 0, 1, None))
+        own = master.stats.snapshot()
+
+        worker_a = ResultStore()
+        worker_a.begin_journal()
+        worker_b = ResultStore()
+        worker_b.begin_journal()
+        delta_a, stats_a = self._worker_round(worker_a, hits=3, misses=2)
+        delta_b, stats_b = self._worker_round(worker_b, hits=1, misses=4)
+
+        merge_before = master.stats.snapshot()
+        master.merge(delta_a)
+        master.merge(delta_b)
+        # merge() installs entries without lookups: no counter traffic.
+        assert master.stats.since(merge_before) == StoreStats()
+
+        master.stats.add(stats_a)
+        master.stats.add(stats_b)
+        assert (
+            master.stats.vector_hits
+            == own.vector_hits + stats_a.vector_hits + stats_b.vector_hits
+        )
+        assert (
+            master.stats.vector_misses
+            == own.vector_misses
+            + stats_a.vector_misses
+            + stats_b.vector_misses
+        )
+        # Folding the same delta twice is the bug the scheduler guards
+        # against (serial backend shares the master store): totals diverge.
+        double = master.stats.snapshot()
+        double.add(stats_a)
+        assert double.vector_hits != master.stats.vector_hits

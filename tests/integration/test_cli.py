@@ -98,6 +98,57 @@ class TestCommands:
         assert "verified=True" in out
         assert "backend=process jobs=2" in out
 
+
+class TestCache:
+    def test_synth_cold_then_warm(self, blif_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["synth", str(blif_file), "--cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert f"cache: {cache} holds" in cold
+        assert main(["synth", str(blif_file), "--cache", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+        assert "0 rejected" in warm
+        # Warm run served at least one lookup from disk.
+        hits = int(warm.split("this run: ")[1].split(" hits")[0])
+        assert hits > 0
+
+    def test_cache_stats_and_clear(self, blif_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["synth", str(blif_file), "--cache", cache])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "solved:" in out
+        assert main(["cache", "clear", "--cache", cache]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", cache]) == 0
+        assert "entries:  0" in capsys.readouterr().out
+
+    def test_cache_warm_command(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["cache", "warm", "cm85a", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "warmed cm85a" in out
+        assert "entries on disk" in out
+
+    def test_cache_requires_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("TELS_CACHE", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "TELS_CACHE" in capsys.readouterr().err
+
+    def test_env_var_enables_and_no_cache_overrides(
+        self, blif_file, tmp_path, capsys, monkeypatch
+    ):
+        cache = str(tmp_path / "envcache")
+        monkeypatch.setenv("TELS_CACHE", cache)
+        assert main(["synth", str(blif_file)]) == 0
+        assert f"cache: {cache}" in capsys.readouterr().out
+        assert main(["synth", str(blif_file), "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+
+class TestSweep:
     def test_sweep(self, capsys):
         assert main(
             ["sweep", "--benchmarks", "cm152a", "--deltas", "0", "1"]

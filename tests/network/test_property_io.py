@@ -13,7 +13,7 @@ from repro.core.threshold import (
 from repro.io.blif import parse_blif, to_blif
 from repro.io.thblif import parse_thblif, to_thblif
 from repro.network.network import BooleanNetwork
-from repro.network.simulate import equivalent_networks
+from repro.network.simulate import equivalent_networks, output_signatures
 
 
 @st.composite
@@ -107,3 +107,39 @@ def test_thblif_roundtrip_preserves_everything(net):
             name: (p >> i) & 1 for i, name in enumerate(net.inputs)
         }
         assert net.evaluate(assignment) == again.evaluate(assignment)
+
+
+def threshold_to_boolean(th: ThresholdNetwork) -> BooleanNetwork:
+    """Expand every gate's local SOP so the bit-parallel simulator applies."""
+    net = BooleanNetwork(th.name)
+    for name in th.inputs:
+        net.add_input(name)
+    for name in th.topological_order():
+        net.add_node(name, th.gate(name).local_function())
+    for out in th.outputs:
+        net.add_output(out)
+    net.check()
+    return net
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_threshold_networks())
+def test_thblif_roundtrip_preserves_simulation_signatures(net):
+    """Round-tripped networks agree under the word-level simulator, not just
+    gate-table equality: same random-vector output signatures and full
+    equivalence through the SOP expansion of every gate."""
+    if net is None:
+        return
+    again = parse_thblif(to_thblif(net))
+    a = threshold_to_boolean(net)
+    b = threshold_to_boolean(again)
+    assert output_signatures(a, vectors=512, seed=3) == output_signatures(
+        b, vectors=512, seed=3
+    )
+    assert equivalent_networks(a, b)
+    for gate in net.gates():
+        twin = again.gate(gate.name)
+        assert (twin.delta_on, twin.delta_off) == (
+            gate.delta_on,
+            gate.delta_off,
+        )
