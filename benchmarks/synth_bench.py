@@ -124,11 +124,30 @@ def run_bench(
             "persistent_entries": len(warm_store.persistent),
         }
 
+    # Lint smoke phase: the full rule set re-linted over every synthesized
+    # network.  Every violation here is a synthesis bug, so the tracked
+    # invariant is a flat zero; the wall time watches for rule-cost creep.
+    from repro.lint.diagnostics import LintOptions
+    from repro.lint.runner import run_lint
+
+    lint_violations = 0
+    start = time.perf_counter()
+    for name in names:
+        source = build_extended_benchmark(name)
+        network, _ = synthesize_with_report(
+            prepare_tels(source), options, jobs=jobs, store=store
+        )
+        lint_report = run_lint(network, LintOptions(psi=psi), source=source)
+        lint_violations += lint_report.violations
+    lint_wall = time.perf_counter() - start
+
     return {
         "psi": psi,
         "seed": seed,
         "jobs": jobs,
         **persistent,
+        "lint_wall_s": round(lint_wall, 4),
+        "lint_violations": lint_violations,
         "benchmarks": rows,
         "cold_wall_s": round(sum(r["wall_s"] for r in rows), 4),
         "warm_wall_s": round(warm_wall, 4),
@@ -182,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
     # every first-touch lookup must be answered by the on-disk tier.
     if cache_dir is not None and result["persistent_warm_hit_rate"] < 1.0:
         print("FAIL: persistent warm phase missed the on-disk cache")
+        return 1
+    # Every synthesized network must come out of the engine lint-clean.
+    if result["lint_violations"] != 0:
+        print("FAIL: lint smoke phase found violations in synthesized output")
         return 1
     print(f"wrote {args.output}")
     return 0

@@ -8,8 +8,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.benchgen.mcnc import build_benchmark
 from repro.boolean.cover import Cover
 from repro.boolean.factor import factor

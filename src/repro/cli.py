@@ -24,14 +24,20 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.benchgen.mcnc import benchmark_names, build_benchmark
+from repro.benchgen.mcnc import benchmark_names
 from repro.core.area import boolean_stats, network_stats
 from repro.core.mapping import one_to_one_map
 from repro.core.synthesis import SynthesisOptions, synthesize_with_report
 from repro.core.threshold import gate_table
 from repro.core.verify import verify_threshold_network
+from repro.errors import ReproError
 from repro.io.blif import read_blif, to_blif, write_blif
-from repro.io.thblif import read_thblif, to_thblif, write_thblif
+from repro.io.thblif import (
+    parse_thblif,
+    read_thblif,
+    to_thblif,
+    write_thblif,
+)
 from repro.network.scripts import prepare_one_to_one, prepare_tels
 
 
@@ -98,6 +104,11 @@ def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="cone-synthesis worker processes (0 = all cores)",
     )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the static lint post-pass over the synthesized network",
+    )
 
 
 def _options(args: argparse.Namespace) -> SynthesisOptions:
@@ -109,6 +120,7 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         backend=args.ilp_backend,
         use_fastpath=not args.no_fastpath,
         use_presolve=not args.no_presolve,
+        lint=not getattr(args, "no_lint", False),
     )
 
 
@@ -176,12 +188,19 @@ def cmd_synth(args: argparse.Namespace) -> int:
             f"{s.transformed_hits} NP-transformed, "
             f"{s.transform_rejects} rejected"
         )
+    lint_failed = False
+    if report.lint is not None:
+        from repro.lint.emitters import format_text
+
+        if not report.lint.is_clean:
+            print(format_text(report.lint))
+        lint_failed = report.lint.violations > 0
     if args.output:
         write_thblif(threshold_net, args.output)
         print(f"wrote {args.output}")
     elif args.print_network:
         print(to_thblif(threshold_net), end="")
-    return 0 if ok else 1
+    return 0 if ok and not lint_failed else 1
 
 
 def cmd_map(args: argparse.Namespace) -> int:
@@ -398,6 +417,84 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import BlifError
+    from repro.lint.diagnostics import (
+        EXIT_USAGE,
+        LintOptions,
+        LintReport,
+    )
+    from repro.lint.emitters import render
+    from repro.lint.rules import parse_diagnostic, registered_rules
+    from repro.lint.runner import run_lint
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(
+                f"{rule.rule_id}  {rule.severity.value:7s} "
+                f"{rule.category:9s} {rule.name}"
+            )
+        return 0
+    if args.file is None:
+        print("lint: a FILE argument is required", file=sys.stderr)
+        return EXIT_USAGE
+
+    def emit(report: LintReport) -> None:
+        text = render(report, args.format)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+        else:
+            print(text)
+
+    rules = (
+        tuple(r for part in args.rules for r in part.split(",") if r)
+        if args.rules
+        else None
+    )
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        print(f"lint: cannot read {args.file}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        # validate=False: structural defects (cycles, dangling fanins,
+        # undriven outputs) should surface as TLS0xx findings, not as a
+        # blanket parse failure.
+        network = parse_thblif(
+            text, default_name=Path(args.file).stem, validate=False
+        )
+    except BlifError as exc:
+        # Parse failures are reported through the same diagnostic pipe as
+        # lint findings (rule TLP201) so --format json/sarif still applies.
+        message = str(exc)
+        if exc.line_number is not None:
+            prefix = f"line {exc.line_number}: "
+            message = message.removeprefix(prefix)
+        report = LintReport(
+            network_name=Path(args.file).stem,
+            diagnostics=(
+                parse_diagnostic(
+                    message, file=args.file, line=exc.line_number
+                ),
+            ),
+            rules_run=("TLP201",),
+            file=args.file,
+        )
+        emit(report)
+        return EXIT_USAGE
+    options = LintOptions(
+        psi=args.psi,
+        rules=rules,
+        strict=args.strict,
+        gate_lines=dict(network.gate_lines),
+    )
+    report = run_lint(network, options, file=args.file)
+    emit(report)
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_enumerate(args: argparse.Namespace) -> int:
     from repro.experiments.enumeration import (
         PAPER_COUNTS,
@@ -554,6 +651,41 @@ def build_parser() -> argparse.ArgumentParser:
             cp.add_argument("--jobs", type=int, default=1)
         cp.set_defaults(func=cmd_cache)
 
+    p = sub.add_parser(
+        "lint", help="static verification of a BLIF-TH network"
+    )
+    p.add_argument("file", nargs="?", help="BLIF-TH file to lint")
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="diagnostic output format",
+    )
+    p.add_argument(
+        "--rules",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule ids or prefixes (e.g. TLS001,TLM)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on warnings and notes too, not just errors",
+    )
+    p.add_argument(
+        "--psi",
+        type=int,
+        default=None,
+        help="fanin restriction to enforce (default: no fanin rule)",
+    )
+    p.add_argument("-o", "--output", help="write the report here")
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("enumerate", help="Section VI-B function counts")
     p.add_argument("nvars", type=int, choices=range(1, 6))
     p.set_defaults(func=cmd_enumerate)
@@ -566,8 +698,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Malformed input or an unsatisfiable request: a usage-level
+        # failure (exit 2), distinct from "ran fine, found violations"
+        # (exit 1).  See README for the shared exit-code convention.
+        print(f"tels {args.command}: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that exited early: not an error.
+        # (Must precede the OSError arm — BrokenPipeError subclasses it.)
         import os
 
         try:
@@ -575,6 +714,10 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    except OSError as exc:
+        # Unreadable input / unwritable output: same usage-level bucket.
+        print(f"tels {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.boolean.minimize import minimize
-from repro.boolean.unate import Phase, syntactic_unateness, to_positive_unate
+from repro.boolean.unate import syntactic_unateness, to_positive_unate
 from repro.core.threshold import WeightThresholdVector
 from repro.errors import CoverError
 from repro.ilp.backends import SolveInfo

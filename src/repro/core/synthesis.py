@@ -39,6 +39,7 @@ from repro.network.network import BooleanNetwork
 if TYPE_CHECKING:
     from repro.engine.events import EngineTrace
     from repro.engine.store import ResultStore
+    from repro.lint.diagnostics import LintReport
 
 
 @dataclass
@@ -68,6 +69,12 @@ class SynthesisOptions:
         use_presolve: run the ILP presolve reductions inside the solver
             stack (ablation knob).
         max_collapse_cubes: SOP size guard during collapsing.
+        lint: run the static lint post-pass — gate-local rules per cone,
+            the full structural+semantic rule set on the assembled network
+            (``repro.lint``); violation counts land in ``TaskMetrics`` /
+            ``EngineTrace`` and the report carries the ``LintReport``.
+        lint_rules: restrict the post-pass to these rule ids/prefixes
+            (None runs every source-free rule).
     """
 
     psi: int = 3
@@ -83,6 +90,8 @@ class SynthesisOptions:
     use_presolve: bool = True
     max_weight: int | None = None
     max_collapse_cubes: int = 128
+    lint: bool = True
+    lint_rules: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.psi < 2:
@@ -98,6 +107,8 @@ class SynthesisReport:
     ``trace`` carries the engine's per-task instrumentation (collapse /
     check / split timings, cache activity) when the run came through the
     pass-based engine — always, since the façade delegates to it.
+    ``lint`` is the static post-pass report over the assembled network
+    (None when ``options.lint`` is off).
     """
 
     nodes_processed: int = 0
@@ -109,6 +120,7 @@ class SynthesisReport:
     and_factor_splits: int = 0
     checker: ThresholdChecker | None = None
     trace: "EngineTrace | None" = None
+    lint: "LintReport | None" = None
 
 
 def synthesize(

@@ -11,7 +11,7 @@ perturbation (Section VI-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -156,6 +156,9 @@ class ThresholdNetwork:
         self._inputs: list[str] = []
         self._outputs: list[str] = []
         self._gates: dict[str, ThresholdGate] = {}
+        #: Optional per-gate source line numbers, filled by ``parse_thblif``
+        #: so lint diagnostics can point into the file the gate came from.
+        self.gate_lines: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction

@@ -36,6 +36,8 @@ from repro.core.threshold import (
 from repro.engine.events import TaskMetrics, timed
 from repro.engine.store import StoreStats
 from repro.errors import SynthesisError
+from repro.lint.diagnostics import Severity
+from repro.lint.runner import lint_gates
 from repro.network.network import BooleanNetwork
 
 
@@ -114,6 +116,18 @@ class ConeSynthesizer:
                     max_cubes=self.options.max_collapse_cubes,
                 )
             self._process(name, function)
+        if getattr(self.options, "lint", True):
+            # Gate-local static audit of everything this cone emitted —
+            # structural topology is the scheduler post-pass's job.
+            with timed(self.metrics, "lint_s"):
+                findings = lint_gates(
+                    self.gates,
+                    psi=self.options.psi,
+                    rules=self.options.lint_rules,
+                )
+            self.metrics.lint_violations = sum(
+                1 for d in findings if d.severity is not Severity.NOTE
+            )
         delta = self.checker.stats.since(stats_before)
         self.metrics.wall_s = time.perf_counter() - run_started
         self.metrics.checker_calls = delta.calls

@@ -58,6 +58,8 @@ class TaskMetrics:
     persistent_misses: int = 0
     transformed_hits: int = 0
     transform_rejects: int = 0
+    lint_s: float = 0.0
+    lint_violations: int = 0
 
     def events(self) -> Iterator[TaskEvent]:
         """Expand this record into structured per-phase events."""
@@ -100,6 +102,12 @@ class TaskMetrics:
             },
         )
         yield TaskEvent(
+            self.task_id,
+            "lint",
+            self.lint_s,
+            {"violations": self.lint_violations},
+        )
+        yield TaskEvent(
             self.task_id, "done", self.wall_s, {"gates": self.gates_emitted}
         )
 
@@ -137,6 +145,9 @@ class EngineTrace:
     jobs: int = 1
     backend: str = "serial"
     wall_s: float = 0.0
+    #: Findings of the whole-network lint post-pass (None: lint was off).
+    network_lint_violations: int | None = None
+    network_lint_s: float = 0.0
 
     def add(self, metrics: TaskMetrics) -> None:
         self.tasks.append(metrics)
@@ -213,6 +224,12 @@ class EngineTrace:
                 f"({100.0 * self.persistent_hit_rate:.1f}%), "
                 f"{int(self.total('transformed_hits'))} NP-transformed, "
                 f"{int(self.total('transform_rejects'))} rejected"
+            )
+        if self.network_lint_violations is not None:
+            lines.append(
+                f"lint: {int(self.total('lint_violations'))} cone "
+                f"violations, {self.network_lint_violations} network "
+                f"violations ({self.total('lint_s') + self.network_lint_s:.3f}s)"
             )
         slow = [m for m in self.slowest(3) if m.wall_s > 0]
         if slow:

@@ -104,6 +104,21 @@ def run_synthesis(
 
     result_net = _assemble(network, initial, results)
     report = _build_report(options, checker, trace, results, store)
+    if getattr(options, "lint", True):
+        # Static post-pass over the assembled network: the structural rules
+        # (cycles, dangling fanins, reachability) only make sense here, and
+        # the gate-level semantic rules re-run so serial and process-pool
+        # runs report through one code path.
+        from repro.lint.diagnostics import LintOptions
+        from repro.lint.runner import run_lint
+
+        lint_report = run_lint(
+            result_net,
+            LintOptions(psi=options.psi, rules=options.lint_rules),
+        )
+        report.lint = lint_report
+        trace.network_lint_violations = lint_report.violations
+        trace.network_lint_s = lint_report.wall_s
     return EngineResult(
         network=result_net, report=report, trace=trace, store=store
     )

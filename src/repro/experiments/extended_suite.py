@@ -127,6 +127,16 @@ def _run_one(
     )
     if not verified:
         raise SynthesisError(f"suite verification failed on {name!r}")
+    if report.lint is not None and report.lint.violations:
+        # Fail fast: a suite run must not aggregate statistics over a
+        # network the static post-pass rejected.
+        worst = ", ".join(
+            f"{rid}x{n}" for rid, n in sorted(report.lint.by_rule().items())
+        )
+        raise SynthesisError(
+            f"suite lint failed on {name!r}: "
+            f"{report.lint.violations} violation(s) ({worst})"
+        )
     check = (
         report.checker.stats.snapshot() if report.checker is not None else None
     )

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.benchgen.mcnc import build_benchmark
 from repro.core.area import NetworkStats, network_stats
 from repro.core.mapping import one_to_one_map
-from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.core.synthesis import SynthesisOptions, synthesize_with_report
 from repro.core.threshold import ThresholdNetwork
 from repro.core.verify import verify_threshold_network
 from repro.errors import SynthesisError
@@ -107,7 +107,7 @@ def run_flows(
     tels_key = ("tels", name)
     if tels_key not in _PREP_CACHE:
         _PREP_CACHE[tels_key] = prepare_tels(source)
-    tels_net = synthesize(
+    tels_net, report = synthesize_with_report(
         _PREP_CACHE[tels_key],
         SynthesisOptions(
             psi=psi, delta_on=delta_on, delta_off=delta_off, seed=seed
@@ -115,6 +115,14 @@ def run_flows(
         jobs=jobs,
         store=store,
     )
+    if report.lint is not None and report.lint.violations:
+        # The figure experiments re-use these networks many times; never
+        # cache one the static post-pass rejected.
+        raise SynthesisError(
+            f"flow lint failed for {name!r}: "
+            f"{report.lint.violations} violation(s) "
+            f"({', '.join(sorted(report.lint.by_rule()))})"
+        )
 
     verified = verify_threshold_network(
         source, tels_net, vectors=verify_vectors

@@ -24,7 +24,7 @@ from repro.experiments.enumeration import (
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
-from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table1 import run_table1
 
 
 def _table1_section(names: list[str]) -> str:

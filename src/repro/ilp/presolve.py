@@ -32,7 +32,7 @@ incumbent rather than as the final answer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.ilp.model import Constraint, IlpProblem, Sense

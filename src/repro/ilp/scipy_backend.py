@@ -27,7 +27,6 @@ def solve_scipy(problem: IlpProblem) -> IlpResult:
     import numpy as np
     from scipy.optimize import Bounds, LinearConstraint, milp
 
-    n = problem.num_vars
     c = np.array([float(v) for v in problem.objective])
     constraints = []
     for con in problem.constraints:

@@ -21,7 +21,7 @@ from repro.core.threshold import (
     ThresholdNetwork,
     WeightThresholdVector,
 )
-from repro.errors import BlifError
+from repro.errors import BlifError, NetworkError
 
 
 def to_thblif(network: ThresholdNetwork) -> str:
@@ -48,35 +48,63 @@ def write_thblif(network: ThresholdNetwork, path: str | Path) -> None:
     Path(path).write_text(to_thblif(network))
 
 
-def parse_thblif(text: str, default_name: str = "threshold_network") -> ThresholdNetwork:
-    """Parse BLIF-TH text into a :class:`ThresholdNetwork`."""
+def parse_thblif(
+    text: str,
+    default_name: str = "threshold_network",
+    validate: bool = True,
+) -> ThresholdNetwork:
+    """Parse BLIF-TH text into a :class:`ThresholdNetwork`.
+
+    Every malformation raises a structured :class:`BlifError` carrying the
+    offending line number — malformed weight counts, repeated gate outputs,
+    bad ``.delta`` arity, truncated gate bodies — never a bare
+    ``IndexError``/``KeyError``/``NetworkError``.  The returned network's
+    ``gate_lines`` maps each gate to its ``.thgate`` line so lint
+    diagnostics can point back into the file.
+
+    ``validate=False`` skips the final structural ``check()`` (undefined
+    fanins, cycles, undriven outputs) so a structurally-broken but
+    syntactically-valid network can still be built — ``tels lint`` uses
+    this to report those defects as TLS0xx findings instead of a blanket
+    parse error.
+    """
     network = ThresholdNetwork(default_name)
-    pending_gate: tuple[list[str], str] | None = None
+    pending_gate: tuple[list[str], str, int] | None = None
     pending_vector: WeightThresholdVector | None = None
     pending_delta = (0, 1)
-    outputs: list[str] = []
+    outputs: list[tuple[str, int]] = []
 
     def flush(line_number: int) -> None:
         nonlocal pending_gate, pending_vector, pending_delta
         if pending_gate is None:
             return
         if pending_vector is None:
-            raise BlifError(".thgate without .vector", line_number)
-        inputs, out = pending_gate
-        network.add_gate(
-            ThresholdGate(
-                out,
-                tuple(inputs),
-                pending_vector,
-                pending_delta[0],
-                pending_delta[1],
+            raise BlifError(
+                ".thgate without .vector (truncated gate body?)",
+                line_number,
             )
-        )
+        inputs, out, gate_line = pending_gate
+        try:
+            network.add_gate(
+                ThresholdGate(
+                    out,
+                    tuple(inputs),
+                    pending_vector,
+                    pending_delta[0],
+                    pending_delta[1],
+                )
+            )
+        except NetworkError as exc:
+            # Duplicate gate output, duplicate fanin names, or a
+            # weight-count mismatch: re-raise with the .thgate line.
+            raise BlifError(str(exc), gate_line) from None
+        network.gate_lines[out] = gate_line
         pending_gate = None
         pending_vector = None
         pending_delta = (0, 1)
 
-    for number, raw in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for number, raw in enumerate(lines, start=1):
         if "#" in raw:
             raw = raw[: raw.index("#")]
         tokens = raw.split()
@@ -89,25 +117,33 @@ def parse_thblif(text: str, default_name: str = "threshold_network") -> Threshol
         elif key == ".inputs":
             flush(number)
             for name in tokens[1:]:
-                network.add_input(name)
+                try:
+                    network.add_input(name)
+                except NetworkError as exc:
+                    raise BlifError(str(exc), number) from None
         elif key == ".outputs":
             flush(number)
-            outputs.extend(tokens[1:])
+            outputs.extend((name, number) for name in tokens[1:])
         elif key == ".thgate":
             flush(number)
             if len(tokens) < 2:
                 raise BlifError(".thgate needs an output", number)
-            pending_gate = (tokens[1:-1], tokens[-1])
+            pending_gate = (tokens[1:-1], tokens[-1], number)
         elif key == ".vector":
             if pending_gate is None:
                 raise BlifError(".vector outside .thgate", number)
+            if pending_vector is not None:
+                raise BlifError(
+                    f"duplicate .vector for gate {pending_gate[1]!r}", number
+                )
             try:
                 values = [int(t) for t in tokens[1:]]
             except ValueError:
                 raise BlifError(f"non-integer weight in {raw!r}", number) from None
             if len(values) != len(pending_gate[0]) + 1:
                 raise BlifError(
-                    f".vector needs {len(pending_gate[0])} weights plus T",
+                    f".vector needs {len(pending_gate[0])} weights plus T, "
+                    f"got {len(values)} values",
                     number,
                 )
             pending_vector = WeightThresholdVector(
@@ -116,16 +152,35 @@ def parse_thblif(text: str, default_name: str = "threshold_network") -> Threshol
         elif key == ".delta":
             if pending_gate is None:
                 raise BlifError(".delta outside .thgate", number)
-            pending_delta = (int(tokens[1]), int(tokens[2]))
+            if len(tokens) != 3:
+                raise BlifError(
+                    ".delta needs exactly two values (delta_on delta_off)",
+                    number,
+                )
+            try:
+                pending_delta = (int(tokens[1]), int(tokens[2]))
+            except ValueError:
+                raise BlifError(
+                    f"non-integer tolerance in {raw!r}", number
+                ) from None
         elif key == ".end":
             flush(number)
             break
         else:
             raise BlifError(f"unknown directive {key}", number)
-    flush(len(text.splitlines()))
-    for out in outputs:
-        network.add_output(out)
-    network.check()
+    flush(len(lines))
+    for out, number in outputs:
+        try:
+            network.add_output(out)
+        except NetworkError as exc:
+            raise BlifError(str(exc), number) from None
+    if validate:
+        try:
+            network.check()
+        except NetworkError as exc:
+            # Undefined fanin signals or a combinational cycle: structural,
+            # so there is no single offending line — report without one.
+            raise BlifError(str(exc)) from None
     return network
 
 

@@ -1,0 +1,153 @@
+"""Diagnostic records and lint reports.
+
+A :class:`Diagnostic` is one finding of one rule: where (gate / signal /
+file / line), what (rule id, severity, message), and — when the rule can
+tell — how to fix it.  A :class:`LintReport` is the ordered collection a
+lint run produced, with the severity roll-ups and the shared exit-code
+convention (0 clean / 1 violations / 2 usage or parse error) every consumer
+uses: the CLI, the engine post-pass, and the experiment gates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class Severity(enum.Enum):
+    """Diagnostic severities, ordered from informational to fatal."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+#: Exit codes shared by every ``tels`` subcommand (see README).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule fired at a location inside a network."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    category: str = "structure"
+    gate: str | None = None
+    net: str | None = None
+    hint: str | None = None
+    file: str | None = None
+    line: int | None = None
+
+    @property
+    def location(self) -> str:
+        """Human-readable location prefix (``file:line:gate`` as available)."""
+        parts = []
+        if self.file:
+            parts.append(self.file)
+        if self.line is not None:
+            parts.append(str(self.line))
+        where = self.gate or self.net
+        if where:
+            parts.append(where)
+        return ":".join(parts) if parts else "<network>"
+
+    def with_location(
+        self, file: str | None = None, line: int | None = None
+    ) -> "Diagnostic":
+        """A copy carrying file/line coordinates (emitters need them)."""
+        return replace(
+            self,
+            file=file if file is not None else self.file,
+            line=line if line is not None else self.line,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found, plus run metadata."""
+
+    network_name: str
+    diagnostics: tuple[Diagnostic, ...] = ()
+    rules_run: tuple[str, ...] = ()
+    gates_checked: int = 0
+    wall_s: float = 0.0
+    file: str | None = None
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def notes(self) -> int:
+        return self.count(Severity.NOTE)
+
+    @property
+    def is_clean(self) -> bool:
+        """No findings at all (the engine's post-pass invariant)."""
+        return not self.diagnostics
+
+    @property
+    def violations(self) -> int:
+        """Findings that gate a run: errors plus warnings (notes advise)."""
+        return self.errors + self.warnings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+        return counts
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CLI exit code: 1 on errors (or any finding under strict)."""
+        if self.errors or (strict and self.diagnostics):
+            return EXIT_VIOLATIONS
+        return EXIT_CLEAN
+
+    def extend(self, diagnostics: tuple[Diagnostic, ...]) -> None:
+        self.diagnostics = self.diagnostics + tuple(diagnostics)
+
+
+@dataclass
+class LintOptions:
+    """Knobs shared by the CLI, the engine post-pass, and the library API.
+
+    Attributes:
+        psi: fanin restriction to enforce (None skips the fanin rule — a
+            ``.thblif`` file does not record the ψ it was synthesized with).
+        rules: rule-id selection; each entry may be a full id (``TLS005``)
+            or a prefix (``TLS`` selects every structural rule).  None runs
+            every registered rule.
+        strict: escalate the exit code on any finding, not just errors.
+        max_enumeration_fanin: semantic rules enumerate ``2**fanin`` points
+            per gate; gates wider than this are skipped (with a note).
+        gate_lines: per-gate source line numbers (from ``parse_thblif``)
+            so diagnostics carry file coordinates.
+    """
+
+    psi: int | None = None
+    rules: tuple[str, ...] | None = None
+    strict: bool = False
+    max_enumeration_fanin: int = 16
+    gate_lines: dict[str, int] = field(default_factory=dict)
+
+    def selects(self, rule_id: str) -> bool:
+        if self.rules is None:
+            return True
+        return any(rule_id == r or rule_id.startswith(r) for r in self.rules)

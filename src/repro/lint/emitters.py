@@ -1,0 +1,179 @@
+"""Lint report emitters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF emitter produces a minimal-but-valid 2.1.0 log — one run, the
+full rule catalog in ``tool.driver.rules``, one result per diagnostic with
+physical (file/line) and logical (gate) locations — so CI can upload the
+output to code-scanning services directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.rules import registered_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF result levels for our severities.
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def format_text(report: LintReport) -> str:
+    """Compiler-style one-line-per-finding text, plus a summary line."""
+    lines = []
+    for diag in report.diagnostics:
+        line = (
+            f"{diag.location}: {diag.severity.value}: "
+            f"[{diag.rule_id}] {diag.message}"
+        )
+        if diag.hint:
+            line += f"  (hint: {diag.hint})"
+        lines.append(line)
+    if report.is_clean:
+        lines.append(
+            f"{report.network_name}: clean "
+            f"({report.gates_checked} gates, "
+            f"{len(report.rules_run)} rules, {report.wall_s:.3f}s)"
+        )
+    else:
+        lines.append(
+            f"{report.network_name}: {report.errors} error(s), "
+            f"{report.warnings} warning(s), {report.notes} note(s) "
+            f"({report.gates_checked} gates, "
+            f"{len(report.rules_run)} rules, {report.wall_s:.3f}s)"
+        )
+    return "\n".join(lines)
+
+
+def _diag_dict(diag: Diagnostic) -> dict:
+    out = {
+        "rule": diag.rule_id,
+        "severity": diag.severity.value,
+        "category": diag.category,
+        "message": diag.message,
+    }
+    for key in ("gate", "net", "hint", "file", "line"):
+        value = getattr(diag, key)
+        if value is not None:
+            out[key] = value
+    return out
+
+
+def to_json(report: LintReport) -> dict:
+    """A plain-dict rendering (the ``--format json`` payload)."""
+    return {
+        "network": report.network_name,
+        "file": report.file,
+        "gates_checked": report.gates_checked,
+        "rules_run": list(report.rules_run),
+        "wall_s": round(report.wall_s, 6),
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "notes": report.notes,
+        "clean": report.is_clean,
+        "diagnostics": [_diag_dict(d) for d in report.diagnostics],
+    }
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(to_json(report), indent=2)
+
+
+def _sarif_rules() -> list[dict]:
+    rules = []
+    for spec in registered_rules():
+        rules.append(
+            {
+                "id": spec.rule_id,
+                "name": spec.name,
+                "shortDescription": {"text": spec.name},
+                "fullDescription": {"text": spec.description},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[spec.severity]
+                },
+                "properties": {"category": spec.category},
+            }
+        )
+    return rules
+
+
+def _sarif_result(diag: Diagnostic, rule_index: dict[str, int]) -> dict:
+    location: dict = {}
+    if diag.file:
+        physical: dict = {"artifactLocation": {"uri": diag.file}}
+        if diag.line is not None:
+            physical["region"] = {"startLine": diag.line}
+        location["physicalLocation"] = physical
+    logical_name = diag.gate or diag.net
+    if logical_name:
+        location["logicalLocations"] = [
+            {"name": logical_name, "kind": "element"}
+        ]
+    message = diag.message
+    if diag.hint:
+        message += f" (hint: {diag.hint})"
+    result = {
+        "ruleId": diag.rule_id,
+        "ruleIndex": rule_index[diag.rule_id],
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": message},
+    }
+    if location:
+        result["locations"] = [location]
+    return result
+
+
+def to_sarif(report: LintReport) -> dict:
+    """Render the report as a SARIF 2.1.0 log dict."""
+    rules = _sarif_rules()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "tels-lint",
+                        "informationUri": (
+                            "https://example.invalid/tels/docs/LINT.md"
+                        ),
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(d, rule_index)
+                    for d in report.diagnostics
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def format_sarif(report: LintReport) -> str:
+    return json.dumps(to_sarif(report), indent=2)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "sarif": format_sarif,
+}
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    try:
+        return FORMATTERS[fmt](report)
+    except KeyError:
+        raise ValueError(f"unknown lint output format {fmt!r}") from None

@@ -1,0 +1,658 @@
+"""The lint rule registry: structural and semantic checks over networks.
+
+Every rule is a :class:`LintRule` — an id, a severity, a category, and a
+check function over a :class:`LintContext` — registered at import time via
+the :func:`rule` decorator so emitters, the CLI ``--rules`` filter, and the
+SARIF rule table all enumerate one catalog (see ``docs/LINT.md``).
+
+Rule families:
+
+* ``TLS0xx`` **structural** — DAG shape: cycles, dangling fanins, undriven
+  outputs, unreachable gates, fanin over the ψ restriction, duplicate gate
+  bodies the cache tier should have deduplicated;
+* ``TLM1xx`` **semantic** — gate meaning: the weight–threshold vector must
+  realize its claimed defect tolerances (Eq. 1), weight signs must agree
+  with the gate function's unateness, and the threshold must sit inside
+  the bounds implied by the weights (the same empty-bound-box reasoning
+  as ``repro.ilp.presolve``);
+* ``TLP2xx`` **parse** — carriers for structured ``.thblif`` parse errors
+  (raised by :mod:`repro.io.thblif`, surfaced as diagnostics by the CLI).
+
+Gate-local semantic checks are factored as plain generator functions so the
+engine's per-cone post-pass (:func:`repro.lint.runner.lint_gates`) can run
+them on a task's gate list before the network is even assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.boolean.unate import Phase, semantic_unateness
+from repro.core.threshold import ThresholdGate, ThresholdNetwork
+from repro.lint.diagnostics import Diagnostic, LintOptions, Severity
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult, computed once per run."""
+
+    network: ThresholdNetwork
+    options: LintOptions
+    source: object | None = None  # BooleanNetwork, for equivalence rules
+    file: str | None = None
+    _gates: list[ThresholdGate] | None = field(default=None, repr=False)
+
+    @property
+    def gates(self) -> list[ThresholdGate]:
+        if self._gates is None:
+            self._gates = list(self.network.gates())
+        return self._gates
+
+    @property
+    def defined(self) -> set[str]:
+        """Every signal something may legally read."""
+        return set(self.network.inputs) | {g.name for g in self.gates}
+
+    def line_of(self, gate: str | None) -> int | None:
+        if gate is None:
+            return None
+        return self.options.gate_lines.get(gate)
+
+    def diag(
+        self,
+        rule: "LintRule",
+        message: str,
+        gate: str | None = None,
+        net: str | None = None,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            message=message,
+            category=rule.category,
+            gate=gate,
+            net=net,
+            hint=hint,
+            file=self.file,
+            line=self.line_of(gate),
+        )
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered check."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    category: str
+    description: str
+    check: Callable[["LintContext"], Iterable[Diagnostic]]
+    needs_source: bool = False
+
+
+#: Registry in registration order (stable: module import order).
+RULE_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(
+    rule_id: str,
+    name: str,
+    severity: Severity,
+    category: str,
+    description: str,
+    needs_source: bool = False,
+):
+    """Register a check function as a lint rule."""
+
+    def decorate(fn: Callable[["LintContext"], Iterable[Diagnostic]]):
+        if rule_id in RULE_REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        RULE_REGISTRY[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            category=category,
+            description=description,
+            check=fn,
+            needs_source=needs_source,
+        )
+        return fn
+
+    return decorate
+
+
+def registered_rules() -> tuple[LintRule, ...]:
+    return tuple(RULE_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> LintRule:
+    return RULE_REGISTRY[rule_id]
+
+
+# ----------------------------------------------------------------------
+# Structural rules (TLS0xx)
+# ----------------------------------------------------------------------
+@rule(
+    "TLS001",
+    "combinational-cycle",
+    Severity.ERROR,
+    "structure",
+    "The gate graph must be acyclic; a cycle has no combinational meaning.",
+)
+def check_cycles(ctx: LintContext) -> Iterator[Diagnostic]:
+    indegree: dict[str, int] = {}
+    readers: dict[str, list[str]] = {}
+    gate_names = {g.name for g in ctx.gates}
+    for gate in ctx.gates:
+        indegree.setdefault(gate.name, 0)
+        for fanin in gate.inputs:
+            if fanin in gate_names:
+                indegree[gate.name] += 1
+                readers.setdefault(fanin, []).append(gate.name)
+    ready = [n for n, d in indegree.items() if d == 0]
+    seen = 0
+    while ready:
+        name = ready.pop()
+        seen += 1
+        for reader in readers.get(name, ()):
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+    if seen == len(indegree):
+        return
+    cyclic = sorted(n for n, d in indegree.items() if d > 0)
+    yield ctx.diag(
+        RULE_REGISTRY["TLS001"],
+        f"combinational cycle through {len(cyclic)} gate(s): "
+        + ", ".join(cyclic[:5])
+        + ("…" if len(cyclic) > 5 else ""),
+        gate=cyclic[0],
+        hint="break the loop by re-synthesizing the cone rooted at one "
+        "of the listed gates",
+    )
+
+
+@rule(
+    "TLS002",
+    "dangling-fanin",
+    Severity.ERROR,
+    "structure",
+    "Every gate input must name a primary input or another gate.",
+)
+def check_dangling_fanins(ctx: LintContext) -> Iterator[Diagnostic]:
+    defined = ctx.defined
+    for gate in ctx.gates:
+        for fanin in gate.inputs:
+            if fanin not in defined:
+                yield ctx.diag(
+                    RULE_REGISTRY["TLS002"],
+                    f"gate {gate.name!r} reads undefined signal {fanin!r}",
+                    gate=gate.name,
+                    net=fanin,
+                    hint="declare the signal as a primary input or add the "
+                    "gate that drives it",
+                )
+
+
+@rule(
+    "TLS003",
+    "undriven-output",
+    Severity.ERROR,
+    "structure",
+    "Every primary output must be a primary input or a gate output.",
+)
+def check_undriven_outputs(ctx: LintContext) -> Iterator[Diagnostic]:
+    defined = ctx.defined
+    for out in ctx.network.outputs:
+        if out not in defined:
+            yield ctx.diag(
+                RULE_REGISTRY["TLS003"],
+                f"primary output {out!r} is driven by nothing",
+                net=out,
+                hint="add the gate driving the output or drop it from "
+                ".outputs",
+            )
+
+
+@rule(
+    "TLS004",
+    "unreachable-gate",
+    Severity.WARNING,
+    "structure",
+    "Gates outside every primary-output cone are dead area.",
+)
+def check_unreachable_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    gates = {g.name: g for g in ctx.gates}
+    live: set[str] = set()
+    stack = [o for o in ctx.network.outputs if o in gates]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for fanin in gates[name].inputs:
+            if fanin in gates:
+                stack.append(fanin)
+    for gate in ctx.gates:
+        if gate.name not in live:
+            yield ctx.diag(
+                RULE_REGISTRY["TLS004"],
+                f"gate {gate.name!r} feeds no primary output",
+                gate=gate.name,
+                hint="run ThresholdNetwork.cleanup() (the engine does this "
+                "before emitting)",
+            )
+
+
+@rule(
+    "TLS005",
+    "fanin-overflow",
+    Severity.ERROR,
+    "structure",
+    "No gate may exceed the fanin restriction ψ it was synthesized under.",
+)
+def check_fanin_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.options.psi is None:
+        return
+    for gate in ctx.gates:
+        yield from check_gate_fanin(gate, ctx.options.psi, ctx)
+
+
+@rule(
+    "TLS006",
+    "duplicate-gate-body",
+    Severity.NOTE,
+    "structure",
+    "Two gates computing the same function of the same fanins could be "
+    "shared.  Note-level: independent cones legitimately re-emit equal "
+    "bodies (the cache dedupes their ILP solves, not the gate instances), "
+    "but each duplicate is a gate of recoverable area.",
+)
+def check_duplicate_bodies(ctx: LintContext) -> Iterator[Diagnostic]:
+    seen: dict[tuple, str] = {}
+    for gate in ctx.gates:
+        body = (gate.inputs, gate.vector.weights, gate.vector.threshold)
+        first = seen.get(body)
+        if first is None:
+            seen[body] = gate.name
+            continue
+        yield ctx.diag(
+            RULE_REGISTRY["TLS006"],
+            f"gate {gate.name!r} duplicates the body of {first!r} "
+            f"(same fanins, same vector)",
+            gate=gate.name,
+            hint=f"rewire readers of {gate.name!r} onto {first!r} and drop "
+            "the duplicate",
+        )
+
+
+@rule(
+    "TLS007",
+    "unused-input",
+    Severity.NOTE,
+    "structure",
+    "A primary input no gate reads (and that is not itself an output).",
+)
+def check_unused_inputs(ctx: LintContext) -> Iterator[Diagnostic]:
+    read: set[str] = set()
+    for gate in ctx.gates:
+        read.update(gate.inputs)
+    for pi in ctx.network.inputs:
+        if pi not in read and pi not in ctx.network.outputs:
+            yield ctx.diag(
+                RULE_REGISTRY["TLS007"],
+                f"primary input {pi!r} is never read",
+                net=pi,
+            )
+
+
+@rule(
+    "TLS008",
+    "duplicate-fanin",
+    Severity.ERROR,
+    "structure",
+    "A gate listing the same signal twice double-counts its weight.",
+)
+def check_duplicate_fanins(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate in ctx.gates:
+        seen: set[str] = set()
+        for fanin in gate.inputs:
+            if fanin in seen:
+                yield ctx.diag(
+                    RULE_REGISTRY["TLS008"],
+                    f"gate {gate.name!r} lists fanin {fanin!r} twice",
+                    gate=gate.name,
+                    net=fanin,
+                    hint="merge the two connections into one input with the "
+                    "summed weight",
+                )
+            seen.add(fanin)
+
+
+# ----------------------------------------------------------------------
+# Gate-local semantic checks (shared with the per-cone post-pass)
+# ----------------------------------------------------------------------
+def _enumerable(gate: ThresholdGate, max_fanin: int) -> bool:
+    return gate.fanin <= max_fanin
+
+
+def check_gate_fanin(
+    gate: ThresholdGate, psi: int, ctx: LintContext | None = None
+) -> Iterator[Diagnostic]:
+    if gate.fanin > psi:
+        yield _gate_diag(
+            "TLS005",
+            ctx,
+            gate,
+            f"gate {gate.name!r} has fanin {gate.fanin} > psi={psi}",
+            hint="re-synthesize the cone with the intended fanin "
+            "restriction",
+        )
+
+
+def check_gate_margins(
+    gate: ThresholdGate, max_fanin: int, ctx: LintContext | None = None
+) -> Iterator[Diagnostic]:
+    """Recompute worst-case ON/OFF margins against the claimed tolerances.
+
+    The Eq. (1) contract: every true input vector's weighted sum reaches
+    ``T + delta_on`` and every false one stays at or below
+    ``T - delta_off``.  ``gate.margins()`` enumerates ``2**fanin`` points,
+    so wide gates are skipped (they cannot come out of the synthesizer,
+    whose ψ is small).
+    """
+    if not _enumerable(gate, max_fanin):
+        return
+    on_margin, off_margin = gate.margins()
+    if on_margin is not None and on_margin < gate.delta_on:
+        yield _gate_diag(
+            "TLM101",
+            ctx,
+            gate,
+            f"gate {gate.name!r} claims delta_on={gate.delta_on} but its "
+            f"tightest ON vector clears T by only {on_margin}",
+            hint="re-solve the gate's ILP with the claimed tolerances or "
+            "lower the recorded delta_on",
+        )
+    if off_margin is not None and off_margin < gate.delta_off:
+        yield _gate_diag(
+            "TLM101",
+            ctx,
+            gate,
+            f"gate {gate.name!r} claims delta_off={gate.delta_off} but its "
+            f"tightest OFF vector sits only {off_margin} below T",
+            hint="re-solve the gate's ILP with the claimed tolerances or "
+            "lower the recorded delta_off",
+        )
+
+
+def check_gate_weight_signs(
+    gate: ThresholdGate, max_fanin: int, ctx: LintContext | None = None
+) -> Iterator[Diagnostic]:
+    """Weight signs must agree with the gate function's unateness.
+
+    A threshold function is positive unate in every positive-weight input
+    and negative unate in every negative-weight input; an input whose
+    weight cannot change the output (semantically absent) is a redundant
+    connection, and a zero weight is a dead input outright.
+    """
+    if gate.fanin == 0:
+        return
+    zero_named = [
+        name for name, w in zip(gate.inputs, gate.weights) if w == 0
+    ]
+    for name in zero_named:
+        yield _gate_diag(
+            "TLM102",
+            ctx,
+            gate,
+            f"gate {gate.name!r} input {name!r} has weight 0 (dead input)",
+            hint="drop the input from the gate; the function cannot depend "
+            "on it",
+        )
+    if not _enumerable(gate, max_fanin):
+        return
+    report = semantic_unateness(gate.local_function().cover)
+    for name, weight, phase in zip(gate.inputs, gate.weights, report.phases):
+        if weight == 0:
+            continue  # already reported above
+        if phase is Phase.ABSENT:
+            yield _gate_diag(
+                "TLM102",
+                ctx,
+                gate,
+                f"gate {gate.name!r} input {name!r} has weight {weight} but "
+                f"the gate function does not depend on it",
+                hint="the weight is redundant area; re-solve the gate "
+                "without this input",
+            )
+        elif weight > 0 and phase is Phase.NEGATIVE:
+            yield _gate_diag(
+                "TLM102",
+                ctx,
+                gate,
+                f"gate {gate.name!r} input {name!r}: positive weight "
+                f"{weight} but the function is negative unate in it",
+            )
+        elif weight < 0 and phase is Phase.POSITIVE:
+            yield _gate_diag(
+                "TLM102",
+                ctx,
+                gate,
+                f"gate {gate.name!r} input {name!r}: negative weight "
+                f"{weight} but the function is positive unate in it",
+            )
+
+
+def check_gate_threshold_bounds(
+    gate: ThresholdGate, ctx: LintContext | None = None
+) -> Iterator[Diagnostic]:
+    """The threshold must sit inside the bounds the weights imply.
+
+    In the positive-unate form the reachable weighted sums span
+    ``[0, sum(|w|)]``, so a meaningful gate needs
+    ``1 <= T_pos <= sum(|w|)``; anything outside is a constant gate —
+    the same empty-bound-box reasoning ``repro.ilp.presolve`` uses to
+    declare a model infeasible before any solver runs.  Zero-fanin gates
+    are exempt: the synthesizer legitimately emits them for constant
+    nodes.
+    """
+    if gate.fanin == 0:
+        return
+    t_pos = gate.vector.to_positive_threshold()
+    weight_sum = sum(abs(w) for w in gate.weights)
+    if t_pos <= 0:
+        yield _gate_diag(
+            "TLM103",
+            ctx,
+            gate,
+            f"gate {gate.name!r} threshold {gate.threshold} is at or below "
+            f"the minimum reachable sum: the gate is constant 1",
+            hint="replace the gate with a constant-1 gate (no inputs, T=0)",
+        )
+    elif t_pos > weight_sum:
+        yield _gate_diag(
+            "TLM103",
+            ctx,
+            gate,
+            f"gate {gate.name!r} threshold {gate.threshold} exceeds the "
+            f"maximum reachable sum {weight_sum}: the gate is constant 0",
+            hint="replace the gate with a constant-0 gate (no inputs, T>0)",
+        )
+
+
+def check_gate_delta_sanity(
+    gate: ThresholdGate, ctx: LintContext | None = None
+) -> Iterator[Diagnostic]:
+    if gate.delta_on < 0 or gate.delta_off < 0:
+        yield _gate_diag(
+            "TLM104",
+            ctx,
+            gate,
+            f"gate {gate.name!r} records negative defect tolerances "
+            f"(delta_on={gate.delta_on}, delta_off={gate.delta_off})",
+        )
+    elif gate.fanin > 0 and gate.delta_off == 0:
+        yield _gate_diag(
+            "TLM104",
+            ctx,
+            gate,
+            f"gate {gate.name!r} claims delta_off=0, which tolerates no "
+            f"OFF-side perturbation at all",
+            hint="integer weighted sums always sit >= 1 below T when off; "
+            "record delta_off=1 for an honest margin",
+        )
+
+
+GATE_CHECKS: tuple[tuple[str, Callable], ...] = (
+    ("TLM101", check_gate_margins),
+    ("TLM102", check_gate_weight_signs),
+    ("TLM103", check_gate_threshold_bounds),
+    ("TLM104", check_gate_delta_sanity),
+)
+
+
+def _gate_diag(
+    rule_id: str,
+    ctx: LintContext | None,
+    gate: ThresholdGate,
+    message: str,
+    hint: str | None = None,
+) -> Diagnostic:
+    spec = RULE_REGISTRY[rule_id]
+    if ctx is not None:
+        return ctx.diag(spec, message, gate=gate.name, hint=hint)
+    return Diagnostic(
+        rule_id=spec.rule_id,
+        severity=spec.severity,
+        message=message,
+        category=spec.category,
+        gate=gate.name,
+        hint=hint,
+    )
+
+
+# ----------------------------------------------------------------------
+# Semantic rules (TLM1xx) — network-level wrappers over the gate checks
+# ----------------------------------------------------------------------
+@rule(
+    "TLM101",
+    "margin-violation",
+    Severity.ERROR,
+    "semantic",
+    "Every gate's recomputed worst-case ON/OFF margins must cover the "
+    "delta_on/delta_off tolerances it was solved with (Eq. 1).",
+)
+def check_margins(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate in ctx.gates:
+        yield from check_gate_margins(
+            gate, ctx.options.max_enumeration_fanin, ctx
+        )
+
+
+@rule(
+    "TLM102",
+    "weight-sign-consistency",
+    Severity.WARNING,
+    "semantic",
+    "Weight signs must match the gate function's per-input unateness; "
+    "zero or semantically-dead weights are wasted area.",
+)
+def check_weight_signs(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate in ctx.gates:
+        yield from check_gate_weight_signs(
+            gate, ctx.options.max_enumeration_fanin, ctx
+        )
+
+
+@rule(
+    "TLM103",
+    "threshold-out-of-bounds",
+    Severity.WARNING,
+    "semantic",
+    "The threshold must lie within the bounds implied by the weights "
+    "(otherwise the gate is constant), mirroring the presolve bound box.",
+)
+def check_threshold_bounds(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate in ctx.gates:
+        yield from check_gate_threshold_bounds(gate, ctx)
+
+
+@rule(
+    "TLM104",
+    "implausible-tolerances",
+    Severity.NOTE,
+    "semantic",
+    "Recorded defect tolerances must be plausible (non-negative; a "
+    "delta_off of 0 is vacuous for integer weights).",
+)
+def check_delta_sanity(ctx: LintContext) -> Iterator[Diagnostic]:
+    for gate in ctx.gates:
+        yield from check_gate_delta_sanity(gate, ctx)
+
+
+@rule(
+    "TLM105",
+    "functional-mismatch",
+    Severity.ERROR,
+    "semantic",
+    "The synthesized network must agree with its source Boolean network "
+    "on every primary output (core/verify simulation).",
+    needs_source=True,
+)
+def check_functional_equivalence(ctx: LintContext) -> Iterator[Diagnostic]:
+    if ctx.source is None:
+        return
+    from repro.core.verify import first_mismatch, verify_threshold_network
+
+    if verify_threshold_network(ctx.source, ctx.network):
+        return
+    witness = first_mismatch(ctx.source, ctx.network)
+    detail = ""
+    if witness is not None:
+        bits = ", ".join(
+            f"{k}={int(v)}" for k, v in sorted(witness.items())
+        )
+        detail = f" (counterexample: {bits})"
+    yield ctx.diag(
+        RULE_REGISTRY["TLM105"],
+        f"network {ctx.network.name!r} disagrees with its source on at "
+        f"least one input vector{detail}",
+        hint="one of the structural or per-gate semantic findings above "
+        "usually pinpoints the broken cone",
+    )
+
+
+# ----------------------------------------------------------------------
+# Parse rules (TLP2xx) — catalog entries for diagnostics the CLI builds
+# from structured parse errors; they have no network-level check to run.
+# ----------------------------------------------------------------------
+@rule(
+    "TLP201",
+    "parse-error",
+    Severity.ERROR,
+    "parse",
+    "The .thblif file is malformed (bad directive, weight count, or "
+    "truncated framing); reported with the offending line number.",
+)
+def check_parse(ctx: LintContext) -> Iterator[Diagnostic]:
+    return iter(())
+
+
+def parse_diagnostic(
+    message: str, file: str | None, line: int | None
+) -> Diagnostic:
+    """Wrap a structured ``BlifError`` as a TLP201 diagnostic."""
+    spec = RULE_REGISTRY["TLP201"]
+    return Diagnostic(
+        rule_id=spec.rule_id,
+        severity=spec.severity,
+        message=message,
+        category=spec.category,
+        file=file,
+        line=line,
+        hint="fix the file by hand or re-export it with write_thblif()",
+    )

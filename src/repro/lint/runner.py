@@ -1,0 +1,113 @@
+"""Lint drivers: the library API, the CLI entry, and the per-cone hook.
+
+``run_lint`` is the one entry point every consumer shares: the ``tels
+lint`` CLI (over parsed ``.thblif`` files), the engine's post-pass (over
+freshly assembled networks), and the experiment harnesses (which fail fast
+on an invalid network instead of producing a wrong table row).
+
+``lint_gates`` is the cheap subset the engine runs *per cone*, before
+assembly: gate-local semantic checks plus the fanin restriction, over a
+bare gate list.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from repro.core.threshold import ThresholdGate, ThresholdNetwork
+from repro.lint.diagnostics import Diagnostic, LintOptions, LintReport
+from repro.lint.rules import (
+    GATE_CHECKS,
+    LintContext,
+    LintRule,
+    check_gate_fanin,
+    registered_rules,
+)
+
+#: Severity order for the stable diagnostic sort (errors first).
+_ORDER = {"error": 0, "warning": 1, "note": 2}
+
+
+def select_rules(options: LintOptions) -> tuple[LintRule, ...]:
+    """The registered rules the options select, in registry order."""
+    return tuple(
+        r for r in registered_rules() if options.selects(r.rule_id)
+    )
+
+
+def run_lint(
+    network: ThresholdNetwork,
+    options: LintOptions | None = None,
+    source=None,
+    file: str | None = None,
+) -> LintReport:
+    """Run the selected rules over a threshold network.
+
+    Args:
+        network: the network to audit.
+        options: rule selection, ψ, strictness, and location metadata.
+        source: the source :class:`BooleanNetwork`, enabling the
+            ``needs_source`` rules (functional equivalence); None skips
+            them.
+        file: path the network came from, stamped onto diagnostics.
+    """
+    options = options or LintOptions()
+    started = time.perf_counter()
+    ctx = LintContext(
+        network=network, options=options, source=source, file=file
+    )
+    diagnostics: list[Diagnostic] = []
+    ran: list[str] = []
+    for spec in select_rules(options):
+        if spec.needs_source and source is None:
+            continue
+        ran.append(spec.rule_id)
+        diagnostics.extend(spec.check(ctx))
+    diagnostics.sort(
+        key=lambda d: (
+            _ORDER[d.severity.value],
+            d.rule_id,
+            d.gate or "",
+            d.net or "",
+            d.message,
+        )
+    )
+    return LintReport(
+        network_name=network.name,
+        diagnostics=tuple(diagnostics),
+        rules_run=tuple(ran),
+        gates_checked=network.num_gates,
+        wall_s=time.perf_counter() - started,
+        file=file,
+    )
+
+
+def lint_gates(
+    gates: Sequence[ThresholdGate],
+    psi: int | None = None,
+    max_enumeration_fanin: int = 16,
+    rules: Iterable[str] | None = None,
+) -> tuple[Diagnostic, ...]:
+    """Gate-local lint over a bare gate list (the engine's per-cone hook).
+
+    Runs only checks that need no network topology: the fanin restriction
+    and the TLM1xx gate semantics.  Returns the diagnostics in gate order.
+    """
+    selected = None if rules is None else set(rules)
+
+    def wanted(rule_id: str) -> bool:
+        return selected is None or rule_id in selected
+
+    diagnostics: list[Diagnostic] = []
+    for gate in gates:
+        if psi is not None and wanted("TLS005"):
+            diagnostics.extend(check_gate_fanin(gate, psi))
+        for rule_id, check in GATE_CHECKS:
+            if not wanted(rule_id):
+                continue
+            if rule_id in ("TLM101", "TLM102"):
+                diagnostics.extend(check(gate, max_enumeration_fanin))
+            else:
+                diagnostics.extend(check(gate))
+    return tuple(diagnostics)

@@ -1,7 +1,5 @@
 """Unit tests for the parametric circuit builders."""
 
-import pytest
-
 from repro.benchgen.circuits import CircuitBuilder
 
 

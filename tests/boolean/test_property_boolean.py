@@ -34,7 +34,9 @@ def cover_pairs(draw, max_vars: int = 5):
         )
     a = draw(rows())
     b = draw(rows())
-    mk = lambda r: Cover.from_strings(r) if r else Cover.zero(nvars)
+    def mk(r):
+        return Cover.from_strings(r) if r else Cover.zero(nvars)
+
     return mk(a), mk(b)
 
 

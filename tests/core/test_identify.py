@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.core.identify import ThresholdChecker, is_threshold_function

@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.mapping import one_to_one_map
 from repro.core.synthesis import SynthesisOptions, synthesize
-from repro.network.scripts import prepare_one_to_one, prepare_tels
+from repro.network.scripts import prepare_one_to_one
 from tests.conftest import random_network
 
 

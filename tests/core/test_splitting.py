@@ -7,7 +7,6 @@ import pytest
 from repro.boolean.function import BooleanFunction
 from repro.boolean.unate import syntactic_unateness
 from repro.core.splitting import (
-    UnateSplit,
     split_binate,
     split_k_way,
     split_unate,

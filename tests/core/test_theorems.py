@@ -2,7 +2,6 @@
 
 import random
 
-from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.core.identify import ThresholdChecker
 from repro.core.theorems import or_with_inputs, replace_literal, theorem2_extend

@@ -42,7 +42,6 @@ class TestVerify:
         assert not verify_threshold_network(source_and(), broken_or())
 
     def test_rejects_interface_mismatch(self):
-        th = broken_or()
         net = source_and()
         other = ThresholdNetwork()
         other.add_input("a")

@@ -8,12 +8,11 @@ benchmarks.  The heavyweight i10 run lives behind the ``slow`` marker.
 import pytest
 
 from repro.benchgen.mcnc import benchmark_names, build_benchmark
-from repro.core.mapping import one_to_one_map
 from repro.core.synthesis import SynthesisOptions, synthesize
 from repro.core.verify import verify_threshold_network
 from repro.experiments.flows import run_flows
 from repro.io.blif import parse_blif, to_blif
-from repro.network.scripts import prepare_one_to_one, prepare_tels
+from repro.network.scripts import prepare_tels
 
 SMALL = [n for n in benchmark_names() if n not in ("i10", "term1", "x1")]
 

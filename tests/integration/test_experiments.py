@@ -1,7 +1,5 @@
 """Tests for the experiment harnesses (fast subsets of E1-E4)."""
 
-import pytest
-
 from repro.experiments.fig10 import format_fig10, run_fig10
 from repro.experiments.fig11 import format_fig11, run_fig11
 from repro.experiments.fig12 import format_fig12, run_fig12

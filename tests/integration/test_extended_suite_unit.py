@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.extended_suite import (
-    SuiteRow,
     SuiteSummary,
     format_suite,
     run_suite,

@@ -1,0 +1,203 @@
+"""``tels lint`` end-to-end: corrupted files, formats, and exit codes.
+
+Exit-code convention under test (see README):
+
+* 0 — file parsed and linted clean;
+* 1 — lint violations (errors; any finding under ``--strict``);
+* 2 — usage or parse failure (unreadable file, malformed ``.thblif``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+CLEAN = """.model clean
+.inputs a b
+.outputs y
+.thgate a b y
+.vector 1 1 2
+.delta 0 1
+.end
+"""
+
+BAD_WEIGHT_COUNT = """.model bad
+.inputs a b
+.outputs y
+.thgate a b y
+.vector 1 1
+.end
+"""
+
+PSI_OVERFLOW = """.model psi
+.inputs a b c d
+.outputs y
+.thgate a b c d y
+.vector 1 1 1 1 4
+.end
+"""
+
+CYCLE = """.model cyc
+.inputs a
+.outputs y
+.thgate a g2 y
+.vector 1 1 2
+.thgate y g2
+.vector 1 1
+.end
+"""
+
+STALE_DELTA = """.model stale
+.inputs a b
+.outputs y
+.thgate a b y
+.vector 1 1 2
+.delta 3 1
+.end
+"""
+
+
+def write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return str(p)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        rc = main(["lint", write(tmp_path, "c.th", CLEAN)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path):
+        assert main(["lint", write(tmp_path, "s.th", STALE_DELTA)]) == 1
+
+    def test_parse_error_exits_two(self, tmp_path):
+        assert main(["lint", write(tmp_path, "b.th", BAD_WEIGHT_COUNT)]) == 2
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope.th")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_file_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_strict_escalates_notes(self, tmp_path):
+        # An unused input is a note: clean normally, nonzero under strict.
+        noted = CLEAN.replace(".inputs a b", ".inputs a b unused")
+        path = write(tmp_path, "n.th", noted)
+        assert main(["lint", path]) == 0
+        assert main(["lint", path, "--strict"]) == 1
+
+
+class TestCorruptedFiles:
+    """Each hand-corrupted defect reports its own rule ID."""
+
+    def test_bad_weight_count_is_tlp201(self, tmp_path, capsys):
+        rc = main(
+            ["lint", write(tmp_path, "b.th", BAD_WEIGHT_COUNT)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "[TLP201]" in out
+        assert ":5:" in out  # the .vector line
+
+    def test_psi_overflow_is_tls005(self, tmp_path, capsys):
+        rc = main(["lint", write(tmp_path, "p.th", PSI_OVERFLOW), "--psi", "3"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[TLS005]" in out
+
+    def test_cycle_is_tls001(self, tmp_path, capsys):
+        rc = main(["lint", write(tmp_path, "c.th", CYCLE)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[TLS001]" in out
+
+    def test_stale_delta_is_tlm101(self, tmp_path, capsys):
+        rc = main(["lint", write(tmp_path, "s.th", STALE_DELTA)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[TLM101]" in out
+        assert "delta_on=3" in out
+
+
+class TestFormats:
+    def test_json_format(self, tmp_path, capsys):
+        rc = main(
+            ["lint", write(tmp_path, "s.th", STALE_DELTA), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "TLM101"
+
+    def test_sarif_format_to_file(self, tmp_path):
+        out = tmp_path / "log.sarif"
+        rc = main(
+            [
+                "lint",
+                write(tmp_path, "s.th", STALE_DELTA),
+                "--format",
+                "sarif",
+                "-o",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "TLM101"
+
+    def test_parse_error_honors_format(self, tmp_path, capsys):
+        rc = main(
+            [
+                "lint",
+                write(tmp_path, "b.th", BAD_WEIGHT_COUNT),
+                "--format",
+                "sarif",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 2
+        assert doc["runs"][0]["results"][0]["ruleId"] == "TLP201"
+
+    def test_rules_filter(self, tmp_path, capsys):
+        # Selecting only structural rules hides the TLM101 finding.
+        rc = main(
+            ["lint", write(tmp_path, "s.th", STALE_DELTA), "--rules", "TLS"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TLM101" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "TLS001" in out and "TLM101" in out and "TLP201" in out
+
+
+class TestSynthIntegration:
+    def test_synth_output_lints_clean(self, tmp_path, capsys):
+        from repro.benchgen.extended import build_extended_benchmark
+        from repro.io.blif import write_blif
+
+        blif = tmp_path / "cm152a.blif"
+        write_blif(build_extended_benchmark("cm152a"), blif)
+        th = tmp_path / "cm152a.th"
+        assert main(["synth", str(blif), "-o", str(th)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(th), "--psi", "3"]) == 0
+
+    def test_no_lint_flag_skips_post_pass(self, tmp_path, capsys):
+        from repro.benchgen.extended import build_extended_benchmark
+        from repro.io.blif import write_blif
+
+        blif = tmp_path / "cm152a.blif"
+        write_blif(build_extended_benchmark("cm152a"), blif)
+        assert main(["synth", str(blif), "--no-lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" not in out

@@ -1,0 +1,302 @@
+"""Emitter tests: text layout, JSON payload, and SARIF 2.1.0 validity.
+
+The SARIF output is validated with ``jsonschema`` against an embedded
+subset of the official 2.1.0 schema — the structural skeleton code-scanning
+uploaders actually require (runs / tool.driver.rules / results with ruleId,
+level, message, locations), with ``additionalProperties`` left open exactly
+where the full schema leaves it open.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.emitters import (
+    FORMATTERS,
+    format_json,
+    format_sarif,
+    format_text,
+    render,
+    to_json,
+    to_sarif,
+)
+from repro.lint.rules import registered_rules
+
+jsonschema = pytest.importorskip("jsonschema")
+
+
+#: The load-bearing subset of the SARIF 2.1.0 schema: every constraint the
+#: full schema places on the fields we emit, with unconstrained regions
+#: left open just as the official schema does.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "name": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {
+                                                            "type": "string"
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sample_report(clean: bool = False) -> LintReport:
+    diags = ()
+    if not clean:
+        diags = (
+            Diagnostic(
+                rule_id="TLS002",
+                severity=Severity.ERROR,
+                message="gate 'y' reads undefined signal 'ghost'",
+                category="structure",
+                gate="y",
+                net="ghost",
+                hint="add the driver",
+                file="bad.th",
+                line=4,
+            ),
+            Diagnostic(
+                rule_id="TLS004",
+                severity=Severity.WARNING,
+                message="gate 'dead' feeds no primary output",
+                category="structure",
+                gate="dead",
+            ),
+            Diagnostic(
+                rule_id="TLM104",
+                severity=Severity.NOTE,
+                message="gate 'y' claims delta_off=0",
+                category="semantic",
+                gate="y",
+            ),
+        )
+    return LintReport(
+        network_name="sample",
+        diagnostics=diags,
+        rules_run=("TLS002", "TLS004", "TLM104"),
+        gates_checked=2,
+        wall_s=0.001,
+        file="bad.th" if not clean else None,
+    )
+
+
+class TestText:
+    def test_clean_summary(self):
+        text = format_text(sample_report(clean=True))
+        assert "sample: clean" in text
+        assert "2 gates" in text
+
+    def test_findings_one_line_each(self):
+        text = format_text(sample_report())
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 findings + summary
+        assert lines[0].startswith("bad.th:4:y: error: [TLS002]")
+        assert "(hint: add the driver)" in lines[0]
+        assert "1 error(s), 1 warning(s), 1 note(s)" in lines[-1]
+
+
+class TestJson:
+    def test_payload_roundtrips(self):
+        payload = json.loads(format_json(sample_report()))
+        assert payload["network"] == "sample"
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 1
+        assert payload["notes"] == 1
+        assert payload["clean"] is False
+        assert len(payload["diagnostics"]) == 3
+        first = payload["diagnostics"][0]
+        assert first["rule"] == "TLS002"
+        assert first["line"] == 4
+
+    def test_clean_payload_omits_null_fields(self):
+        payload = to_json(sample_report(clean=True))
+        assert payload["clean"] is True
+        assert payload["diagnostics"] == []
+
+
+class TestSarif:
+    def test_validates_against_subset_schema(self):
+        doc = to_sarif(sample_report())
+        jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+    def test_clean_log_validates_too(self):
+        jsonschema.validate(
+            to_sarif(sample_report(clean=True)), SARIF_SUBSET_SCHEMA
+        )
+
+    def test_rule_catalog_covers_registry(self):
+        doc = to_sarif(sample_report(clean=True))
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == {
+            s.rule_id for s in registered_rules()
+        }
+
+    def test_rule_index_points_into_catalog(self):
+        doc = to_sarif(sample_report())
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_levels_map_severities(self):
+        doc = to_sarif(sample_report())
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_locations_carry_file_line_and_gate(self):
+        doc = to_sarif(sample_report())
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == "bad.th"
+        assert loc["physicalLocation"]["region"]["startLine"] == 4
+        assert loc["logicalLocations"][0]["name"] == "y"
+
+    def test_serialized_form_is_json(self):
+        doc = json.loads(format_sarif(sample_report()))
+        assert doc["version"] == "2.1.0"
+
+
+class TestRender:
+    def test_dispatch(self):
+        report = sample_report(clean=True)
+        for fmt in FORMATTERS:
+            assert render(report, fmt)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            render(sample_report(), "xml")

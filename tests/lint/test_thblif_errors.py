@@ -1,0 +1,173 @@
+"""Hardened ``parse_thblif`` error paths.
+
+Every malformation must raise a structured :class:`BlifError` carrying the
+offending line number — never an ``IndexError`` / ``KeyError`` / raw
+``NetworkError`` escaping from network construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BlifError
+from repro.io.thblif import parse_thblif
+
+GOOD = """.model m
+.inputs a b
+.outputs y
+.thgate a b y
+.vector 1 1 2
+.delta 0 1
+.end
+"""
+
+
+def parse_error(text: str) -> BlifError:
+    with pytest.raises(BlifError) as excinfo:
+        parse_thblif(text)
+    return excinfo.value
+
+
+class TestWellFormed:
+    def test_good_file_parses(self):
+        net = parse_thblif(GOOD)
+        assert net.name == "m"
+        assert net.num_gates == 1
+
+    def test_gate_lines_recorded(self):
+        net = parse_thblif(GOOD)
+        assert net.gate_lines == {"y": 4}
+
+
+class TestVectorErrors:
+    def test_too_few_values(self):
+        exc = parse_error(GOOD.replace(".vector 1 1 2", ".vector 1 2"))
+        assert exc.line_number == 5
+        assert "2 weights plus T" in str(exc)
+
+    def test_too_many_values(self):
+        exc = parse_error(GOOD.replace(".vector 1 1 2", ".vector 1 1 1 2"))
+        assert exc.line_number == 5
+        assert "got 4 values" in str(exc)
+
+    def test_non_integer_weight(self):
+        exc = parse_error(GOOD.replace(".vector 1 1 2", ".vector 1 x 2"))
+        assert exc.line_number == 5
+        assert "non-integer weight" in str(exc)
+
+    def test_vector_outside_gate(self):
+        exc = parse_error(".model m\n.vector 1 1\n.end\n")
+        assert exc.line_number == 2
+
+    def test_duplicate_vector(self):
+        exc = parse_error(
+            GOOD.replace(".vector 1 1 2", ".vector 1 1 2\n.vector 1 1 2")
+        )
+        assert "duplicate .vector" in str(exc)
+
+
+class TestGateErrors:
+    def test_truncated_gate_body(self):
+        exc = parse_error(
+            ".model m\n.inputs a\n.outputs y\n.thgate a y\n.end\n"
+        )
+        assert "truncated gate body" in str(exc)
+
+    def test_thgate_without_output(self):
+        exc = parse_error(".model m\n.thgate\n.end\n")
+        assert exc.line_number == 2
+
+    def test_repeated_gate_output(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs y\n"
+            ".thgate a y\n.vector 1 1\n"
+            ".thgate b y\n.vector 1 1\n.end\n"
+        )
+        exc = parse_error(text)
+        assert exc.line_number == 6
+        assert "duplicate signal" in str(exc)
+
+    def test_gate_shadowing_an_input(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs a\n"
+            ".thgate b a\n.vector 1 1\n.end\n"
+        )
+        exc = parse_error(text)
+        assert exc.line_number == 4
+
+    def test_duplicate_fanin_names(self):
+        text = (
+            ".model m\n.inputs a\n.outputs y\n"
+            ".thgate a a y\n.vector 1 1 2\n.end\n"
+        )
+        exc = parse_error(text)
+        assert exc.line_number == 4
+        assert "duplicate input names" in str(exc)
+
+
+class TestDeltaErrors:
+    def test_wrong_arity(self):
+        exc = parse_error(GOOD.replace(".delta 0 1", ".delta 1"))
+        assert exc.line_number == 6
+        assert "exactly two values" in str(exc)
+
+    def test_non_integer(self):
+        exc = parse_error(GOOD.replace(".delta 0 1", ".delta 0 x"))
+        assert "non-integer tolerance" in str(exc)
+
+    def test_outside_gate(self):
+        exc = parse_error(".model m\n.delta 0 1\n.end\n")
+        assert exc.line_number == 2
+
+
+class TestFramingErrors:
+    def test_duplicate_input(self):
+        exc = parse_error(GOOD.replace(".inputs a b", ".inputs a a b"))
+        assert exc.line_number == 2
+
+    def test_duplicate_output(self):
+        exc = parse_error(GOOD.replace(".outputs y", ".outputs y y"))
+        assert "duplicate primary output" in str(exc)
+
+    def test_unknown_directive(self):
+        exc = parse_error(GOOD.replace(".delta 0 1", ".bogus 1"))
+        assert "unknown directive" in str(exc)
+
+    def test_missing_end_still_flushes(self):
+        net = parse_thblif(GOOD.replace(".end\n", ""))
+        assert net.num_gates == 1
+
+
+class TestStructuralValidation:
+    UNDEFINED = (
+        ".model m\n.inputs a\n.outputs y\n"
+        ".thgate a ghost y\n.vector 1 1 2\n.end\n"
+    )
+    CYCLE = (
+        ".model m\n.inputs a\n.outputs y\n"
+        ".thgate a g2 y\n.vector 1 1 2\n"
+        ".thgate y g2\n.vector 1 1\n.end\n"
+    )
+
+    def test_undefined_fanin_raises_by_default(self):
+        with pytest.raises(BlifError):
+            parse_thblif(self.UNDEFINED)
+
+    def test_cycle_raises_by_default(self):
+        with pytest.raises(BlifError):
+            parse_thblif(self.CYCLE)
+
+    def test_validate_false_defers_to_lint(self):
+        net = parse_thblif(self.CYCLE, validate=False)
+        assert net.num_gates == 2  # built, for the lint rules to judge
+
+
+class TestNoRawExceptions:
+    """Fuzz-ish: truncations of a good file never raise non-BlifError."""
+
+    def test_every_prefix_is_structured(self):
+        for cut in range(len(GOOD)):
+            try:
+                parse_thblif(GOOD[:cut])
+            except BlifError:
+                pass

@@ -1,7 +1,5 @@
 """Unit tests for the network restructuring transforms."""
 
-import pytest
-
 from repro.boolean.function import BooleanFunction
 from repro.network.network import BooleanNetwork
 from repro.network.simulate import equivalent_networks
@@ -308,7 +306,6 @@ class TestDecompose:
         net.add_node("g", BooleanFunction.parse("a' c"))
         net.add_output("f")
         net.add_output("g")
-        before = net.num_nodes
         decompose(net, max_fanin=3, inverter_gates=True)
         inverters = [
             n
