@@ -44,6 +44,7 @@ def run_bench(
     options = SynthesisOptions(psi=psi, seed=seed)
     rows = []
     totals = CheckStats()
+    degraded_cones = 0
     for name in names:
         source = build_extended_benchmark(name)
         prepared = prepare_tels(source)
@@ -77,6 +78,7 @@ def run_bench(
             }
         )
         totals.add(check)
+        degraded_cones += report.degraded_cones
 
     # Warm re-run over the same store: near-total reuse is the invariant.
     # Preparation stays outside the clock so warm_wall_s is comparable to
@@ -148,6 +150,7 @@ def run_bench(
         **persistent,
         "lint_wall_s": round(lint_wall, 4),
         "lint_violations": lint_violations,
+        "degraded_cones": degraded_cones,
         "benchmarks": rows,
         "cold_wall_s": round(sum(r["wall_s"] for r in rows), 4),
         "warm_wall_s": round(warm_wall, 4),
@@ -205,6 +208,11 @@ def main(argv: list[str] | None = None) -> int:
     # Every synthesized network must come out of the engine lint-clean.
     if result["lint_violations"] != 0:
         print("FAIL: lint smoke phase found violations in synthesized output")
+        return 1
+    # Without fault injection the resilience layer must stay invisible:
+    # a degraded cone here means a deadline/retry bug, not a real fault.
+    if result["degraded_cones"] != 0:
+        print("FAIL: cones degraded without fault injection")
         return 1
     print(f"wrote {args.output}")
     return 0

@@ -21,7 +21,16 @@ Design points:
   fingerprint-mismatched file is logged and treated as empty (the run goes
   cold instead of failing); the next :meth:`flush` rewrites it whole.
 * **compaction** — duplicated keys from concurrent appends are deduplicated
-  on load; :meth:`compact` rewrites the file atomically (temp + rename).
+  on load; :meth:`compact` rewrites the file crash-safely: the temp file is
+  flushed and fsynced *before* the atomic rename (plus a best-effort
+  directory fsync), so a process killed mid-compaction leaves either the
+  complete old journal or the complete new one — never a torn file.
+* **retry with backoff** — transient ``OSError`` during flush/compaction is
+  retried a few times with deterministic exponential backoff before the
+  usual warn-and-continue degradation (see docs/RESILIENCE.md); the chaos
+  harness (``TELS_CHAOS``) injects both write failures (``cache``) and torn
+  trailing lines (``cache-corrupt``) through the same code paths the real
+  faults would take.
 """
 
 from __future__ import annotations
@@ -33,8 +42,27 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.canonical import CANONICAL_FINGERPRINT
+from repro.faults.injector import get_injector
+from repro.faults.retry import RetryPolicy, retry_call
 
 logger = logging.getLogger("repro.cache")
+
+#: I/O retry schedule for flush/compaction (short: disk hiccups, not locks).
+_IO_RETRY = RetryPolicy(max_attempts=3, base_backoff_s=0.01, max_backoff_s=0.1)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 CACHE_FILENAME = "cache.jsonl"
 FORMAT_NAME = "tels-cache"
@@ -193,37 +221,87 @@ class PersistentCache:
         if self.read_only or (not self._dirty and not self._needs_rewrite):
             return 0
         if self._needs_rewrite or not self.path.exists():
-            written = len(self._entries)
-            self.compact()
-            self._dirty.clear()
-            return written
+            return len(self._entries) if self.compact() else 0
         lines = [self._encode(k, v) for k, v in self._dirty.items()]
         payload = "".join(line + "\n" for line in lines)
-        try:
+        # A torn trailing line (chaos: what a crash mid-append leaves
+        # behind) exercises the loader's corruption tolerance.
+        payload += self._chaos_torn_line("flush")
+
+        def _append(attempt: int) -> None:
+            self._chaos_write_fault("flush", attempt)
             with open(self.path, "a") as handle:
                 handle.write(payload)
+
+        try:
+            retry_call(
+                _append, _IO_RETRY, retryable=(OSError,), key=str(self.path)
+            )
         except OSError as exc:
             logger.warning("cache %s flush failed (%s)", self.path, exc)
             return 0
         self._dirty.clear()
         return len(lines)
 
-    def compact(self) -> None:
-        """Atomically rewrite the file: header + deduplicated entries."""
+    def compact(self) -> bool:
+        """Crash-safely rewrite the file: header + deduplicated entries.
+
+        The rewrite is durable-then-atomic: the temp file is flushed and
+        fsynced before ``os.replace`` swaps it in, and the directory entry
+        is fsynced afterwards (best effort).  A kill at any instant leaves
+        a complete journal — the old one up to the rename, the new one
+        after it.  Returns True when the rewrite reached disk; on failure
+        the journal is retained for a later flush.
+        """
         if self.read_only:
-            return
+            return False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         lines = [json.dumps(self._header())]
         lines.extend(self._encode(k, v) for k, v in sorted(self._entries.items()))
-        try:
-            tmp.write_text("".join(line + "\n" for line in lines))
+        payload = "".join(line + "\n" for line in lines)
+
+        def _rewrite(attempt: int) -> None:
+            self._chaos_write_fault("compact", attempt)
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self.path)
+            _fsync_dir(self.path.parent)
+
+        try:
+            retry_call(
+                _rewrite, _IO_RETRY, retryable=(OSError,), key=str(tmp)
+            )
         except OSError as exc:
             logger.warning("cache %s compaction failed (%s)", self.path, exc)
-            return
+            return False
         self._needs_rewrite = False
         self._dirty.clear()
+        return True
+
+    # -- chaos hooks ----------------------------------------------------
+    def _chaos_write_fault(self, op: str, attempt: int) -> None:
+        """Raise an injected OSError for this (operation, attempt).
+
+        Keyed per attempt, so a retried write rolls the dice again — at
+        rates below 1.0 the retry path usually recovers, exactly like a
+        transient disk fault.
+        """
+        injector = get_injector()
+        if injector is not None and injector.decide(
+            "cache", f"{self.path.name}|{op}|attempt{attempt}"
+        ):
+            raise OSError(f"chaos: injected cache {op} failure")
+
+    def _chaos_torn_line(self, op: str) -> str:
+        injector = get_injector()
+        if injector is not None and injector.decide(
+            "cache-corrupt", f"{self.path.name}|{op}|{len(self._entries)}"
+        ):
+            return '{"k":"torn'
+        return ""
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""

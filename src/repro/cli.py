@@ -109,6 +109,35 @@ def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the static lint post-pass over the synthesized network",
     )
+    parser.add_argument(
+        "--deadline-per-cone",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cone; a cone blowing it degrades to "
+        "the one-to-one mapping (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--deadline-total",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run; unfinished cones "
+        "degrade on expiry",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="dispatch attempts per cone before degrading (transient "
+        "failures retry with exponential backoff)",
+    )
+    parser.add_argument(
+        "--strict-synthesis",
+        action="store_true",
+        help="fail instead of degrading a cone that times out, crashes "
+        "repeatedly, or exhausts its retries",
+    )
 
 
 def _options(args: argparse.Namespace) -> SynthesisOptions:
@@ -121,6 +150,10 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         use_fastpath=not args.no_fastpath,
         use_presolve=not args.no_presolve,
         lint=not getattr(args, "no_lint", False),
+        deadline_per_cone_s=getattr(args, "deadline_per_cone", None),
+        deadline_total_s=getattr(args, "deadline_total", None),
+        max_attempts=getattr(args, "max_attempts", 3),
+        strict_synthesis=getattr(args, "strict_synthesis", False),
     )
 
 
@@ -187,6 +220,15 @@ def cmd_synth(args: argparse.Namespace) -> int:
             f"{s.persistent_misses} misses, "
             f"{s.transformed_hits} NP-transformed, "
             f"{s.transform_rejects} rejected"
+        )
+    if report.degraded_cones:
+        cones = ", ".join(
+            f"{d.task_id} ({d.reason})" for d in report.degraded
+        )
+        print(
+            f"warning: {report.degraded_cones} cone(s) degraded to "
+            f"one-to-one mapping: {cones}",
+            file=sys.stderr,
         )
     lint_failed = False
     if report.lint is not None:

@@ -35,16 +35,55 @@ class DefectTrialResult:
     total_vectors: int
 
 
+def _noise_generator(
+    rng: random.Random | np.random.Generator | int,
+) -> np.random.Generator:
+    """Adapt any accepted RNG flavour to a NumPy generator.
+
+    A ``random.Random`` is bridged by drawing 64 bits from it, so repeated
+    calls against one Python RNG keep producing fresh (but reproducible)
+    instances — the behaviour the per-trial loops rely on.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(64))
+    return np.random.default_rng(rng)
+
+
 def perturb_weights(
-    network: ThresholdNetwork, v: float, rng: random.Random
+    network: ThresholdNetwork,
+    v: float,
+    rng: random.Random | np.random.Generator | int,
 ) -> dict[str, np.ndarray]:
-    """One disturbed-weight instance: per-gate additive noise arrays."""
+    """One disturbed-weight instance: per-gate additive noise arrays.
+
+    The noise for every weight of the network is drawn in one vectorized
+    ``Generator.random`` call and sliced per gate, replacing the former
+    per-weight Python loop; suites with thousands of gates perturb in
+    microseconds.  The raw sample stream differs from the historical
+    per-call ``random.Random`` implementation — only the distribution
+    (``v * U(-0.5, 0.5)`` per weight) is contractual, which the
+    compatibility tests pin statistically.
+    """
+    gen = _noise_generator(rng)
+    gates = list(network.gates())
+    counts = [len(gate.inputs) for gate in gates]
+    sample = v * (gen.random(sum(counts)) - 0.5)
     noise: dict[str, np.ndarray] = {}
-    for gate in network.gates():
-        noise[gate.name] = np.array(
-            [v * (rng.random() - 0.5) for _ in gate.inputs]
-        )
+    offset = 0
+    for gate, count in zip(gates, counts):
+        noise[gate.name] = sample[offset : offset + count]
+        offset += count
     return noise
+
+
+def _bits_from_word(word: int, width: int) -> np.ndarray:
+    """Unpack a ``width``-bit simulation word into a boolean vector."""
+    raw = np.frombuffer(
+        word.to_bytes((width + 7) // 8, "little"), dtype=np.uint8
+    )
+    return np.unpackbits(raw, bitorder="little")[:width].astype(bool)
 
 
 def run_defect_trial(
@@ -66,9 +105,7 @@ def run_defect_trial(
     outputs = synthesized.simulate_matrix(matrix, weight_noise=noise)
     wrong = 0
     for name in source.outputs:
-        want = np.array(
-            [(golden[name] >> k) & 1 for k in range(width)], dtype=bool
-        )
+        want = _bits_from_word(golden[name], width)
         wrong += int(np.count_nonzero(outputs[name] != want))
     return DefectTrialResult(wrong > 0, wrong, width * len(source.outputs))
 

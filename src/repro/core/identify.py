@@ -41,6 +41,7 @@ from repro.ilp.model import IlpProblem
 from repro.ilp.solve import solve_ilp_info
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep core below engine
+    from repro.engine.resilience import Deadline
     from repro.engine.store import ResultStore
 
 
@@ -63,6 +64,7 @@ class CheckStats:
     fastpath_negatives: int = 0
     fastpath_misses: int = 0
     presolve_rows_removed: int = 0
+    solver_timeouts: int = 0
     exact_solves: int = 0
     scipy_solves: int = 0
     exact_wall_s: float = 0.0
@@ -128,6 +130,12 @@ class ThresholdChecker:
         store: the shared :class:`~repro.engine.store.ResultStore` backing
             the memo; inject one to share results across checkers, parallel
             tasks, and sweep points.  A private store is created on demand.
+        deadline: optional :class:`~repro.engine.resilience.Deadline`;
+            when set, every :meth:`check` first verifies the budget (raising
+            :class:`~repro.errors.DeadlineExceeded` cooperatively) and the
+            remaining time is forwarded to the solver stack as its
+            wall-clock limit, so one slow ILP cannot blow through a
+            per-cone budget unnoticed.
     """
 
     delta_on: int = 0
@@ -139,6 +147,7 @@ class ThresholdChecker:
     use_presolve: bool = True
     stats: CheckStats = field(default_factory=CheckStats)
     store: "ResultStore | None" = field(default=None, repr=False)
+    deadline: "Deadline | None" = field(default=None, repr=False)
 
     @classmethod
     def from_options(
@@ -179,6 +188,8 @@ class ThresholdChecker:
         ILP is infeasible).  Weights are positionally aligned with the
         cover's variables; absent variables get weight 0.
         """
+        if self.deadline is not None:
+            self.deadline.check("threshold check")
         self.stats.calls += 1
         store = self._ensure_store()
         cover = cover.scc()
@@ -255,11 +266,15 @@ class ThresholdChecker:
                 warm_start = tuple(Fraction(v) for v in fast.candidate)
         problem, support = self._formulate(positive, off_cubes)
         self.stats.ilp_solved += 1
+        timeout_s = (
+            self.deadline.remaining() if self.deadline is not None else None
+        )
         result, info = solve_ilp_info(
             problem,
             backend=self.backend,
             presolve=self.use_presolve,
             warm_start=warm_start,
+            timeout_s=timeout_s,
         )
         self._record_solve(info)
         if not result.is_optimal:
@@ -277,6 +292,8 @@ class ThresholdChecker:
         self.stats.scipy_wall_s += info.wall_for("scipy")
         if info.presolve is not None:
             self.stats.presolve_rows_removed += info.presolve.rows_removed
+        if info.timed_out:
+            self.stats.solver_timeouts += 1
 
     def _vector_from_solution(
         self,
@@ -378,6 +395,7 @@ def is_threshold_function(
     max_weight: int | None = None,
     store: "ResultStore | None" = None,
     cache_dir: str | None = None,
+    deadline_s: float | None = None,
 ) -> WeightThresholdVector | None:
     """One-shot convenience wrapper around :class:`ThresholdChecker`.
 
@@ -385,7 +403,9 @@ def is_threshold_function(
     one-shot call can enforce the device weight bound and share (or warm) a
     result store across calls.  ``cache_dir`` (ignored when ``store`` is
     given) layers the persistent NP-canonical cache under a fresh store and
-    flushes any new solve back to disk before returning.
+    flushes any new solve back to disk before returning.  ``deadline_s``
+    bounds the check's wall clock; a blown budget raises
+    :class:`~repro.errors.DeadlineExceeded`.
     """
     flush_after = False
     if store is None and cache_dir is not None:
@@ -393,12 +413,18 @@ def is_threshold_function(
 
         store = ResultStore.with_cache_dir(cache_dir)
         flush_after = True
+    deadline = None
+    if deadline_s is not None:
+        from repro.engine.resilience import Deadline
+
+        deadline = Deadline.after(deadline_s)
     checker = ThresholdChecker(
         delta_on=delta_on,
         delta_off=delta_off,
         backend=backend,
         max_weight=max_weight,
         store=store,
+        deadline=deadline,
     )
     if isinstance(function, BooleanFunction):
         result = checker.check_function(function)

@@ -38,6 +38,7 @@ from repro.network.network import BooleanNetwork
 
 if TYPE_CHECKING:
     from repro.engine.events import EngineTrace
+    from repro.engine.resilience import DegradedCone
     from repro.engine.store import ResultStore
     from repro.lint.diagnostics import LintReport
 
@@ -75,6 +76,22 @@ class SynthesisOptions:
             ``EngineTrace`` and the report carries the ``LintReport``.
         lint_rules: restrict the post-pass to these rule ids/prefixes
             (None runs every source-free rule).
+        deadline_per_cone_s: wall-clock budget for each cone task; a cone
+            blowing it falls back to the one-to-one mapping (degradation).
+            None disables the per-cone deadline and the watchdog.
+        deadline_total_s: wall-clock budget for the whole run; on expiry
+            every unfinished cone degrades.
+        max_attempts: dispatch attempts per cone for transient errors
+            before degrading.
+        poison_crashes: worker crashes a cone may cause (or witness) before
+            it is quarantined and degraded.
+        retry_backoff_s / retry_backoff_max_s: base and cap of the
+            exponential retry backoff (deterministically jittered from
+            ``seed``).
+        watchdog_grace_s: slack past ``deadline_per_cone_s`` before the
+            process executor's watchdog kills a wedged worker pool.
+        strict_synthesis: raise :class:`SynthesisError` instead of
+            degrading a failed cone (see docs/RESILIENCE.md).
     """
 
     psi: int = 3
@@ -92,12 +109,28 @@ class SynthesisOptions:
     max_collapse_cubes: int = 128
     lint: bool = True
     lint_rules: tuple[str, ...] | None = None
+    deadline_per_cone_s: float | None = None
+    deadline_total_s: float | None = None
+    max_attempts: int = 3
+    poison_crashes: int = 3
+    retry_backoff_s: float = 0.05
+    retry_backoff_max_s: float = 0.5
+    watchdog_grace_s: float = 2.0
+    strict_synthesis: bool = False
 
     def __post_init__(self) -> None:
         if self.psi < 2:
             raise SynthesisError("fanin restriction must be at least 2")
         if self.delta_on < 0 or self.delta_off < 0:
             raise SynthesisError("defect tolerances must be non-negative")
+        for name in ("deadline_per_cone_s", "deadline_total_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise SynthesisError(f"{name} must be positive when set")
+        if self.max_attempts < 1:
+            raise SynthesisError("max_attempts must be at least 1")
+        if self.poison_crashes < 1:
+            raise SynthesisError("poison_crashes must be at least 1")
 
 
 @dataclass
@@ -108,7 +141,10 @@ class SynthesisReport:
     check / split timings, cache activity) when the run came through the
     pass-based engine — always, since the façade delegates to it.
     ``lint`` is the static post-pass report over the assembled network
-    (None when ``options.lint`` is off).
+    (None when ``options.lint`` is off).  ``degraded`` lists every cone the
+    resilience layer completed with the one-to-one fallback mapping (and
+    why); the result network is still complete and simulation-equivalent,
+    only those cones' area optimality is lost.
     """
 
     nodes_processed: int = 0
@@ -121,6 +157,8 @@ class SynthesisReport:
     checker: ThresholdChecker | None = None
     trace: "EngineTrace | None" = None
     lint: "LintReport | None" = None
+    degraded_cones: int = 0
+    degraded: "tuple[DegradedCone, ...]" = ()
 
 
 def synthesize(

@@ -67,9 +67,13 @@ class ConeSynthesizer:
         options,  # repro.core.synthesis.SynthesisOptions (kept untyped: façade layering)
         checker: ThresholdChecker,
         preserved: frozenset[str],
+        deadline=None,  # repro.engine.resilience.Deadline | None
+        fault_hook=None,  # chaos: called once per processed node (tests only)
     ):
         self.options = options
         self.root = root
+        self.deadline = deadline
+        self.fault_hook = fault_hook
         # Shallow copy: functions are immutable and shared; only this task's
         # split parts are added, so the source stays pristine for siblings.
         self.work = source.copy()
@@ -91,6 +95,17 @@ class ConeSynthesizer:
 
     # ------------------------------------------------------------------
     def run(self) -> ConeOutcome:
+        # The checker is shared (serially) or task-private (in a worker);
+        # either way its deadline is scoped to this cone run and restored
+        # afterwards, so one cone's budget never leaks into the next.
+        saved_deadline = self.checker.deadline
+        self.checker.deadline = self.deadline
+        try:
+            return self._run()
+        finally:
+            self.checker.deadline = saved_deadline
+
+    def _run(self) -> ConeOutcome:
         run_started = time.perf_counter()
         stats_before = self.checker.stats.snapshot()
         store = self.checker.store
@@ -107,6 +122,10 @@ class ConeSynthesizer:
                     "synthesis is not converging (split/collapse loop?)"
                 )
             self.metrics.nodes_processed += 1
+            if self.deadline is not None:
+                self.deadline.check(f"cone {self.root!r}")
+            if self.fault_hook is not None:
+                self.fault_hook()
             with timed(self.metrics, "collapse_s"):
                 function = collapse_node(
                     self.work,
@@ -142,6 +161,7 @@ class ConeSynthesizer:
         self.metrics.exact_wall_s = delta.exact_wall_s
         self.metrics.scipy_wall_s = delta.scipy_wall_s
         self.metrics.presolve_rows_removed = delta.presolve_rows_removed
+        self.metrics.solver_timeouts = delta.solver_timeouts
         store_delta: StoreStats | None = None
         if store_before is not None and self.checker.store is not None:
             store_delta = self.checker.store.stats.since(store_before)

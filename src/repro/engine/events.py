@@ -58,8 +58,13 @@ class TaskMetrics:
     persistent_misses: int = 0
     transformed_hits: int = 0
     transform_rejects: int = 0
+    solver_timeouts: int = 0
     lint_s: float = 0.0
     lint_violations: int = 0
+    #: Executor submissions this cone consumed (retries inflate this).
+    attempts: int = 1
+    #: True when the cone fell back to the one-to-one mapping.
+    degraded: bool = False
 
     def events(self) -> Iterator[TaskEvent]:
         """Expand this record into structured per-phase events."""
@@ -108,7 +113,14 @@ class TaskMetrics:
             {"violations": self.lint_violations},
         )
         yield TaskEvent(
-            self.task_id, "done", self.wall_s, {"gates": self.gates_emitted}
+            self.task_id,
+            "done",
+            self.wall_s,
+            {
+                "gates": self.gates_emitted,
+                "attempts": self.attempts,
+                "degraded": self.degraded,
+            },
         )
 
 
@@ -148,6 +160,15 @@ class EngineTrace:
     #: Findings of the whole-network lint post-pass (None: lint was off).
     network_lint_violations: int | None = None
     network_lint_s: float = 0.0
+    #: Resilience telemetry (see docs/RESILIENCE.md).
+    retries: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    watchdog_kills: int = 0
+    #: Task ids quarantined as poison after repeated worker crashes.
+    quarantined: list[str] = field(default_factory=list)
+    #: ``(task_id, reason)`` per cone that fell back to one-to-one mapping.
+    degraded: list[tuple[str, str]] = field(default_factory=list)
 
     def add(self, metrics: TaskMetrics) -> None:
         self.tasks.append(metrics)
@@ -224,6 +245,25 @@ class EngineTrace:
                 f"({100.0 * self.persistent_hit_rate:.1f}%), "
                 f"{int(self.total('transformed_hits'))} NP-transformed, "
                 f"{int(self.total('transform_rejects'))} rejected"
+            )
+        if (
+            self.degraded
+            or self.retries
+            or self.requeues
+            or self.pool_rebuilds
+            or self.watchdog_kills
+            or self.quarantined
+        ):
+            cones = ", ".join(
+                f"{task_id} ({reason})" for task_id, reason in self.degraded
+            )
+            lines.append(
+                f"degraded: {len(self.degraded)} cones"
+                + (f" [{cones}]" if cones else "")
+                + f", {self.retries} retries, {self.requeues} requeues, "
+                f"{self.pool_rebuilds} pool rebuilds, "
+                f"{self.watchdog_kills} watchdog kills, "
+                f"{len(self.quarantined)} quarantined"
             )
         if self.network_lint_violations is not None:
             lines.append(

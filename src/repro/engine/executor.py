@@ -1,29 +1,56 @@
 """The executor layer: serial and process-pool cone dispatch backends.
 
 Both backends expose the same three-call surface the scheduler drives —
-``submit(task)``, ``wait() -> list[TaskResult]``, ``close()`` — and both
-produce byte-identical gates for the same prepared network and options,
-because every cone runs under its own ``random.Random("{seed}:{task_id}")``
-stream and reads only the immutable source network.
+``submit(task, attempt)``, ``wait() -> (results, failures)``, ``close()`` —
+and both produce byte-identical gates for the same prepared network and
+options, because every cone runs under its own
+``random.Random("{seed}:{task_id}")`` stream and reads only the immutable
+source network.
 
 The process backend ships the source network, options, and a snapshot of
 the shared result store to each worker once (pool initializer); workers keep
 a long-lived checker whose store journals new entries, and every
 :class:`TaskResult` carries the journal back for the scheduler to merge into
 the master store.
+
+Resilience semantics (see docs/RESILIENCE.md):
+
+* A worker raising :class:`~repro.errors.DeadlineExceeded` or
+  :class:`~repro.errors.TransientError` comes back as a
+  :class:`~repro.engine.resilience.TaskFailure` (kinds ``"timeout"`` /
+  ``"error"``) instead of poisoning the run; deterministic
+  :class:`~repro.errors.SynthesisError` still propagates.
+* A dead worker process breaks the whole pool
+  (:class:`~concurrent.futures.process.BrokenProcessPool`); the executor
+  cannot attribute the crash, so *every* in-flight cone is reported as a
+  ``"crash"`` failure (blame-all, the scheduler's quarantine threshold
+  absorbs the over-counting) and the pool is rebuilt from the live store.
+* When a per-cone deadline is configured, a watchdog sweep kills the pool
+  if a cone overruns its budget plus grace (a worker stuck in non-Python
+  code never reaches the cooperative check): the overdue cones fail as
+  ``"timeout"``, innocent in-flight cones as ``"evicted"`` (a free
+  requeue).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.identify import ThresholdChecker
 from repro.engine.cone import ConeSynthesizer
+from repro.engine.resilience import Deadline, ResiliencePolicy, TaskFailure
 from repro.engine.store import ResultStore, StoreDelta
 from repro.engine.tasks import SynthTask, TaskResult
+from repro.errors import DeadlineExceeded, TransientError
+from repro.faults.injector import STALL_SECONDS, get_injector
 from repro.network.network import BooleanNetwork
+
+#: Poll interval for the watchdog sweep; only paid when a deadline is set.
+_WATCHDOG_TICK_S = 0.2
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -44,22 +71,33 @@ class SerialExecutor:
         options,
         preserved: frozenset[str],
         checker: ThresholdChecker,
+        policy: ResiliencePolicy | None = None,
     ):
         self._network = network
         self._options = options
         self._preserved = preserved
         self._checker = checker
-        self._queue: list[SynthTask] = []
+        self._policy = policy or ResiliencePolicy()
+        self._queue: list[tuple[SynthTask, int]] = []
 
-    def submit(self, task: SynthTask) -> None:
-        self._queue.append(task)
+    def submit(self, task: SynthTask, attempt: int = 1) -> None:
+        self._queue.append((task, attempt))
 
-    def wait(self) -> list[TaskResult]:
-        task = self._queue.pop(0)
-        outcome = ConeSynthesizer(
-            self._network, task.root, self._options, self._checker,
-            self._preserved,
-        ).run()
+    def wait(self) -> tuple[list[TaskResult], list[TaskFailure]]:
+        task, attempt = self._queue.pop(0)
+        deadline = Deadline.after(self._policy.deadline_per_cone_s)
+        try:
+            outcome = ConeSynthesizer(
+                self._network, task.root, self._options, self._checker,
+                self._preserved, deadline=deadline,
+            ).run()
+        except DeadlineExceeded as exc:
+            return [], [
+                TaskFailure(task.task_id, "timeout", str(exc), attempt)
+            ]
+        except TransientError as exc:
+            return [], [TaskFailure(task.task_id, "error", str(exc), attempt)]
+        outcome.metrics.attempts = attempt
         return [
             TaskResult(
                 task_id=task.task_id,
@@ -69,8 +107,9 @@ class SerialExecutor:
                 stats_delta=outcome.stats_delta,
                 store_delta=None,
                 store_stats_delta=outcome.store_stats_delta,
+                attempts=attempt,
             )
-        ]
+        ], []
 
     def close(self) -> None:
         self._queue.clear()
@@ -105,18 +144,58 @@ def _worker_init(
         "preserved": preserved,
         "checker": checker,
         "store": store,
+        "deadline_per_cone_s": ResiliencePolicy.from_options(
+            options
+        ).deadline_per_cone_s,
     }
 
 
-def _worker_run(task_id: str, root: str) -> TaskResult:
+def _worker_fault_hook(task_id: str, attempt: int):
+    """The chaos hook for one cone run, or None.
+
+    Decisions are keyed on ``task_id:attempt`` so a retried cone rolls the
+    dice again — an injected crash is transient, exactly like the real
+    fault it models.  ``worker`` dies mid-cone via ``os._exit`` (the pool
+    sees a broken process, not an exception); ``stall`` sleeps through the
+    cooperative deadline checks once, which is what the watchdog exists
+    for.  Workers inherit ``TELS_CHAOS`` from the parent at spawn, so
+    every process rebuilds the same injector and the same decisions.
+    """
+    injector = get_injector()
+    if injector is None:
+        return None
+    key = f"{task_id}:{attempt}"
+    if injector.decide("worker", key):
+
+        def crash() -> None:
+            os._exit(1)
+
+        return crash
+    if injector.decide("stall", key):
+        fired: list[bool] = []
+
+        def stall() -> None:
+            if not fired:
+                fired.append(True)
+                time.sleep(STALL_SECONDS)
+
+        return stall
+    return None
+
+
+def _worker_run(task_id: str, root: str, attempt: int = 1) -> TaskResult:
     assert _WORKER is not None, "worker pool not initialized"
+    deadline = Deadline.after(_WORKER["deadline_per_cone_s"])
     outcome = ConeSynthesizer(
         _WORKER["network"],
         root,
         _WORKER["options"],
         _WORKER["checker"],
         _WORKER["preserved"],
+        deadline=deadline,
+        fault_hook=_worker_fault_hook(task_id, attempt),
     ).run()
+    outcome.metrics.attempts = attempt
     return TaskResult(
         task_id=task_id,
         gates=outcome.gates,
@@ -125,6 +204,7 @@ def _worker_run(task_id: str, root: str) -> TaskResult:
         stats_delta=outcome.stats_delta,
         store_delta=_WORKER["store"].take_journal(),
         store_stats_delta=outcome.store_stats_delta,
+        attempts=attempt,
     )
 
 
@@ -140,37 +220,170 @@ class ProcessExecutor:
         preserved: frozenset[str],
         store: ResultStore,
         jobs: int,
+        policy: ResiliencePolicy | None = None,
     ):
-        self._pool = ProcessPoolExecutor(
-            max_workers=jobs,
+        self._network = network
+        self._options = options
+        self._preserved = preserved
+        self._store = store
+        self._jobs = jobs
+        self._policy = policy or ResiliencePolicy()
+        #: future -> (task, attempt, monotonic submit time)
+        self._inflight: dict[Future, tuple[SynthTask, int, float]] = {}
+        #: failures minted outside wait() (a submit hitting a broken pool);
+        #: drained by the next wait() call.
+        self._pending: list[TaskFailure] = []
+        self.rebuilds = 0
+        self.watchdog_kills = 0
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        # The store snapshot is re-exported on every (re)build, so a pool
+        # recovering from a crash starts warm with everything the run has
+        # already solved.
+        return ProcessPoolExecutor(
+            max_workers=self._jobs,
             initializer=_worker_init,
             initargs=(
-                network,
-                options,
-                preserved,
-                store.export(),
-                store.persistent,
+                self._network,
+                self._options,
+                self._preserved,
+                self._store.export(),
+                self._store.persistent,
             ),
         )
-        self._futures: set[Future] = set()
 
-    def submit(self, task: SynthTask) -> None:
-        self._futures.add(
-            self._pool.submit(_worker_run, task.task_id, task.root)
-        )
+    def submit(self, task: SynthTask, attempt: int = 1) -> None:
+        # A worker can die between wait() calls, breaking the pool before
+        # wait() gets to observe it; submitting to a broken pool raises
+        # synchronously.  Resolve the break here — every in-flight cone is
+        # blamed (same as the wait()-side path), the pool is rebuilt, and
+        # this task retries on the fresh pool.
+        try:
+            future = self._pool.submit(
+                _worker_run, task.task_id, task.root, attempt
+            )
+        except BrokenProcessPool:
+            self._pending.extend(self._evict_all(kind="crash"))
+            self._rebuild()
+            future = self._pool.submit(
+                _worker_run, task.task_id, task.root, attempt
+            )
+        self._inflight[future] = (task, attempt, time.monotonic())
 
-    def wait(self) -> list[TaskResult]:
-        done, pending = futures_wait(
-            self._futures, return_when=FIRST_COMPLETED
+    def wait(self) -> tuple[list[TaskResult], list[TaskFailure]]:
+        if self._pending:
+            drained = self._pending
+            self._pending = []
+            return [], drained
+        tick = _WATCHDOG_TICK_S if self._policy.watchdog_needed else None
+        done, _pending = futures_wait(
+            list(self._inflight), timeout=tick, return_when=FIRST_COMPLETED
         )
-        self._futures = set(pending)
-        return [future.result() for future in done]
+        results: list[TaskResult] = []
+        failures: list[TaskFailure] = []
+        broken = False
+        for future in done:
+            task, attempt, _started = self._inflight.pop(future)
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                broken = True
+                failures.append(
+                    TaskFailure(
+                        task.task_id,
+                        "crash",
+                        "worker process died (pool broke)",
+                        attempt,
+                    )
+                )
+            except DeadlineExceeded as exc:
+                failures.append(
+                    TaskFailure(task.task_id, "timeout", str(exc), attempt)
+                )
+            except TransientError as exc:
+                failures.append(
+                    TaskFailure(task.task_id, "error", str(exc), attempt)
+                )
+            else:
+                results.append(result)
+        if broken:
+            failures.extend(self._evict_all(kind="crash"))
+            self._rebuild()
+        elif self._policy.watchdog_needed:
+            failures.extend(self._reap_overdue())
+        return results, failures
+
+    def _reap_overdue(self) -> list[TaskFailure]:
+        """Kill the pool when a cone overruns deadline + grace.
+
+        ProcessPoolExecutor cannot cancel a *running* call, so a worker
+        wedged past the cooperative checks (a stall in non-Python code, or
+        the chaos ``stall`` site) is only recoverable by terminating its
+        process — which breaks the pool, so every in-flight cone is
+        resolved here: overdue ones as ``"timeout"``, the rest as
+        ``"evicted"`` (requeued for free by the scheduler).
+        """
+        limit = self._policy.deadline_per_cone_s
+        if limit is None or not self._inflight:
+            return []
+        limit += self._policy.watchdog_grace_s
+        now = time.monotonic()
+        overdue = [
+            future
+            for future, (_task, _attempt, started) in self._inflight.items()
+            if now - started > limit
+        ]
+        if not overdue:
+            return []
+        failures: list[TaskFailure] = []
+        for future in overdue:
+            task, attempt, started = self._inflight.pop(future)
+            failures.append(
+                TaskFailure(
+                    task.task_id,
+                    "timeout",
+                    f"watchdog: cone exceeded {limit:.3f}s wall clock",
+                    attempt,
+                )
+            )
+        self.watchdog_kills += len(overdue)
+        failures.extend(self._evict_all(kind="evicted"))
+        self._kill_pool()
+        self._rebuild()
+        return failures
+
+    def _evict_all(self, kind: str) -> list[TaskFailure]:
+        failures = [
+            TaskFailure(task.task_id, kind, "pool torn down", attempt)
+            for task, attempt, _started in self._inflight.values()
+        ]
+        self._inflight.clear()
+        return failures
+
+    def _kill_pool(self) -> None:
+        # Deliberate use of the pool's process table: there is no public
+        # API to terminate a running worker.
+        processes = getattr(self._pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+
+    def _rebuild(self) -> None:
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._pool = self._make_pool()
+        self.rebuilds += 1
 
     def close(self) -> None:
-        for future in self._futures:
+        for future in self._inflight:
             future.cancel()
         self._pool.shutdown(wait=True, cancel_futures=True)
-        self._futures.clear()
+        self._inflight.clear()
 
 
 def make_executor(
@@ -180,8 +393,11 @@ def make_executor(
     preserved: frozenset[str],
     store: ResultStore,
     checker: ThresholdChecker,
+    policy: ResiliencePolicy | None = None,
 ):
     """The backend for a jobs count: inline below 2, process pool above."""
     if jobs <= 1:
-        return SerialExecutor(network, options, preserved, checker)
-    return ProcessExecutor(network, options, preserved, store, jobs)
+        return SerialExecutor(network, options, preserved, checker, policy)
+    return ProcessExecutor(
+        network, options, preserved, store, jobs, policy
+    )

@@ -8,6 +8,18 @@ merged into one :class:`ThresholdNetwork` by a deterministic DFS over the
 task graph — primary outputs in declaration order, then each task's
 discovered roots in discovery order — so the executor's completion order
 (and hence the jobs count) never changes the emitted network.
+
+The scheduler is also where the resilience policy is applied (see
+docs/RESILIENCE.md).  Executors report structured
+:class:`~repro.engine.resilience.TaskFailure` records alongside results;
+the policy response is: crashes requeue with backoff until the quarantine
+threshold, transient errors retry up to ``max_attempts``, deadline
+expiries degrade immediately, and evicted tasks requeue for free.  A
+degraded cone is realized with the paper's one-to-one mapping
+(:func:`~repro.engine.resilience.fallback_cone_gates`), so
+``run_synthesis`` always returns a complete, simulation-equivalent,
+lint-clean network — unless ``strict_synthesis`` turns degradation into a
+:class:`~repro.errors.SynthesisError`.
 """
 
 from __future__ import annotations
@@ -17,8 +29,15 @@ from dataclasses import dataclass
 
 from repro.core.identify import ThresholdChecker
 from repro.core.threshold import ThresholdNetwork
-from repro.engine.events import EngineTrace
+from repro.engine.events import EngineTrace, TaskMetrics
 from repro.engine.executor import make_executor, resolve_jobs
+from repro.engine.resilience import (
+    Deadline,
+    DegradedCone,
+    ResiliencePolicy,
+    TaskFailure,
+    fallback_cone_gates,
+)
 from repro.engine.store import ResultStore
 from repro.engine.tasks import (
     SynthTask,
@@ -27,6 +46,7 @@ from repro.engine.tasks import (
     preserved_set,
 )
 from repro.errors import SynthesisError
+from repro.faults.injector import get_injector
 from repro.network.network import BooleanNetwork
 
 
@@ -72,38 +92,147 @@ def run_synthesis(
     checker = ThresholdChecker.from_options(options, store=store)
     preserved = preserved_set(network, options.preserve_sharing)
     initial = plan_initial_tasks(network)
+    policy = ResiliencePolicy.from_options(options)
+    total_deadline = Deadline.after(policy.deadline_total_s)
+    # Validate TELS_CHAOS up front: a malformed spec must fail the run
+    # loudly, not lie dormant until (or unless) an injection site fires.
+    get_injector()
 
     started = time.perf_counter()
     executor = make_executor(
-        jobs, network, options, preserved, store, checker
+        jobs, network, options, preserved, store, checker, policy
     )
     trace = EngineTrace(jobs=jobs, backend=executor.backend_name)
     tasks: dict[str, SynthTask] = {}
     results: dict[str, TaskResult] = {}
+    crashes: dict[str, int] = {}
+    degraded_records: list[DegradedCone] = []
+
+    def _register(result: TaskResult, submit_new: bool = True) -> None:
+        results[result.task_id] = result
+        trace.add(result.metrics)
+        if result.store_delta is not None:
+            store.merge(result.store_delta)
+        for root in result.discovered:
+            if root not in tasks:
+                task = SynthTask.for_root(root, requested_by=result.task_id)
+                tasks[task.task_id] = task
+                if submit_new:
+                    executor.submit(task)
+
+    def _degrade(
+        task_id: str,
+        reason: str,
+        attempts: int,
+        detail: str = "",
+        submit_new: bool = True,
+    ) -> None:
+        """Resolve a failed cone with the one-to-one fallback mapping."""
+        if policy.strict:
+            raise SynthesisError(
+                f"cone {task_id!r} failed ({reason}"
+                + (f": {detail}" if detail else "")
+                + ") and strict synthesis forbids degradation"
+            )
+        gates, discovered = fallback_cone_gates(
+            network, tasks[task_id].root, preserved, options, checker=checker
+        )
+        metrics = TaskMetrics(
+            task_id=task_id,
+            gates_emitted=len(gates),
+            attempts=attempts,
+            degraded=True,
+        )
+        degraded_records.append(
+            DegradedCone(task_id, reason, attempts, detail)
+        )
+        trace.degraded.append((task_id, reason))
+        _register(
+            TaskResult(
+                task_id=task_id,
+                gates=gates,
+                discovered=discovered,
+                metrics=metrics,
+                degraded=True,
+                attempts=attempts,
+            ),
+            submit_new=submit_new,
+        )
+
+    def _handle_failure(failure: TaskFailure) -> None:
+        task_id = failure.task_id
+        if task_id in results:
+            return  # resolved while the failure was in flight
+        if failure.kind == "evicted":
+            # Innocent bystander of a pool teardown: requeue, no penalty.
+            trace.requeues += 1
+            executor.submit(tasks[task_id], failure.attempt)
+        elif failure.kind == "crash":
+            crashes[task_id] = crashes.get(task_id, 0) + 1
+            if crashes[task_id] >= policy.poison_crashes:
+                trace.quarantined.append(task_id)
+                _degrade(
+                    task_id, "quarantined", failure.attempt, failure.message
+                )
+            else:
+                trace.requeues += 1
+                time.sleep(
+                    policy.retry.backoff_s(failure.attempt, key=task_id)
+                )
+                executor.submit(tasks[task_id], failure.attempt + 1)
+        elif failure.kind == "timeout":
+            _degrade(task_id, "deadline", failure.attempt, failure.message)
+        else:  # "error": transient, retry with backoff until exhausted
+            if failure.attempt >= policy.max_attempts:
+                _degrade(
+                    task_id,
+                    "retry-exhausted",
+                    failure.attempt,
+                    failure.message,
+                )
+            else:
+                trace.retries += 1
+                time.sleep(
+                    policy.retry.backoff_s(failure.attempt, key=task_id)
+                )
+                executor.submit(tasks[task_id], failure.attempt + 1)
+
     try:
         for task in initial:
             tasks[task.task_id] = task
             executor.submit(task)
         while len(results) < len(tasks):
-            for result in executor.wait():
-                results[result.task_id] = result
-                trace.add(result.metrics)
-                if result.store_delta is not None:
-                    store.merge(result.store_delta)
-                for root in result.discovered:
-                    if root not in tasks:
-                        task = SynthTask.for_root(
-                            root, requested_by=result.task_id
-                        )
-                        tasks[task.task_id] = task
-                        executor.submit(task)
+            if total_deadline is not None and total_deadline.expired:
+                # Whole-run budget exhausted: every unfinished cone —
+                # including roots the fallbacks themselves discover —
+                # degrades to the one-to-one mapping.
+                while len(results) < len(tasks):
+                    for task_id in list(tasks):
+                        if task_id not in results:
+                            _degrade(
+                                task_id,
+                                "total-deadline",
+                                1,
+                                submit_new=False,
+                            )
+                break
+            wave, failures = executor.wait()
+            for result in wave:
+                if result.task_id not in results:
+                    _register(result)
+            for failure in failures:
+                _handle_failure(failure)
     finally:
         executor.close()
     trace.wall_s = time.perf_counter() - started
+    trace.pool_rebuilds = getattr(executor, "rebuilds", 0)
+    trace.watchdog_kills = getattr(executor, "watchdog_kills", 0)
     store.flush_persistent()
 
     result_net = _assemble(network, initial, results)
     report = _build_report(options, checker, trace, results, store)
+    report.degraded_cones = len(degraded_records)
+    report.degraded = tuple(degraded_records)
     if getattr(options, "lint", True):
         # Static post-pass over the assembled network: the structural rules
         # (cycles, dangling fanins, reachability) only make sense here, and

@@ -48,7 +48,14 @@ class SynthTask:
 
 @dataclass
 class TaskResult:
-    """Everything a finished cone task hands back to the scheduler."""
+    """Everything a finished cone task hands back to the scheduler.
+
+    ``degraded`` marks a cone that the resilience layer completed with the
+    paper's one-to-one fallback mapping (after a deadline, quarantine, or
+    retry exhaustion) rather than full TELS synthesis; ``attempts`` is how
+    many executor submissions the cone consumed, so the trace can report
+    retry pressure.
+    """
 
     task_id: str
     gates: tuple[ThresholdGate, ...]
@@ -57,6 +64,8 @@ class TaskResult:
     stats_delta: CheckStats = field(default_factory=CheckStats)
     store_delta: StoreDelta | None = None
     store_stats_delta: StoreStats | None = None
+    degraded: bool = False
+    attempts: int = 1
 
 
 def preserved_set(

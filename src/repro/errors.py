@@ -43,3 +43,21 @@ class UnboundedError(IlpError):
 
 class SynthesisError(ReproError):
     """Raised when threshold synthesis cannot make progress on a node."""
+
+
+class DeadlineExceeded(ReproError):
+    """Raised when a cooperative deadline budget runs out mid-computation.
+
+    The engine treats this as a *per-cone* failure: the cone is degraded to
+    the one-to-one fallback (or the whole run fails under strict mode), so
+    the exception never escapes ``run_synthesis`` unless strict is set.
+    """
+
+
+class TransientError(ReproError):
+    """A failure worth retrying: cache I/O hiccup, injected chaos fault,
+    or a solver backend error that is not a property of the model."""
+
+
+class ChaosError(ReproError):
+    """Raised on a malformed ``TELS_CHAOS`` fault-injection spec."""

@@ -32,6 +32,9 @@ class SuiteRow:
     verified: bool
     check_stats: CheckStats | None = None
     store_stats: StoreStats | None = None
+    #: Cones the resilience layer completed with the one-to-one fallback
+    #: (0 in a healthy run; nonzero only under deadlines or chaos).
+    degraded_cones: int = 0
 
     @property
     def reduction_percent(self) -> float:
@@ -95,6 +98,11 @@ class SuiteSummary:
                 totals.add(row.check_stats)
         return totals
 
+    @property
+    def degraded_cones(self) -> int:
+        """Degraded cones across the whole suite (expected 0)."""
+        return sum(r.degraded_cones for r in self.rows)
+
     def store_totals(self) -> StoreStats:
         """Store counters folded over every row (missing rows skipped)."""
         totals = StoreStats()
@@ -148,6 +156,7 @@ def _run_one(
         verified,
         check_stats=check,
         store_stats=store.stats.snapshot() if store is not None else None,
+        degraded_cones=report.degraded_cones,
     )
 
 
@@ -221,6 +230,11 @@ def format_suite(summary: SuiteSummary) -> str:
             f"solvers: exact {totals.exact_solves} "
             f"({totals.exact_wall_s:.3f}s), "
             f"scipy {totals.scipy_solves} ({totals.scipy_wall_s:.3f}s)"
+        )
+    if summary.degraded_cones:
+        lines.append(
+            f"degraded: {summary.degraded_cones} cone(s) fell back to "
+            "one-to-one mapping"
         )
     store = summary.store_totals()
     if store.persistent_lookups:

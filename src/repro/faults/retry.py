@@ -1,0 +1,72 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+The jitter is drawn from ``random.Random(f"{seed}|backoff|{key}|{attempt}")``
+— the same content-keyed scheme as the chaos injector — so retry timing is
+reproducible per (policy seed, call key) and never couples concurrent
+callers to a shared RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a transient failure is retried.
+
+    Attributes:
+        max_attempts: total tries including the first (1 = never retry).
+        base_backoff_s: sleep after the first failure; doubles per attempt.
+        max_backoff_s: cap on any single sleep.
+        jitter: extra sleep as a fraction of the backoff (0 disables;
+            0.5 means up to +50%), drawn deterministically per key+attempt.
+        seed: seed of the jitter stream.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Sleep duration after failed attempt number ``attempt`` (1-based)."""
+        raw = min(
+            self.max_backoff_s, self.base_backoff_s * (2 ** (attempt - 1))
+        )
+        if self.jitter > 0.0:
+            frac = random.Random(
+                f"{self.seed}|backoff|{key}|{attempt}"
+            ).random()
+            raw *= 1.0 + self.jitter * frac
+        return min(raw, self.max_backoff_s)
+
+
+def retry_call(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    retryable: tuple[type[BaseException], ...] = (OSError,),
+    key: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn(attempt)`` until it succeeds or the policy is exhausted.
+
+    ``fn`` receives the 1-based attempt number (chaos sites key their
+    decisions on it, so an injected failure does not repeat forever).  The
+    final failure re-raises; earlier ones sleep :meth:`RetryPolicy.backoff_s`.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn(attempt)
+        except retryable:
+            if attempt >= policy.max_attempts:
+                raise
+            sleep(policy.backoff_s(attempt, key))
+            attempt += 1

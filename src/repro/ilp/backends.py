@@ -33,6 +33,7 @@ class SolveAttempt:
     status: Status
     wall_s: float
     warm_started: bool = False
+    timed_out: bool = False
 
 
 @dataclass
@@ -68,6 +69,11 @@ class SolveInfo:
     def solves_for(self, backend: str) -> int:
         return sum(1 for a in self.attempts if a.backend == backend)
 
+    @property
+    def timed_out(self) -> bool:
+        """True when any attempt was cut short by a wall-clock limit."""
+        return any(a.timed_out for a in self.attempts)
+
 
 @runtime_checkable
 class SolverBackend(Protocol):
@@ -83,9 +89,13 @@ class SolverBackend(Protocol):
         self,
         problem: IlpProblem,
         warm_start: tuple[Fraction, ...] | None = None,
+        timeout_s: float | None = None,
     ) -> IlpResult:
         """Solve ``problem``; ``warm_start`` is a feasible incumbent hint
-        (backends without warm-start support simply ignore it)."""
+        (backends without warm-start support simply ignore it), and
+        ``timeout_s`` is a best-effort wall-clock limit — a backend that
+        honours it returns a result with ``timed_out=True`` instead of a
+        proven answer (see the deadline contract in docs/ARCHITECTURE.md)."""
         ...
 
 
@@ -101,10 +111,13 @@ class ExactBackend:
         self,
         problem: IlpProblem,
         warm_start: tuple[Fraction, ...] | None = None,
+        timeout_s: float | None = None,
     ) -> IlpResult:
         from repro.ilp.branch_bound import solve_bb
 
-        return solve_bb(problem, incumbent_values=warm_start)
+        return solve_bb(
+            problem, incumbent_values=warm_start, time_limit_s=timeout_s
+        )
 
 
 class ScipyBackend:
@@ -121,12 +134,13 @@ class ScipyBackend:
         self,
         problem: IlpProblem,
         warm_start: tuple[Fraction, ...] | None = None,
+        timeout_s: float | None = None,
     ) -> IlpResult:
         from repro.ilp.scipy_backend import solve_scipy
 
         # scipy.optimize.milp has no warm-start interface; the hint is
         # intentionally unused.
-        return solve_scipy(problem)
+        return solve_scipy(problem, time_limit_s=timeout_s)
 
 
 _REGISTRY: dict[str, SolverBackend] = {}
@@ -164,15 +178,25 @@ def timed_solve(
     backend: SolverBackend,
     problem: IlpProblem,
     warm_start: tuple[Fraction, ...] | None = None,
+    timeout_s: float | None = None,
 ) -> tuple[IlpResult, SolveAttempt]:
     """Run one backend under a wall-clock, producing its attempt record."""
     started = time.perf_counter()
-    result = backend.solve(problem, warm_start=warm_start)
+    if timeout_s is None:
+        # Backends registered before the timeout contract only take
+        # (problem, warm_start); never passing an unused keyword keeps them
+        # working as long as no deadline is configured.
+        result = backend.solve(problem, warm_start=warm_start)
+    else:
+        result = backend.solve(
+            problem, warm_start=warm_start, timeout_s=timeout_s
+        )
     attempt = SolveAttempt(
         backend=backend.name,
         status=result.status,
         wall_s=time.perf_counter() - started,
         warm_started=warm_start is not None,
+        timed_out=result.timed_out,
     )
     return result, attempt
 

@@ -9,6 +9,7 @@ exactly integral — no epsilon rounding.
 from __future__ import annotations
 
 import math
+import time
 from fractions import Fraction
 
 from repro.errors import IlpError
@@ -26,12 +27,16 @@ def solve_bb(
     problem: IlpProblem,
     node_limit: int = DEFAULT_NODE_LIMIT,
     incumbent_values: tuple[Fraction, ...] | None = None,
+    time_limit_s: float | None = None,
 ) -> IlpResult:
     """Solve an ILP by branch & bound; exact rational arithmetic.
 
     Mirrors the paper's practical stance on NP-completeness: if the search
     exceeds ``node_limit`` LP nodes the problem is declared infeasible (the
-    synthesis flow then simply splits the node further).
+    synthesis flow then simply splits the node further).  ``time_limit_s``
+    adds a wall-clock analogue, checked before every node: a blown budget
+    returns the best incumbent (``timed_out=True``) or a declared — never
+    proven — infeasibility, exactly like a node-limit hit.
 
     ``incumbent_values`` warm-starts the search with a known point (the
     Chow-parameter fast path or a symmetry-collapsed pre-solve supply one):
@@ -39,6 +44,9 @@ def solve_bb(
     so every node whose relaxation cannot beat it is pruned immediately.
     An infeasible or non-integral hint is silently ignored.
     """
+    deadline_at = (
+        None if time_limit_s is None else time.perf_counter() + time_limit_s
+    )
     if _gcd_infeasible(problem):
         return IlpResult(Status.INFEASIBLE)
     root = solve_lp(problem)
@@ -79,15 +87,21 @@ def solve_bb(
             continue
         seen.add(key)
         nodes_used += 1
-        if nodes_used > node_limit:
+        timed_out = (
+            deadline_at is not None and time.perf_counter() > deadline_at
+        )
+        if nodes_used > node_limit or timed_out:
             if incumbent is not None:
                 return IlpResult(
                     incumbent.status,
                     incumbent.objective,
                     incumbent.values,
                     limit_hit=True,
+                    timed_out=timed_out,
                 )
-            return IlpResult(Status.INFEASIBLE, limit_hit=True)
+            return IlpResult(
+                Status.INFEASIBLE, limit_hit=True, timed_out=timed_out
+            )
         cuts = _bounds_to_cuts(problem.num_vars, bounds)
         relaxed = solve_lp(problem, cuts) if cuts else root
         if relaxed.status is not Status.OPTIMAL:

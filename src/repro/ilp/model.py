@@ -63,12 +63,17 @@ class IlpResult:
     reasonable amount of time, it declares the problem as infeasible",
     Section V-E); threshold identification treats it as "not threshold" and
     simply splits the node further.
+
+    ``timed_out`` marks an answer cut short by a wall-clock limit rather
+    than a node budget; like ``limit_hit`` it means the claim was declared,
+    not proven, so the dispatch layer never treats it as semantic.
     """
 
     status: Status
     objective: Fraction | None = None
     values: tuple[Fraction, ...] | None = None
     limit_hit: bool = False
+    timed_out: bool = False
 
     @property
     def is_optimal(self) -> bool:

@@ -22,8 +22,17 @@ def have_scipy() -> bool:
     return True
 
 
-def solve_scipy(problem: IlpProblem) -> IlpResult:
-    """Solve with HiGHS; returns INFEASIBLE on any numerical doubt."""
+def solve_scipy(
+    problem: IlpProblem, time_limit_s: float | None = None
+) -> IlpResult:
+    """Solve with HiGHS; returns INFEASIBLE on any numerical doubt.
+
+    ``time_limit_s`` maps to HiGHS's ``time_limit`` option; a run HiGHS
+    reports as stopped by an iteration or time limit (status 1) comes back
+    as ``timed_out`` INFEASIBLE — a declared answer the dispatch layer
+    never trusts semantically (it falls back to the exact solver, whose own
+    budget is governed by the caller's deadline).
+    """
     import numpy as np
     from scipy.optimize import Bounds, LinearConstraint, milp
 
@@ -40,16 +49,22 @@ def solve_scipy(problem: IlpProblem) -> IlpResult:
             constraints.append(LinearConstraint(row, rhs, rhs))
     integrality = np.array([1 if flag else 0 for flag in problem.integer])
     bounds = Bounds(lb=0.0, ub=np.inf)
+    options = {}
+    if time_limit_s is not None:
+        options["time_limit"] = max(time_limit_s, 0.0)
     result = milp(
         c=c,
         constraints=constraints,
         integrality=integrality,
         bounds=bounds,
+        options=options,
     )
     if result.status == 2:  # infeasible
         return IlpResult(Status.INFEASIBLE)
     if result.status == 3:  # unbounded
         return IlpResult(Status.UNBOUNDED)
+    if result.status == 1:  # iteration or time limit reached
+        return IlpResult(Status.INFEASIBLE, limit_hit=True, timed_out=True)
     if not result.success or result.x is None:
         return IlpResult(Status.INFEASIBLE)
     values = []

@@ -27,6 +27,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import IlpError
+from repro.faults.injector import get_injector
 from repro.ilp.backends import (
     SolveAttempt,
     SolveInfo,
@@ -120,12 +121,22 @@ def _exact_warm_start(
     return expanded
 
 
+def _problem_key(problem: IlpProblem) -> str:
+    """A content string for chaos keying: stable across processes/orders."""
+    parts = [str(problem.num_vars)]
+    for con in problem.constraints:
+        coeffs = ",".join(str(c) for c in con.coefficients)
+        parts.append(f"{con.sense.value}{con.rhs}:{coeffs}")
+    return "|".join(parts)
+
+
 def solve_ilp_info(
     problem: IlpProblem,
     backend: str = "auto",
     *,
     presolve: bool = True,
     warm_start: tuple[Fraction, ...] | None = None,
+    timeout_s: float | None = None,
 ) -> tuple[IlpResult, SolveInfo]:
     """Solve an ILP and report structured per-solve telemetry.
 
@@ -135,6 +146,9 @@ def solve_ilp_info(
         presolve: run the reduction pass before any backend.
         warm_start: a candidate point (full variable space) used as the
             exact backend's starting incumbent when feasible.
+        timeout_s: best-effort wall-clock budget forwarded to every backend
+            attempt; a solve cut short reports ``timed_out`` in its attempt
+            record and is treated as a declared (not proven) answer.
     """
     info = SolveInfo()
     reduced = problem
@@ -148,11 +162,13 @@ def solve_ilp_info(
             return IlpResult(Status.INFEASIBLE), info
 
     if backend == "auto":
-        result = _solve_auto(problem, reduced, info, warm_start)
+        result = _solve_auto(problem, reduced, info, warm_start, timeout_s)
     elif backend == "exact":
-        result = _solve_exact(problem, reduced, info, warm_start)
+        result = _solve_exact(problem, reduced, info, warm_start, timeout_s)
     else:
-        result = _solve_named(problem, reduced, info, backend, warm_start)
+        result = _solve_named(
+            problem, reduced, info, backend, warm_start, timeout_s
+        )
     info.status = result.status
     return result, info
 
@@ -162,10 +178,12 @@ def _solve_exact(
     reduced: IlpProblem,
     info: SolveInfo,
     warm_start: tuple[Fraction, ...] | None,
+    timeout_s: float | None = None,
 ) -> IlpResult:
     incumbent = _exact_warm_start(reduced, info, warm_start)
     result, attempt = timed_solve(
-        get_backend("exact"), reduced, warm_start=incumbent
+        get_backend("exact"), reduced, warm_start=incumbent,
+        timeout_s=timeout_s,
     )
     info.attempts.append(attempt)
     info.backend = "exact"
@@ -182,13 +200,16 @@ def _solve_named(
     info: SolveInfo,
     backend: str,
     warm_start: tuple[Fraction, ...] | None,
+    timeout_s: float | None = None,
 ) -> IlpResult:
     solver = get_backend(backend)
     if not solver.available():
         raise IlpError(
             f"{backend} backend requested but {backend} is unavailable"
         )
-    result, attempt = timed_solve(solver, reduced, warm_start=warm_start)
+    result, attempt = timed_solve(
+        solver, reduced, warm_start=warm_start, timeout_s=timeout_s
+    )
     info.attempts.append(attempt)
     info.backend = backend
     if result.is_optimal:
@@ -207,13 +228,33 @@ def _solve_auto(
     reduced: IlpProblem,
     info: SolveInfo,
     warm_start: tuple[Fraction, ...] | None,
+    timeout_s: float | None = None,
 ) -> IlpResult:
     """scipy when present, under the verification chain; exact otherwise."""
     scipy = get_backend("scipy")
     if not scipy.available():
-        return _solve_exact(problem, reduced, info, warm_start)
-    result, attempt = timed_solve(scipy, reduced)
+        return _solve_exact(problem, reduced, info, warm_start, timeout_s)
+    # Chaos only ever perturbs the *float* attempt: the recovery path under
+    # test is the verification chain itself, and the exact backend stays
+    # the trust anchor, so an injected fault can cost a fallback solve but
+    # never a wrong answer.
+    injector = get_injector()
+    chaos_key = _problem_key(reduced) if injector is not None else ""
+    if injector is not None and injector.decide("solver", chaos_key):
+        info.attempts.append(
+            SolveAttempt(
+                backend="scipy",
+                status=Status.INFEASIBLE,
+                wall_s=0.0,
+                timed_out=True,
+            )
+        )
+        info.fallback = True
+        return _solve_exact(problem, reduced, info, warm_start, timeout_s)
+    result, attempt = timed_solve(scipy, reduced, timeout_s=timeout_s)
     info.attempts.append(attempt)
+    if injector is not None and injector.decide("solver-wrong", chaos_key):
+        result = _corrupt_result(reduced, result)
     if result.is_optimal:
         repaired = _round_to_integral(problem, result)
         if repaired is not None:
@@ -222,7 +263,7 @@ def _solve_auto(
             return repaired
         # Rounded point violates the model: never trust it — fall back.
         info.fallback = True
-        return _solve_exact(problem, reduced, info, warm_start)
+        return _solve_exact(problem, reduced, info, warm_start, timeout_s)
     if result.status is Status.UNBOUNDED:
         info.backend = "scipy"
         return result
@@ -231,7 +272,21 @@ def _solve_auto(
     # is always re-proved by the exact solver — and that fallback result is
     # verified exactly like a first-class exact solve.
     info.fallback = True
-    return _solve_exact(problem, reduced, info, warm_start)
+    return _solve_exact(problem, reduced, info, warm_start, timeout_s)
+
+
+def _corrupt_result(problem: IlpProblem, result: IlpResult) -> IlpResult:
+    """Chaos ``solver-wrong``: the shapes of float-solver misbehaviour.
+
+    An OPTIMAL becomes a (false) INFEASIBLE — which the chain re-proves
+    with the exact solver; anything else becomes a bogus all-zero OPTIMAL —
+    which the round-and-recheck verification rejects (or, on the rare model
+    where the origin is feasible, accepts as a valid if suboptimal gate).
+    """
+    if result.is_optimal:
+        return IlpResult(Status.INFEASIBLE)
+    zeros = tuple(Fraction(0) for _ in range(problem.num_vars))
+    return IlpResult(Status.OPTIMAL, Fraction(0), zeros)
 
 
 def solve_ilp(
@@ -240,6 +295,7 @@ def solve_ilp(
     *,
     presolve: bool = True,
     warm_start: tuple[Fraction, ...] | None = None,
+    timeout_s: float | None = None,
 ) -> IlpResult:
     """Solve an ILP with the chosen backend (telemetry discarded).
 
@@ -251,6 +307,10 @@ def solve_ilp(
     silently degrade synthesis quality (never correctness).
     """
     result, _ = solve_ilp_info(
-        problem, backend, presolve=presolve, warm_start=warm_start
+        problem,
+        backend,
+        presolve=presolve,
+        warm_start=warm_start,
+        timeout_s=timeout_s,
     )
     return result

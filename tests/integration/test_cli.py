@@ -156,3 +156,57 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "d_on" in out
         assert "analyses reused after the first sweep point" in out
+
+
+class TestResilienceFlags:
+    def test_deadline_degrades_with_warning_but_exit_zero(
+        self, blif_file, capsys
+    ):
+        assert main(
+            ["synth", str(blif_file), "--deadline-per-cone", "0.000001"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "verified=True" in captured.out
+        assert "degraded to one-to-one mapping" in captured.err
+
+    def test_strict_synthesis_turns_degradation_into_exit_2(
+        self, blif_file, capsys
+    ):
+        assert main(
+            [
+                "synth",
+                str(blif_file),
+                "--deadline-per-cone",
+                "0.000001",
+                "--strict-synthesis",
+            ]
+        ) == 2
+        assert "strict synthesis" in capsys.readouterr().err
+
+    def test_total_deadline_flag(self, blif_file, capsys):
+        assert main(
+            ["synth", str(blif_file), "--deadline-total", "0.000001"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "verified=True" in captured.out
+        assert "total-deadline" in captured.err
+
+    def test_max_attempts_flag_parses(self, blif_file, capsys):
+        assert main(
+            ["synth", str(blif_file), "--max-attempts", "5"]
+        ) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_synth_under_chaos_env(self, blif_file, capsys, monkeypatch):
+        monkeypatch.setenv("TELS_CHAOS", "solver=0.5,cache=0.2:1")
+        assert main(["synth", str(blif_file)]) == 0
+        captured = capsys.readouterr()
+        assert "verified=True" in captured.out
+        assert "degraded" not in captured.err
+
+    def test_malformed_chaos_spec_is_a_usage_error(
+        self, blif_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("TELS_CHAOS", "bogus=1.0")
+        assert main(["synth", str(blif_file)]) == 2
+        assert "chaos" in capsys.readouterr().err.lower()
