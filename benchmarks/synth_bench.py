@@ -3,7 +3,13 @@
 Writes ``BENCH_synth.json`` with per-benchmark wall time, gate count, and
 the store cache-hit rates for both a cold run and a warm re-run against the
 same shared store — the number CI tracks to catch regressions in the
-shared-result-store reuse.
+shared-result-store reuse.  Two further phases cover the axes the cold/warm
+pair cannot: a delta phase re-synthesizes the subset at a bumped
+``delta_on`` over the same store (only the analysis tier can answer, so its
+hit rate proves the delta-independent checker split still works), and a
+gate-model phase runs the ``parmix`` stressor once per ``repro.gates``
+backend and asserts the model-specific outcomes (ILP traffic and fast-path
+refutations under ``ltg``; strictly fewer gates under ``multi-threshold``).
 
 Run as a module::
 
@@ -48,7 +54,6 @@ def run_bench(
     for name in names:
         source = build_extended_benchmark(name)
         prepared = prepare_tels(source)
-        before = store.stats.snapshot()
         start = time.perf_counter()
         network, report = synthesize_with_report(
             prepared, options, jobs=jobs, store=store
@@ -58,7 +63,6 @@ def run_bench(
             raise SystemExit(f"bench verification failed on {name!r}")
         stats = network_stats(network)
         check = report.checker.stats
-        spent = store.stats.since(before)
         rows.append(
             {
                 "benchmark": name,
@@ -68,9 +72,6 @@ def run_bench(
                 "wall_s": round(wall, 4),
                 "checker_calls": check.calls,
                 "checker_cache_hit_rate": round(check.cache_hit_rate, 4),
-                "store_analysis_hit_rate": round(
-                    spent.analysis_hit_rate, 4
-                ),
                 "ilp_solves": check.ilp_solved,
                 "fastpath_hit_rate": round(check.fastpath_hit_rate, 4),
                 "exact_solve_wall_s": round(check.exact_wall_s, 4),
@@ -90,6 +91,21 @@ def run_bench(
         synthesize_with_report(prepared, options, jobs=jobs, store=store)
     warm_wall = time.perf_counter() - start
     warm = store.stats.since(warm_before)
+
+    # Delta phase: re-synthesize the same subset with a bumped ``delta_on``
+    # over the *same* store.  The tolerances change every ILP answer, so the
+    # vector tier cannot help — but the delta-independent analysis half of
+    # each check (cover minimization, unate rewrite, complement) is reused
+    # from the analysis tier.  This is the traffic the always-zero per-row
+    # analysis column used to pretend to measure: analysis hits only appear
+    # when the *same* store answers checks under *different* tolerances.
+    delta_options = SynthesisOptions(psi=psi, seed=seed, delta_on=1)
+    delta_before = store.stats.snapshot()
+    start = time.perf_counter()
+    for prepared in warm_nets:
+        synthesize_with_report(prepared, delta_options, jobs=jobs, store=store)
+    delta_wall = time.perf_counter() - start
+    delta = store.stats.since(delta_before)
 
     # Persistent-cache phases (when a cache directory is given): each phase
     # starts from a *fresh* in-memory store so every first-touch lookup has
@@ -126,6 +142,49 @@ def run_bench(
             "persistent_entries": len(warm_store.persistent),
         }
 
+    # Gate-model phase: the parmix stressor (parity + wide-threshold +
+    # non-threshold cones) synthesized once per registered backend at a
+    # fanin bound that admits the 9-support cone whole.  Each model gets a
+    # fresh store (the comparison measures the models, not cache reuse) and
+    # sharing preservation is off so the parity cone collapses to primary
+    # inputs, where the multi-threshold search can absorb it into a single
+    # k-threshold gate.  The tracked invariants: under ``ltg`` the subset
+    # exercises the ILP (9 support vars defeat the Chow fast path) and the
+    # two-monotonicity refutation; under ``multi-threshold`` the same
+    # circuit needs strictly fewer gates than under ``ltg``.
+    from repro.gates import model_names
+
+    gate_models: dict = {}
+    gm_source = build_extended_benchmark("parmix")
+    gm_prepared = prepare_tels(build_extended_benchmark("parmix"))
+    for model in model_names():
+        gm_options = SynthesisOptions(
+            psi=9, seed=seed, gate_model=model, preserve_sharing=False
+        )
+        start = time.perf_counter()
+        gm_net, gm_report = synthesize_with_report(
+            gm_prepared, gm_options, jobs=jobs, store=ResultStore()
+        )
+        gm_wall = time.perf_counter() - start
+        if not verify_threshold_network(gm_source, gm_net, vectors=256):
+            raise SystemExit(
+                f"gate-model bench verification failed under {model!r}"
+            )
+        gm_stats = network_stats(gm_net)
+        gm_check = gm_report.checker.stats
+        gate_models[model] = {
+            "benchmark": "parmix",
+            "gates": gm_stats.gates,
+            "levels": gm_stats.levels,
+            "area": gm_stats.area,
+            "wall_s": round(gm_wall, 4),
+            "ilp_solves": gm_check.ilp_solved,
+            "fastpath_negatives": gm_check.fastpath_negatives,
+            "multithreshold_hits": gm_check.multithreshold_hits,
+            "flash_requantized": gm_check.flash_requantized,
+        }
+        degraded_cones += gm_report.degraded_cones
+
     # Lint smoke phase: the full rule set re-linted over every synthesized
     # network.  Every violation here is a synthesis bug, so the tracked
     # invariant is a flat zero; the wall time watches for rule-cost creep.
@@ -156,6 +215,10 @@ def run_bench(
         "warm_wall_s": round(warm_wall, 4),
         "warm_vector_hit_rate": round(warm.vector_hit_rate, 4),
         "warm_analysis_hit_rate": round(warm.analysis_hit_rate, 4),
+        "delta_wall_s": round(delta_wall, 4),
+        "delta_analysis_hits": delta.analysis_hits,
+        "delta_analysis_hit_rate": round(delta.analysis_hit_rate, 4),
+        "gate_models": gate_models,
         "store_entries": len(store),
         "ilp_solves_total": totals.ilp_solved,
         "fastpath_hit_rate": round(totals.fastpath_hit_rate, 4),
@@ -204,6 +267,28 @@ def main(argv: list[str] | None = None) -> int:
     # every first-touch lookup must be answered by the on-disk tier.
     if cache_dir is not None and result["persistent_warm_hit_rate"] < 1.0:
         print("FAIL: persistent warm phase missed the on-disk cache")
+        return 1
+    # The tolerance bump invalidates every vector-tier entry, so reuse in
+    # the delta phase can only come from the analysis tier; zero hits there
+    # means the delta-independent split of the checker regressed.
+    if result["delta_analysis_hit_rate"] <= 0.0:
+        print("FAIL: delta re-synthesis reused nothing from the analysis tier")
+        return 1
+    # The gate-model stressor must hit the paths it was built to hit:
+    # a 9-support cone the fast path cannot decide (ILP traffic) and a
+    # unate non-threshold cone the two-monotonicity screen refutes.
+    gm = result["gate_models"]
+    if gm["ltg"]["ilp_solves"] <= 0:
+        print("FAIL: gate-model phase never reached the ILP under ltg")
+        return 1
+    if gm["ltg"]["fastpath_negatives"] <= 0:
+        print("FAIL: gate-model phase never refuted a cone under ltg")
+        return 1
+    # The point of the multi-threshold backend: the parity cone collapses
+    # into a single k-threshold gate, so parmix must come out strictly
+    # smaller than the single-threshold result.
+    if gm["multi-threshold"]["gates"] >= gm["ltg"]["gates"]:
+        print("FAIL: multi-threshold did not beat ltg on parmix")
         return 1
     # Every synthesized network must come out of the engine lint-clean.
     if result["lint_violations"] != 0:

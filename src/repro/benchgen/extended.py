@@ -36,6 +36,36 @@ def _parity() -> BooleanNetwork:
     return cb.done()
 
 
+def _parmix() -> BooleanNetwork:
+    """Parity/threshold mix (15 inputs, 3 outputs) — gate-model stressor.
+
+    Three cones chosen to exercise every checker path once the fanin
+    restriction admits them whole (ψ >= 9):
+
+    * ``two_of_nine`` — a 9-support threshold cone.  Nine variables exceed
+      the Chow fast path's 8-variable decision bound, so identifying it
+      *must* solve the Fig. 6 ILP (``ilp_solves`` > 0 under ``ltg``);
+    * ``pairsel`` — ``x0·x1 + x2·x3``, the textbook unate non-threshold
+      function: the two-monotonicity screen refutes it combinatorially
+      (``fastpath_negatives`` > 0) and the splitter takes over;
+    * ``even`` — 6-bit parity, the TELS worst case: a gate tree under
+      ``ltg``, one k-threshold gate under ``multi-threshold``.
+    """
+    cb = CircuitBuilder("parmix")
+    xs = cb.inputs("x", 9)
+    ys = cb.inputs("y", 6)
+    pairs = [
+        cb.and_([xs[i], xs[j]])
+        for i in range(len(xs))
+        for j in range(i + 1, len(xs))
+    ]
+    cb.output(cb.or_(pairs), "two_of_nine")
+    cb.output(cb.or_([cb.and_([xs[0], xs[1]]), cb.and_([xs[2], xs[3]])]),
+              "pairsel")
+    cb.output(cb.parity_tree(ys), "even")
+    return cb.done()
+
+
 def _mux() -> BooleanNetwork:
     """16-to-1 multiplexer (21 inputs, 1 output)."""
     cb = CircuitBuilder("mux")
@@ -174,6 +204,10 @@ EXTENDED_BENCHMARKS: dict[str, BenchmarkSpec] = {
     for spec in [
         BenchmarkSpec("majority", 5, 1, "majority voter", _majority),
         BenchmarkSpec("parity", 16, 1, "XOR tree (TELS worst case)", _parity),
+        BenchmarkSpec(
+            "parmix", 15, 3, "parity/threshold mix (gate-model stressor)",
+            _parmix,
+        ),
         BenchmarkSpec("mux", 21, 1, "16-to-1 multiplexer", _mux),
         BenchmarkSpec("cm150a", 21, 1, "multiplexer variant", _cm150a),
         BenchmarkSpec("decod", 5, 16, "decoder", _decod),

@@ -101,11 +101,23 @@ def parse_signature(text: str) -> tuple:
 
 
 def entry_key(
-    signature: str, delta_on: int, delta_off: int, max_weight: int | None
+    signature: str,
+    delta_on: int,
+    delta_off: int,
+    max_weight: int | None,
+    model: str | None = None,
 ) -> str:
-    """The persisted lookup key: canonical signature + solve parameters."""
+    """The persisted lookup key: canonical signature + solve parameters.
+
+    ``model`` is the gate-model fingerprint; the default single-threshold
+    model keeps the historical un-suffixed key, every other backend gets a
+    disjoint key space inside the same cache file.
+    """
     wmax = "-" if max_weight is None else str(max_weight)
-    return f"{signature}|{delta_on}|{delta_off}|{wmax}"
+    base = f"{signature}|{delta_on}|{delta_off}|{wmax}"
+    if model is None:
+        return base
+    return f"{base}|{model}"
 
 
 class PersistentCache:

@@ -91,8 +91,22 @@ def _cache_dir(args: argparse.Namespace) -> str | None:
     return os.environ.get("TELS_CACHE") or None
 
 
+def _add_gate_model_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.gates import model_names
+
+    parser.add_argument(
+        "--gate-model",
+        default="ltg",
+        choices=model_names(),
+        help="gate-model backend: ltg (paper default), multi-threshold "
+        "(k-threshold gates absorbing parity cones), flash "
+        "(grid-quantized weights with drift-derived margins)",
+    )
+
+
 def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--psi", type=int, default=3, help="fanin restriction")
+    _add_gate_model_arg(parser)
     parser.add_argument("--delta-on", type=int, default=0, help="ON tolerance")
     parser.add_argument("--delta-off", type=int, default=1, help="OFF tolerance")
     parser.add_argument("--seed", type=int, default=0, help="tie-break seed")
@@ -147,6 +161,7 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         delta_off=args.delta_off,
         seed=args.seed,
         backend=args.ilp_backend,
+        gate_model=getattr(args, "gate_model", "ltg"),
         use_fastpath=not args.no_fastpath,
         use_presolve=not args.no_presolve,
         lint=not getattr(args, "no_lint", False),
@@ -331,6 +346,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.ilp_backend,
         cache_dir=_cache_dir(args),
+        gate_model=getattr(args, "gate_model", "ltg"),
     )
     print(format_suite(summary))
     return 0
@@ -347,6 +363,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=_cache_dir(args),
+        gate_model=getattr(args, "gate_model", "ltg"),
     )
     print(format_sweep(points))
     return 0
@@ -530,6 +547,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         psi=args.psi,
         rules=rules,
         strict=args.strict,
+        gate_model=getattr(args, "gate_model", "ltg"),
         gate_lines=dict(network.gate_lines),
     )
     report = run_lint(network, options, file=args.file)
@@ -617,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="include i10")
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    _add_gate_model_arg(p)
     _add_backend_args(p)
     _add_cache_args(p)
     p.add_argument(
@@ -645,6 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--psi", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1)
+    _add_gate_model_arg(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -720,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fanin restriction to enforce (default: no fanin rule)",
     )
+    _add_gate_model_arg(p)
     p.add_argument("-o", "--output", help="write the report here")
     p.add_argument(
         "--list-rules",

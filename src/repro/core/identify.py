@@ -33,7 +33,7 @@ from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.boolean.minimize import minimize
 from repro.boolean.unate import syntactic_unateness, to_positive_unate
-from repro.core.threshold import WeightThresholdVector
+from repro.core.threshold import GateVector, WeightThresholdVector
 from repro.errors import CoverError
 from repro.ilp.backends import SolveInfo
 from repro.ilp.fastpath import FastpathStatus, fastpath_check
@@ -56,6 +56,8 @@ class CheckStats:
 
     calls: int = 0
     cache_hits: int = 0
+    multithreshold_hits: int = 0
+    flash_requantized: int = 0
     ilp_solved: int = 0
     ilp_feasible: int = 0
     constraints_emitted: int = 0
@@ -127,6 +129,10 @@ class ThresholdChecker:
             bound requires every support variable to be essential).
         use_presolve: run the :mod:`repro.ilp.presolve` reductions inside
             the solver stack (ablation knob).
+        gate_model: name of the :class:`~repro.gates.base.GateModel`
+            backend deciding representation and feasibility; ``"ltg"`` is
+            the paper's single-threshold gate and keeps the historical
+            behavior (and cache keys) exactly.
         store: the shared :class:`~repro.engine.store.ResultStore` backing
             the memo; inject one to share results across checkers, parallel
             tasks, and sweep points.  A private store is created on demand.
@@ -145,9 +151,20 @@ class ThresholdChecker:
     max_weight: int | None = None
     use_fastpath: bool = True
     use_presolve: bool = True
+    gate_model: str = "ltg"
     stats: CheckStats = field(default_factory=CheckStats)
     store: "ResultStore | None" = field(default=None, repr=False)
     deadline: "Deadline | None" = field(default=None, repr=False)
+    _model: object = field(default=None, init=False, repr=False, compare=False)
+
+    @property
+    def model(self):
+        """The resolved :class:`~repro.gates.base.GateModel` backend."""
+        if self._model is None:
+            from repro.gates import get_model
+
+            self._model = get_model(self.gate_model)
+        return self._model
 
     @classmethod
     def from_options(
@@ -161,6 +178,7 @@ class ThresholdChecker:
             max_weight=options.max_weight,
             use_fastpath=getattr(options, "use_fastpath", True),
             use_presolve=getattr(options, "use_presolve", True),
+            gate_model=getattr(options, "gate_model", "ltg"),
             store=store,
         )
 
@@ -171,9 +189,7 @@ class ThresholdChecker:
             self.store = ResultStore()
         return self.store
 
-    def check_function(
-        self, function: BooleanFunction
-    ) -> WeightThresholdVector | None:
+    def check_function(self, function: BooleanFunction) -> GateVector | None:
         """Weights aligned to ``function.variables`` order, or None.
 
         Variables outside the function's support get weight 0.
@@ -181,12 +197,13 @@ class ThresholdChecker:
         vector = self.check(function.cover)
         return vector
 
-    def check(self, cover: Cover) -> WeightThresholdVector | None:
-        """Return a weight–threshold vector for ``cover`` or None.
+    def check(self, cover: Cover) -> GateVector | None:
+        """Return a gate vector realizing ``cover``, or None.
 
-        None means the function is not a threshold function (binate, or the
-        ILP is infeasible).  Weights are positionally aligned with the
-        cover's variables; absent variables get weight 0.
+        None means the configured gate model cannot realize the function as
+        a single gate (for ``ltg``: binate, or the ILP is infeasible).
+        Weights are positionally aligned with the cover's variables; absent
+        variables get weight 0.
         """
         if self.deadline is not None:
             self.deadline.check("threshold check")
@@ -194,14 +211,48 @@ class ThresholdChecker:
         store = self._ensure_store()
         cover = cover.scc()
         canonical = cover.canonical_key()
-        key = (canonical, self.delta_on, self.delta_off, self.max_weight)
+        model = self.model
+        key = model.store_key(
+            canonical, self.delta_on, self.delta_off, self.max_weight
+        )
         found = store.get_vector(key)
         if not store.is_miss(found):
             self.stats.cache_hits += 1
             return found
-        result = self._check_uncached(cover, canonical)
+        result = model.check_cover(self, cover, canonical)
         store.put_vector(key, result)
         return result
+
+    def solve_ltg(
+        self,
+        cover: Cover,
+        canonical: tuple,
+        *,
+        delta_on: int | None = None,
+        delta_off: int | None = None,
+        max_weight: int | None = None,
+    ) -> WeightThresholdVector | None:
+        """The shared single-threshold pipeline, for gate-model backends.
+
+        Runs constants → analysis → Chow fast path → Fig. 6 ILP, with the
+        tolerances and weight box optionally overridden for this one solve
+        (the flash model's drift boosting).  Overrides are applied by
+        temporary field mutation so the whole downstream chain — fast path
+        bounds, ILP constraints, warm starts — sees them consistently.
+        """
+        if delta_on is None and delta_off is None and max_weight is None:
+            return self._check_uncached(cover, canonical)
+        saved = (self.delta_on, self.delta_off, self.max_weight)
+        if delta_on is not None:
+            self.delta_on = delta_on
+        if delta_off is not None:
+            self.delta_off = delta_off
+        if max_weight is not None:
+            self.max_weight = max_weight
+        try:
+            return self._check_uncached(cover, canonical)
+        finally:
+            self.delta_on, self.delta_off, self.max_weight = saved
 
     def _analysis(self, cover: Cover, canonical: tuple):
         """Delta-independent preprocessing, via the store's analysis tier."""
@@ -396,7 +447,8 @@ def is_threshold_function(
     store: "ResultStore | None" = None,
     cache_dir: str | None = None,
     deadline_s: float | None = None,
-) -> WeightThresholdVector | None:
+    gate_model: str = "ltg",
+) -> GateVector | None:
     """One-shot convenience wrapper around :class:`ThresholdChecker`.
 
     ``max_weight`` and ``store`` mirror the engine-configured checker, so a
@@ -423,6 +475,7 @@ def is_threshold_function(
         delta_off=delta_off,
         backend=backend,
         max_weight=max_weight,
+        gate_model=gate_model,
         store=store,
         deadline=deadline,
     )

@@ -48,7 +48,8 @@ def peephole_optimize(
 
 def _gate_is_buffer(gate: ThresholdGate) -> bool:
     return (
-        gate.fanin == 1
+        isinstance(gate.vector, WeightThresholdVector)
+        and gate.fanin == 1
         and gate.vector.weights == (1,)
         and gate.vector.threshold == 1
     )
@@ -56,6 +57,10 @@ def _gate_is_buffer(gate: ThresholdGate) -> bool:
 
 def _gate_is_constant(gate: ThresholdGate) -> tuple[bool, bool]:
     """(is_constant, value): true when no input assignment changes output."""
+    if not isinstance(gate.vector, WeightThresholdVector):
+        # Multi-threshold gates are opaque to the single-threshold
+        # peephole algebra; leave them untouched.
+        return False, False
     if gate.fanin == 0:
         return True, gate.vector.threshold <= 0
     lo = sum(w for w in gate.vector.weights if w < 0)
@@ -143,6 +148,8 @@ def _propagate_constants(network: ThresholdNetwork) -> int:
         value = gate.vector.threshold <= 0
         for reader in _readers(network).get(name, []):
             rgate = network.gate(reader)
+            if not isinstance(rgate.vector, WeightThresholdVector):
+                continue  # cannot fold into a multi-threshold reader
             idx = rgate.inputs.index(name)
             weights = list(rgate.vector.weights)
             threshold = rgate.vector.threshold
@@ -183,7 +190,8 @@ def _absorb_single_or_inputs(
             continue
         gate = network.gate(name)
         is_or = (
-            gate.fanin >= 2
+            isinstance(gate.vector, WeightThresholdVector)
+            and gate.fanin >= 2
             and all(w == 1 for w in gate.vector.weights)
             and gate.vector.threshold == 1
         )
@@ -197,6 +205,8 @@ def _absorb_single_or_inputs(
             if len(readers.get(child_name, [])) != 1:
                 continue
             child = network.gate(child_name)
+            if not isinstance(child.vector, WeightThresholdVector):
+                continue  # Theorem 2 extends single-threshold vectors only
             others = [n for n in gate.inputs if n != child_name]
             merged_inputs = tuple(child.inputs) + tuple(others)
             if len(set(merged_inputs)) != len(merged_inputs):

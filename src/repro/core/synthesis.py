@@ -65,6 +65,12 @@ class SynthesisOptions:
             (ILP-guided split-variable selection), or ``"balanced"``
             (depth-oriented cube halving) — the future-work directions of
             the paper's conclusion, selectable per run.
+        gate_model: target gate technology (``repro.gates`` registry name):
+            ``"ltg"`` — the paper's single-threshold gate (default,
+            behaviorally identical to the pre-gate-model flow),
+            ``"multi-threshold"`` — k-threshold gates absorbing parity
+            cones, ``"flash"`` — LTGs on a flash device grid with
+            drift-derived tolerances.
         use_fastpath: resolve threshold checks with the Chow-parameter fast
             path before formulating an ILP (ablation knob).
         use_presolve: run the ILP presolve reductions inside the solver
@@ -103,6 +109,7 @@ class SynthesisOptions:
     preserve_sharing: bool = True
     split_on_most_frequent: bool = True
     splitting_strategy: str = "paper"
+    gate_model: str = "ltg"
     use_fastpath: bool = True
     use_presolve: bool = True
     max_weight: int | None = None
@@ -131,6 +138,13 @@ class SynthesisOptions:
             raise SynthesisError("max_attempts must be at least 1")
         if self.poison_crashes < 1:
             raise SynthesisError("poison_crashes must be at least 1")
+        from repro.gates import model_names
+
+        if self.gate_model not in model_names():
+            raise SynthesisError(
+                f"unknown gate model {self.gate_model!r} "
+                f"(available: {', '.join(model_names())})"
+            )
 
 
 @dataclass

@@ -41,6 +41,14 @@ class WeightThresholdVector:
         """RTD area model, Eq. (14): sum of |w_i| plus |T| (A_u = 1)."""
         return sum(abs(w) for w in self.weights) + abs(self.threshold)
 
+    def fires(self, total: int | float) -> bool:
+        """Gate output for a weighted input sum (Eq. 1)."""
+        return total >= self.threshold
+
+    def fires_array(self, totals: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fires` over an array of weighted sums."""
+        return totals >= self.threshold
+
     def evaluate(self, inputs: Sequence[bool | int]) -> bool:
         """Exact gate evaluation: fire when the weighted sum reaches T."""
         total = sum(w for w, x in zip(self.weights, inputs) if x)
@@ -50,18 +58,144 @@ class WeightThresholdVector:
         """Threshold of the positive-unate form (negative weights absorbed)."""
         return self.threshold + sum(-w for w in self.weights if w < 0)
 
+    def margins(self) -> tuple[int | None, int | None]:
+        """(ON margin, OFF margin) over all ``2**l`` input points.
+
+        The ON margin is the tightest slack of a true vector's sum above
+        ``T``; the OFF margin the tightest slack of a false vector's sum
+        below ``T``.  None when the gate has no true (resp. false) vectors.
+        """
+        on_margin: int | None = None
+        off_margin: int | None = None
+        for total in _point_sums(self.weights):
+            if total >= self.threshold:
+                slack = total - self.threshold
+                on_margin = slack if on_margin is None else min(on_margin, slack)
+            else:
+                slack = self.threshold - total
+                off_margin = (
+                    slack if off_margin is None else min(off_margin, slack)
+                )
+        return on_margin, off_margin
+
     def __str__(self) -> str:
         ws = ", ".join(str(w) for w in self.weights)
         return f"<{ws}; {self.threshold}>"
 
 
 @dataclass(frozen=True)
+class MultiThresholdVector:
+    """A multi-threshold gate ``<w1, ..., wl; T1 < ... < Tk>``.
+
+    The gate fires when the weighted input sum has crossed an *odd* number
+    of thresholds — the output toggles at every ``T_j`` (arXiv:1301.0048).
+    With ``k = 1`` this degenerates to the ordinary LTG; with weights of 1
+    and thresholds ``1..l`` it computes parity, which is why the
+    ``multi-threshold`` gate model can absorb whole XOR cones that the
+    single-threshold flow must split.
+    """
+
+    weights: tuple[int, ...]
+    thresholds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", tuple(int(w) for w in self.weights))
+        object.__setattr__(
+            self, "thresholds", tuple(int(t) for t in self.thresholds)
+        )
+        if not self.thresholds:
+            raise NetworkError("multi-threshold vector needs >= 1 threshold")
+        if any(
+            a >= b for a, b in zip(self.thresholds, self.thresholds[1:])
+        ):
+            raise NetworkError(
+                f"thresholds must be strictly increasing: {self.thresholds}"
+            )
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.weights)
+
+    @property
+    def threshold(self) -> int:
+        """The first (lowest) threshold — printing/diagnostic compatibility."""
+        return self.thresholds[0]
+
+    @property
+    def area(self) -> int:
+        """Eq. (14) generalized: one RTD per weight plus one per threshold."""
+        return sum(abs(w) for w in self.weights) + sum(
+            abs(t) for t in self.thresholds
+        )
+
+    def fires(self, total: int | float) -> bool:
+        """Output toggles at each threshold the sum has reached."""
+        return sum(1 for t in self.thresholds if total >= t) % 2 == 1
+
+    def fires_array(self, totals: np.ndarray) -> np.ndarray:
+        crossed = np.zeros(totals.shape, dtype=np.int64)
+        for t in self.thresholds:
+            crossed = crossed + (totals >= t)
+        return crossed % 2 == 1
+
+    def evaluate(self, inputs: Sequence[bool | int]) -> bool:
+        total = sum(w for w, x in zip(self.weights, inputs) if x)
+        return self.fires(total)
+
+    def margins(self) -> tuple[int | None, int | None]:
+        """(ON margin, OFF margin) generalized to interval boundaries.
+
+        Every threshold behaves locally like an LTG threshold: a point at
+        sum ``s`` must clear its nearest threshold below by the ON margin
+        (``s - T_below``) and stay below its nearest threshold above by the
+        OFF margin (``T_above - s``).  For ``k = 1`` this reduces exactly to
+        :meth:`WeightThresholdVector.margins`.
+        """
+        on_margin: int | None = None
+        off_margin: int | None = None
+        for total in _point_sums(self.weights):
+            below = max((t for t in self.thresholds if t <= total), default=None)
+            above = min((t for t in self.thresholds if t > total), default=None)
+            if below is not None:
+                slack = total - below
+                on_margin = slack if on_margin is None else min(on_margin, slack)
+            if above is not None:
+                slack = above - total
+                off_margin = (
+                    slack if off_margin is None else min(off_margin, slack)
+                )
+        return on_margin, off_margin
+
+    def __str__(self) -> str:
+        ws = ", ".join(str(w) for w in self.weights)
+        ts = ", ".join(str(t) for t in self.thresholds)
+        return f"<{ws}; {ts}>"
+
+
+#: Any gate-defining vector a ThresholdGate may carry.
+GateVector = WeightThresholdVector | MultiThresholdVector
+
+
+def _point_sums(weights: tuple[int, ...]) -> Iterator[int]:
+    """Weighted sums of all ``2**l`` input points (small l only)."""
+    n = len(weights)
+    for point in range(1 << n):
+        yield sum(weights[i] for i in range(n) if (point >> i) & 1)
+
+
+@dataclass(frozen=True)
 class ThresholdGate:
-    """A named LTG instance inside a threshold network."""
+    """A named threshold-gate instance inside a threshold network.
+
+    The ``vector`` is usually a :class:`WeightThresholdVector` (the paper's
+    LTG); under the ``multi-threshold`` gate model it may be a
+    :class:`MultiThresholdVector`.  All evaluation and margin queries go
+    through the vector so both kinds behave uniformly.
+    """
 
     name: str
     inputs: tuple[str, ...]
-    vector: WeightThresholdVector
+    vector: GateVector
     delta_on: int = 0
     delta_off: int = 1
 
@@ -94,7 +228,7 @@ class ThresholdGate:
         total = sum(
             w for w, name in zip(self.vector.weights, self.inputs) if values[name]
         )
-        return total >= self.vector.threshold
+        return self.vector.fires(total)
 
     def local_function(self) -> BooleanFunction:
         """The Boolean function this gate implements, as an SOP.
@@ -110,7 +244,7 @@ class ThresholdGate:
                 for i in range(n)
                 if (point >> i) & 1
             )
-            bits.append(int(total >= self.vector.threshold))
+            bits.append(int(self.vector.fires(total)))
         return BooleanFunction(Cover.from_truth_table(bits, n), self.inputs)
 
     def implements(self, function: BooleanFunction) -> bool:
@@ -122,30 +256,18 @@ class ThresholdGate:
             total = sum(
                 self.vector.weights[i] for i in range(n) if (point >> i) & 1
             )
-            if (total >= self.vector.threshold) != function.cover.evaluate(point):
+            if self.vector.fires(total) != function.cover.evaluate(point):
                 return False
         return True
 
     def margins(self) -> tuple[int | None, int | None]:
-        """(ON margin, OFF margin): distance of the tightest true vector sum
-        above ``T`` and of the tightest false vector sum below ``T``.
+        """(ON margin, OFF margin), delegated to the gate's vector.
 
-        None when the gate has no true (respectively false) vectors.
+        For the LTG vector this is the distance of the tightest true sum
+        above ``T`` and of the tightest false sum below ``T``; see
+        :meth:`MultiThresholdVector.margins` for the generalized contract.
         """
-        n = len(self.inputs)
-        on_margin: int | None = None
-        off_margin: int | None = None
-        for point in range(1 << n):
-            total = sum(
-                self.vector.weights[i] for i in range(n) if (point >> i) & 1
-            )
-            if total >= self.vector.threshold:
-                slack = total - self.vector.threshold
-                on_margin = slack if on_margin is None else min(on_margin, slack)
-            else:
-                slack = self.vector.threshold - total
-                off_margin = slack if off_margin is None else min(off_margin, slack)
-        return on_margin, off_margin
+        return self.vector.margins()
 
 
 class ThresholdNetwork:
@@ -321,7 +443,7 @@ class ThresholdNetwork:
             total = np.zeros(shape, dtype=np.float64)
             for w, fanin in zip(weights, gate.inputs):
                 total = total + w * values[fanin]
-            fired = total >= gate.vector.threshold
+            fired = gate.vector.fires_array(total)
             values[name] = fired.astype(np.float64)
         return {o: values[o].astype(bool) for o in self._outputs}
 

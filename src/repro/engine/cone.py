@@ -29,9 +29,9 @@ from repro.core.identify import CheckStats, ThresholdChecker
 from repro.core.splitting import UnateSplit, split_binate, split_k_way
 from repro.core.theorems import theorem2_extend
 from repro.core.threshold import (
+    GateVector,
     ThresholdGate,
     WeightThresholdVector,
-    make_or_vector,
 )
 from repro.engine.events import TaskMetrics, timed
 from repro.engine.store import StoreStats
@@ -143,6 +143,7 @@ class ConeSynthesizer:
                     self.gates,
                     psi=self.options.psi,
                     rules=self.options.lint_rules,
+                    gate_model=getattr(self.options, "gate_model", "ltg"),
                 )
             self.metrics.lint_violations = sum(
                 1 for d in findings if d.severity is not Severity.NOTE
@@ -151,6 +152,8 @@ class ConeSynthesizer:
         self.metrics.wall_s = time.perf_counter() - run_started
         self.metrics.checker_calls = delta.calls
         self.metrics.checker_cache_hits = delta.cache_hits
+        self.metrics.multithreshold_hits = delta.multithreshold_hits
+        self.metrics.flash_requantized = delta.flash_requantized
         self.metrics.ilp_solved = delta.ilp_solved
         self.metrics.constraints_emitted = delta.constraints_emitted
         self.metrics.fastpath_hits = delta.fastpath_hits
@@ -197,6 +200,17 @@ class ConeSynthesizer:
             self._emit_constant(name, not function.cover.is_zero())
             return
         if not syntactic_unateness(function.cover).is_unate:
+            # Models like multi-threshold can realize binate cones (parity,
+            # XNOR) as one gate; the LTG never can, so it skips straight to
+            # the Fig. 8 split.
+            if (
+                self.checker.model.supports_binate
+                and function.nvars <= self.options.psi
+            ):
+                vector = self._check(function)
+                if vector is not None:
+                    self._emit(name, function.variables, vector)
+                    return
             self._process_binate(name, function)
             return
         if function.nvars <= self.options.psi:
@@ -241,29 +255,33 @@ class ConeSynthesizer:
                         extended = theorem2_extend(
                             vector, len(children), self.options.delta_on
                         )
-                        self._emit(
-                            name,
-                            tuple(main.variables) + tuple(children),
-                            extended,
-                        )
-                        self.metrics.theorem2_applications += 1
-                        return
+                        if self.checker.model.admits_vector(extended):
+                            self._emit(
+                                name,
+                                tuple(main.variables) + tuple(children),
+                                extended,
+                            )
+                            self.metrics.theorem2_applications += 1
+                            return
                     # A child collapsed onto a signal the main part already
-                    # reads; fall through to the plain OR root below, giving
-                    # the children their own nodes.
+                    # reads (or the extended vector violates the gate
+                    # model's device limits); fall through to the plain OR
+                    # root below, giving the children their own nodes.
         children = [self._new_node(part) for part in parts]
         if len(set(children)) != len(children):
             # Two parts reduced to the same signal; deduplicate.
             children = list(dict.fromkeys(children))
             if len(children) == 1:
                 # The OR collapsed to a single signal: emit a buffer.
-                vector = WeightThresholdVector((1,), 1)
+                vector = self.checker.model.buffer_vector(
+                    self.options.delta_on, self.options.delta_off
+                )
                 self._emit(name, (children[0],), vector)
                 return
         self._emit(
             name,
             tuple(children),
-            make_or_vector(
+            self.checker.model.or_vector(
                 len(children), self.options.delta_on, self.options.delta_off
             ),
         )
@@ -302,11 +320,14 @@ class ConeSynthesizer:
                     extended = theorem2_extend(
                         vector, 1, self.options.delta_on
                     )
-                    self._emit(
-                        name, tuple(larger.variables) + (child,), extended
-                    )
-                    self.metrics.theorem2_applications += 1
-                    return
+                    if self.checker.model.admits_vector(extended):
+                        self._emit(
+                            name,
+                            tuple(larger.variables) + (child,),
+                            extended,
+                        )
+                        self.metrics.theorem2_applications += 1
+                        return
         k = min(self.options.psi, function.num_cubes)
         with timed(self.metrics, "split_s"):
             parts = split_k_way(function, k)
@@ -374,8 +395,11 @@ class ConeSynthesizer:
             raise SynthesisError(f"AND tree root of {name!r} not threshold")
         self._emit(name, tuple(children), vector)
 
-    def _theorem2_weight_ok(self, vector: WeightThresholdVector) -> bool:
+    def _theorem2_weight_ok(self, vector) -> bool:
         """Check the Theorem-2 extension weight against the weight bound."""
+        if not isinstance(vector, WeightThresholdVector):
+            # Theorem 2's closed form extends single-threshold vectors only.
+            return False
         if self.options.max_weight is None:
             return True
         new_weight = max(
@@ -473,7 +497,7 @@ class ConeSynthesizer:
         self,
         name: str,
         inputs: tuple[str, ...],
-        vector: WeightThresholdVector,
+        vector: GateVector,
     ) -> None:
         if len(inputs) > self.options.psi:
             raise SynthesisError(

@@ -44,6 +44,8 @@ class TaskMetrics:
     theorem2_applications: int = 0
     checker_calls: int = 0
     checker_cache_hits: int = 0
+    multithreshold_hits: int = 0
+    flash_requantized: int = 0
     ilp_solved: int = 0
     constraints_emitted: int = 0
     fastpath_hits: int = 0
@@ -81,6 +83,8 @@ class TaskMetrics:
             {
                 "calls": self.checker_calls,
                 "cache_hits": self.checker_cache_hits,
+                "multithreshold_hits": self.multithreshold_hits,
+                "flash_requantized": self.flash_requantized,
                 "ilp_solved": self.ilp_solved,
                 "constraints": self.constraints_emitted,
                 "fastpath_hits": self.fastpath_hits,
@@ -156,6 +160,8 @@ class EngineTrace:
     tasks: list[TaskMetrics] = field(default_factory=list)
     jobs: int = 1
     backend: str = "serial"
+    #: Gate-model backend the run synthesized for (``repro.gates``).
+    gate_model: str = "ltg"
     wall_s: float = 0.0
     #: Findings of the whole-network lint post-pass (None: lint was off).
     network_lint_violations: int | None = None
@@ -218,7 +224,8 @@ class EngineTrace:
         """Human-readable run summary for the CLI."""
         lines = [
             f"engine: {self.num_tasks} tasks, backend={self.backend} "
-            f"jobs={self.jobs}, wall {self.wall_s:.3f}s "
+            f"jobs={self.jobs}, gate model {self.gate_model}, "
+            f"wall {self.wall_s:.3f}s "
             f"(task time {self.total('wall_s'):.3f}s)",
             f"passes: collapse {self.total('collapse_s'):.3f}s  "
             f"check {self.total('check_s'):.3f}s  "
@@ -232,6 +239,15 @@ class EngineTrace:
             f"{int(self.total('fastpath_negatives'))} negatives, "
             f"{int(self.total('fastpath_misses'))} misses "
             f"({100.0 * self.fastpath_hit_rate:.1f}% resolved without ILP)",
+        ]
+        if self.total("multithreshold_hits") or self.total("flash_requantized"):
+            lines.append(
+                f"gate model: "
+                f"{int(self.total('multithreshold_hits'))} multi-threshold "
+                f"absorptions, {int(self.total('flash_requantized'))} flash "
+                f"re-quantizations"
+            )
+        lines += [
             f"solvers: exact {int(self.total('exact_solves'))} solves "
             f"{self.total('exact_wall_s'):.3f}s, "
             f"scipy {int(self.total('scipy_solves'))} solves "

@@ -192,6 +192,7 @@ def fallback_cone_gates(
             delta_off=options.delta_off,
             backend=options.backend,
             max_weight=options.max_weight,
+            gate_model=getattr(options, "gate_model", "ltg"),
         )
     try:
         mapped = one_to_one_map(

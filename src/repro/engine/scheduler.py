@@ -102,7 +102,11 @@ def run_synthesis(
     executor = make_executor(
         jobs, network, options, preserved, store, checker, policy
     )
-    trace = EngineTrace(jobs=jobs, backend=executor.backend_name)
+    trace = EngineTrace(
+        jobs=jobs,
+        backend=executor.backend_name,
+        gate_model=getattr(options, "gate_model", "ltg"),
+    )
     tasks: dict[str, SynthTask] = {}
     results: dict[str, TaskResult] = {}
     crashes: dict[str, int] = {}
@@ -243,7 +247,11 @@ def run_synthesis(
 
         lint_report = run_lint(
             result_net,
-            LintOptions(psi=options.psi, rules=options.lint_rules),
+            LintOptions(
+                psi=options.psi,
+                rules=options.lint_rules,
+                gate_model=getattr(options, "gate_model", "ltg"),
+            ),
         )
         report.lint = lint_report
         trace.network_lint_violations = lint_report.violations

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 
 from repro.boolean.cover import Cover
-from repro.core.threshold import WeightThresholdVector
+from repro.core.threshold import GateVector
 
 _MISSING = object()
 
@@ -132,9 +132,7 @@ class StoreStats:
 class StoreDelta:
     """New entries journaled since :meth:`ResultStore.begin_journal`."""
 
-    vectors: dict[tuple, WeightThresholdVector | None] = field(
-        default_factory=dict
-    )
+    vectors: dict[tuple, GateVector | None] = field(default_factory=dict)
     analyses: dict[tuple, CoverAnalysis | None] = field(default_factory=dict)
 
     def __len__(self) -> int:
@@ -151,7 +149,7 @@ class ResultStore:
     """
 
     def __init__(self, persistent=None) -> None:
-        self._vectors: dict[tuple, WeightThresholdVector | None] = {}
+        self._vectors: dict[tuple, GateVector | None] = {}
         self._analyses: dict[tuple, CoverAnalysis | None] = {}
         self.stats = StoreStats()
         self._journal: StoreDelta | None = None
@@ -183,9 +181,7 @@ class ResultStore:
         self.stats.vector_misses += 1
         return _MISSING
 
-    def put_vector(
-        self, key: tuple, vector: WeightThresholdVector | None
-    ) -> None:
+    def put_vector(self, key: tuple, vector: GateVector | None) -> None:
         self._vectors[key] = vector
         if self._journal is not None:
             self._journal.vectors[key] = vector
@@ -195,12 +191,15 @@ class ResultStore:
     # -- persistent tier -----------------------------------------------
     @staticmethod
     def _split_key(key: tuple):
-        """(cover_key, delta_on, delta_off, max_weight) or None if foreign.
+        """(cover_key, delta_on, delta_off, max_weight, fingerprint) or None.
 
-        The persistent tier only understands the checker's key shape; other
-        shapes (tests, ad-hoc callers) silently stay memory-only.
+        The persistent tier understands the checker's key shapes: the
+        historical 4-tuple of the default ``ltg`` model (fingerprint None)
+        and the 5-tuple of every other gate model, whose trailing element
+        is the model fingerprint.  Other shapes (tests, ad-hoc callers)
+        silently stay memory-only.
         """
-        if not (isinstance(key, tuple) and len(key) == 4):
+        if not (isinstance(key, tuple) and len(key) in (4, 5)):
             return None
         cover_key = key[0]
         if not (
@@ -210,7 +209,10 @@ class ResultStore:
             and isinstance(cover_key[1], tuple)
         ):
             return None
-        return cover_key, key[1], key[2], key[3]
+        fingerprint = key[4] if len(key) == 5 else None
+        if fingerprint is not None and not isinstance(fingerprint, str):
+            return None
+        return cover_key, key[1], key[2], key[3], fingerprint
 
     def _canonicalize(self, cover_key: tuple):
         """Memoized NP-canonicalization of a cover key (None if too wide)."""
@@ -224,35 +226,52 @@ class ResultStore:
             self._canonical_memo[cover_key] = cached
         return cached
 
+    @staticmethod
+    def _model_for(fingerprint: str | None):
+        """The GateModel owning a keyed entry (None = unresolvable)."""
+        if fingerprint is None:
+            from repro.gates import get_model
+
+            return get_model("ltg")
+        from repro.gates import model_for_fingerprint
+
+        return model_for_fingerprint(fingerprint)
+
     def _persistent_lookup(self, key: tuple):
-        from repro.cache.canonical import (
-            vector_from_canonical,
-            verify_vector_key,
-        )
         from repro.cache.store import ABSENT, entry_key, signature_string
 
         parts = self._split_key(key)
         if parts is None:
             return _MISSING
-        cover_key, delta_on, delta_off, max_weight = parts
+        cover_key, delta_on, delta_off, max_weight, fingerprint = parts
         canonical = self._canonicalize(cover_key)
         if canonical is None:
             return _MISSING
         skey = entry_key(
-            signature_string(canonical.key), delta_on, delta_off, max_weight
+            signature_string(canonical.key),
+            delta_on,
+            delta_off,
+            max_weight,
+            model=fingerprint,
         )
         values = self.persistent.get(skey)
         if values is ABSENT:
             self.stats.persistent_misses += 1
             return _MISSING
         if values is None:
-            # A cached non-threshold verdict: NP-invariant, nothing to map.
+            # A cached non-realizable verdict: NP-invariant, nothing to map.
             self.stats.persistent_hits += 1
             return None
-        vector = vector_from_canonical(values, canonical.transform)
+        model = self._model_for(fingerprint)
+        if model is None:
+            self.stats.persistent_misses += 1
+            return _MISSING
+        vector = model.decode_canonical(values, canonical.transform)
         # Never trust a transformed (or on-disk) gate unverified: check it
-        # against this cover's ON/OFF sets with the delta margins.
-        if not verify_vector_key(cover_key, vector, delta_on, delta_off):
+        # against this cover's ON/OFF sets under the model's margin rules.
+        if vector is None or not model.verify_vector(
+            cover_key, vector, delta_on, delta_off
+        ):
             self.stats.transform_rejects += 1
             self.stats.persistent_misses += 1
             return _MISSING
@@ -261,10 +280,7 @@ class ResultStore:
             self.stats.transformed_hits += 1
         return vector
 
-    def _persistent_put(
-        self, key: tuple, vector: WeightThresholdVector | None
-    ) -> None:
-        from repro.cache.canonical import vector_to_canonical
+    def _persistent_put(self, key: tuple, vector) -> None:
         from repro.cache.store import entry_key, signature_string
 
         if getattr(self.persistent, "read_only", False):
@@ -272,17 +288,25 @@ class ResultStore:
         parts = self._split_key(key)
         if parts is None:
             return
-        cover_key, delta_on, delta_off, max_weight = parts
+        cover_key, delta_on, delta_off, max_weight, fingerprint = parts
         canonical = self._canonicalize(cover_key)
         if canonical is None:
             return
+        model = self._model_for(fingerprint)
+        if model is None:
+            return
+        if vector is None:
+            values = None
+        else:
+            values = model.encode_canonical(vector, canonical.transform)
+            if values is None:
+                return  # not representable on disk; stays memory-only
         skey = entry_key(
-            signature_string(canonical.key), delta_on, delta_off, max_weight
-        )
-        values = (
-            None
-            if vector is None
-            else vector_to_canonical(vector, canonical.transform)
+            signature_string(canonical.key),
+            delta_on,
+            delta_off,
+            max_weight,
+            model=fingerprint,
         )
         self.persistent.put(skey, values)
 

@@ -119,13 +119,16 @@ def _run_one(
     verify_vectors: int,
     backend: str = "auto",
     cache_dir: str | None = None,
+    gate_model: str = "ltg",
 ) -> SuiteRow:
     """Both flows for one benchmark (module-level: process-pool friendly)."""
     source = build_extended_benchmark(name)
     one_net = one_to_one_map(prepare_one_to_one(source, max_fanin=psi))
     tels_net, report = synthesize_with_report(
         prepare_tels(source),
-        SynthesisOptions(psi=psi, seed=seed, backend=backend),
+        SynthesisOptions(
+            psi=psi, seed=seed, backend=backend, gate_model=gate_model
+        ),
         cache_dir=cache_dir,
     )
     verified = verify_threshold_network(
@@ -168,6 +171,7 @@ def run_suite(
     jobs: int = 1,
     backend: str = "auto",
     cache_dir: str | None = None,
+    gate_model: str = "ltg",
 ) -> SuiteSummary:
     """Run both flows over every named benchmark; verify everything.
 
@@ -177,13 +181,17 @@ def run_suite(
     solver backend for the TELS flow.  ``cache_dir`` points every run at the
     same persistent synthesis cache; loads are corruption-tolerant and each
     benchmark flushes only its new entries, so concurrent rows stay safe.
+    ``gate_model`` selects the :mod:`repro.gates` backend the TELS flow
+    synthesizes for (the one-to-one baseline always maps to plain LTGs).
     """
     from repro.engine.executor import resolve_jobs
 
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(names) <= 1:
         rows = [
-            _run_one(n, psi, seed, verify_vectors, backend, cache_dir)
+            _run_one(
+                n, psi, seed, verify_vectors, backend, cache_dir, gate_model
+            )
             for n in names
         ]
         return SuiteSummary(tuple(rows))
@@ -192,7 +200,14 @@ def run_suite(
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = [
             pool.submit(
-                _run_one, n, psi, seed, verify_vectors, backend, cache_dir
+                _run_one,
+                n,
+                psi,
+                seed,
+                verify_vectors,
+                backend,
+                cache_dir,
+                gate_model,
             )
             for n in names
         ]

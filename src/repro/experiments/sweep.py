@@ -55,12 +55,16 @@ def run_delta_sweep(
     store: ResultStore | None = None,
     verify_vectors: int = 512,
     cache_dir: str | None = None,
+    gate_model: str = "ltg",
 ) -> list[SweepPoint]:
     """Synthesize every benchmark at every ``delta_on``, sharing one store.
 
     ``cache_dir`` (ignored when ``store`` is given) additionally layers the
     persistent NP-canonical cache under the shared store, so repeated sweeps
-    warm-start from disk.
+    warm-start from disk.  ``gate_model`` selects the :mod:`repro.gates`
+    backend every sweep point synthesizes for — the store is shared either
+    way, but backends never share entries (the store keys carry the model
+    fingerprint).
     """
     if store is None:
         store = (
@@ -78,7 +82,11 @@ def run_delta_sweep(
             th, report = synthesize_with_report(
                 prepared[name],
                 SynthesisOptions(
-                    psi=psi, delta_on=delta_on, delta_off=delta_off, seed=seed
+                    psi=psi,
+                    delta_on=delta_on,
+                    delta_off=delta_off,
+                    seed=seed,
+                    gate_model=gate_model,
                 ),
                 jobs=jobs,
                 store=store,

@@ -1,0 +1,30 @@
+"""Pluggable gate models: the technology layer under the TELS flow.
+
+Importing this package registers the built-in backends (``ltg``,
+``multi-threshold``, ``flash``); see ``docs/GATE_MODELS.md`` for the
+interface contract and how to add one.
+"""
+
+from repro.gates.base import (
+    GateModel,
+    get_model,
+    model_for_fingerprint,
+    model_names,
+    register_model,
+    registered_models,
+)
+from repro.gates.flash import FlashModel
+from repro.gates.ltg import LtgModel
+from repro.gates.multi_threshold import MultiThresholdModel
+
+__all__ = [
+    "GateModel",
+    "LtgModel",
+    "MultiThresholdModel",
+    "FlashModel",
+    "get_model",
+    "model_for_fingerprint",
+    "model_names",
+    "register_model",
+    "registered_models",
+]

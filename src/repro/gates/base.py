@@ -1,0 +1,220 @@
+"""The :class:`GateModel` interface and the backend registry.
+
+A gate model is everything the synthesis flow must know about a target gate
+technology, factored out of the single-threshold assumptions that used to be
+baked into :mod:`repro.core.threshold`, :mod:`repro.core.identify`, and the
+ILP chain:
+
+* **representation** — which :data:`~repro.core.threshold.GateVector`
+  flavours the model emits (the LTG's ``<w; T>``, the multi-threshold
+  ``<w; T1..Tk>``, ...);
+* **feasibility** — :meth:`GateModel.check_cover` decides whether one cover
+  is realizable as a single gate and returns the solved vector.  Models
+  drive the shared LTG machinery (Chow fast path + Fig. 6 ILP) through
+  :meth:`~repro.core.identify.ThresholdChecker.solve_ltg` and layer their
+  own search or tolerance algebra on top;
+* **margins** — :meth:`GateModel.gate_margins` recomputes a gate's defect
+  margins under the model's firing rule (lint's TLM101 asks the model
+  instead of assuming ``sum(w·x) >= T``);
+* **NP-transform algebra** — :meth:`encode_canonical` /
+  :meth:`decode_canonical` map vectors to and from NP-canonical space, and
+  :meth:`verify_vector` re-checks a transformed vector against a cover's
+  ON/OFF sets, which is what lets a model's solves live in the persistent
+  NP-canonical cache;
+* **fingerprint** — a stable string versioning the model *and* its
+  parameters.  The fingerprint is folded into both the in-memory store key
+  and the persistent entry key, so two models (or two parameterizations of
+  one model) never share cache entries.  The default ``ltg`` model keeps
+  the historical un-suffixed key shapes, so existing caches stay warm.
+
+Registering a backend (see ``docs/GATE_MODELS.md``)::
+
+    @register_model
+    class MyModel(GateModel):
+        name = "my-model"
+        ...
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable
+
+from repro.core.threshold import (
+    GateVector,
+    ThresholdGate,
+    WeightThresholdVector,
+    make_or_vector,
+)
+from repro.errors import ReproError
+
+
+class GateModel(abc.ABC):
+    """One pluggable gate technology: representation, feasibility, algebra.
+
+    Subclasses must define the class attributes ``name`` (the registry key
+    and ``--gate-model`` argument) and ``fingerprint`` (the cache-key
+    version string; bump it whenever the model's solutions change shape or
+    semantics).  ``supports_binate`` tells the cone synthesizer whether
+    binate covers are worth checking before splitting (the LTG's answer is
+    no: a binate function is never a single threshold gate).
+    """
+
+    #: Registry key, e.g. ``"ltg"``; also the CLI ``--gate-model`` value.
+    name: str = ""
+    #: Stable version string folded into every cache key (see module doc).
+    fingerprint: str = ""
+    #: Whether :meth:`check_cover` can realize binate covers.
+    supports_binate: bool = False
+
+    # -- cache keys ----------------------------------------------------
+    def store_key(
+        self,
+        canonical: tuple,
+        delta_on: int,
+        delta_off: int,
+        max_weight: int | None,
+    ) -> tuple:
+        """The vector-tier memo key for one (cover, tolerance) instance.
+
+        Non-default models append their fingerprint so no two models can
+        ever exchange cache entries; the ``ltg`` model overrides this to
+        keep the historical 4-tuple.
+        """
+        return (canonical, delta_on, delta_off, max_weight, self.fingerprint)
+
+    # -- feasibility ---------------------------------------------------
+    @abc.abstractmethod
+    def check_cover(self, checker, cover, canonical) -> GateVector | None:
+        """Solve one cover as a single gate of this model, or None.
+
+        ``checker`` is the calling
+        :class:`~repro.core.identify.ThresholdChecker` — it carries the
+        tolerances, the solver configuration, the stats counters, and
+        :meth:`~repro.core.identify.ThresholdChecker.solve_ltg`, the shared
+        single-threshold pipeline.  ``canonical`` is the cover's canonical
+        key (already computed by the checker).
+        """
+
+    # -- fixed-structure vectors (cone emission helpers) ---------------
+    def or_vector(self, k: int, delta_on: int, delta_off: int) -> GateVector:
+        """The k-input OR vector this model emits for split roots."""
+        return make_or_vector(k, delta_on, delta_off)
+
+    def buffer_vector(self, delta_on: int, delta_off: int) -> GateVector:
+        """A 1-input buffer vector (collapsed OR roots)."""
+        return self.or_vector(1, delta_on, delta_off)
+
+    def admits_vector(self, vector: GateVector) -> bool:
+        """Whether a directly-constructed vector satisfies model limits.
+
+        The cone synthesizer asks before installing Theorem-2 extended
+        vectors; a refusal falls back to the plain OR root.
+        """
+        return True
+
+    # -- margins -------------------------------------------------------
+    def gate_margins(
+        self, gate: ThresholdGate
+    ) -> tuple[int | None, int | None]:
+        """(ON margin, OFF margin) of a gate under this model's firing rule."""
+        return gate.margins()
+
+    # -- NP-transform algebra (persistent cache) -----------------------
+    def encode_canonical(self, vector: GateVector, transform) -> list[int] | None:
+        """Map a solved vector into NP-canonical space for persistence.
+
+        Returns None when the vector cannot be represented (the entry then
+        stays memory-only).  The default handles the single-threshold
+        layout ``[w_1..w_n, T]``.
+        """
+        from repro.cache.canonical import vector_to_canonical
+
+        if not isinstance(vector, WeightThresholdVector):
+            return None
+        return vector_to_canonical(vector, transform)
+
+    def decode_canonical(self, values: list[int], transform) -> GateVector | None:
+        """Invert :meth:`encode_canonical` for one persisted entry."""
+        from repro.cache.canonical import vector_from_canonical
+
+        if len(values) != len(transform.perm) + 1:
+            return None
+        return vector_from_canonical(values, transform)
+
+    def verify_vector(
+        self,
+        cover_key: tuple,
+        vector: GateVector,
+        delta_on: int,
+        delta_off: int,
+    ) -> bool:
+        """Exhaustively re-check a (possibly transformed) vector.
+
+        Must enforce the model's margin contract, not just functional
+        agreement — persisted entries are never trusted without this.
+        """
+        from repro.cache.canonical import verify_vector_key
+
+        if not isinstance(vector, WeightThresholdVector):
+            return False
+        return verify_vector_key(cover_key, vector, delta_on, delta_off)
+
+
+# ---------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------
+_FACTORIES: dict[str, Callable[[], GateModel]] = {}
+_INSTANCES: dict[str, GateModel] = {}
+
+
+def register_model(factory: Callable[[], GateModel]):
+    """Register a model class (or factory) under its ``name``.
+
+    Usable as a decorator.  The fingerprint *family* (the part before the
+    first ``:``) is also indexed so persistent-cache entries can find their
+    decoding model back from the entry key alone.
+    """
+    probe = factory()
+    if not probe.name or not probe.fingerprint:
+        raise ReproError(
+            f"gate model {factory!r} must define name and fingerprint"
+        )
+    _FACTORIES[probe.name] = factory
+    _INSTANCES[probe.name] = probe
+    return factory
+
+
+def model_names() -> tuple[str, ...]:
+    """Registered model names, sorted (CLI choices, docs)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_model(name: str) -> GateModel:
+    """The shared instance of a registered model."""
+    try:
+        return _INSTANCES[name]
+    except KeyError:
+        known = ", ".join(model_names())
+        raise ReproError(
+            f"unknown gate model {name!r} (registered: {known})"
+        ) from None
+
+
+def model_for_fingerprint(fingerprint: str) -> GateModel | None:
+    """Resolve a cache-entry fingerprint back to its model, or None.
+
+    Matches on the fingerprint family (text before the first ``:``), so a
+    parameterized fingerprint like ``flash-v1:L8:d0.25`` still finds the
+    flash model — the parameters only partition the key space, while the
+    decode/verify algebra is family-wide.
+    """
+    family = fingerprint.split(":", 1)[0]
+    for model in _INSTANCES.values():
+        if model.fingerprint.split(":", 1)[0] == family:
+            return model
+    return None
+
+
+def registered_models() -> Iterable[GateModel]:
+    return tuple(_INSTANCES[name] for name in model_names())

@@ -1,0 +1,36 @@
+"""The default single-threshold LTG backend.
+
+This is the paper's gate model, re-expressed through :class:`GateModel`.
+It must stay behaviorally identical to the pre-refactor flow (the
+differential test in ``tests/gates/test_differential.py`` holds it to the
+golden baseline), so it keeps the historical cache-key shapes: the
+4-tuple vector-tier key and the un-suffixed persistent entry key.  Every
+other backend appends its fingerprint to both.
+"""
+
+from __future__ import annotations
+
+from repro.gates.base import GateModel, register_model
+
+
+@register_model
+class LtgModel(GateModel):
+    """Single-threshold linear threshold gates, ``f=1 iff sum(w·x) >= T``."""
+
+    name = "ltg"
+    fingerprint = "ltg-v1"
+    supports_binate = False
+
+    def store_key(self, canonical, delta_on, delta_off, max_weight):
+        # Historical 4-tuple: pre-refactor caches (and the differential
+        # golden baseline) depend on this exact shape.
+        return (canonical, delta_on, delta_off, max_weight)
+
+    def check_cover(self, checker, cover, canonical):
+        return checker.solve_ltg(cover, canonical)
+
+    def buffer_vector(self, delta_on, delta_off):
+        # Historical fixed <1; 1> buffer, independent of the tolerances.
+        from repro.core.threshold import WeightThresholdVector
+
+        return WeightThresholdVector((1,), 1)

@@ -10,6 +10,16 @@ notion of weights.  Each gate is three directives::
 with the usual ``.model`` / ``.inputs`` / ``.outputs`` / ``.end`` framing.
 The ``.delta`` line is optional (defaults 0 1).  ``#`` comments and ``\\``
 continuations follow BLIF conventions.
+
+Multi-threshold gates (the ``multi-threshold`` gate model) add one more
+optional directive listing the *complete* strictly-increasing threshold
+ladder::
+
+    .thresholds <T1> <T2> ... <Tk>
+
+The ``.vector`` line still carries the weights plus ``T1``, so readers
+unaware of the directive degrade to the first threshold instead of
+mis-counting weights.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.threshold import (
+    MultiThresholdVector,
     ThresholdGate,
     ThresholdNetwork,
     WeightThresholdVector,
@@ -38,6 +49,11 @@ def to_thblif(network: ThresholdNetwork) -> str:
             + (" " if gate.vector.weights else "")
             + str(gate.vector.threshold)
         )
+        if isinstance(gate.vector, MultiThresholdVector):
+            lines.append(
+                ".thresholds "
+                + " ".join(str(t) for t in gate.vector.thresholds)
+            )
         lines.append(f".delta {gate.delta_on} {gate.delta_off}")
     lines.append(".end")
     return "\n".join(lines) + "\n"
@@ -71,11 +87,13 @@ def parse_thblif(
     network = ThresholdNetwork(default_name)
     pending_gate: tuple[list[str], str, int] | None = None
     pending_vector: WeightThresholdVector | None = None
+    pending_thresholds: tuple[tuple[int, ...], int] | None = None
     pending_delta = (0, 1)
     outputs: list[tuple[str, int]] = []
 
     def flush(line_number: int) -> None:
-        nonlocal pending_gate, pending_vector, pending_delta
+        nonlocal pending_gate, pending_vector, pending_thresholds
+        nonlocal pending_delta
         if pending_gate is None:
             return
         if pending_vector is None:
@@ -84,12 +102,28 @@ def parse_thblif(
                 line_number,
             )
         inputs, out, gate_line = pending_gate
+        vector: WeightThresholdVector | MultiThresholdVector = pending_vector
+        if pending_thresholds is not None:
+            thresholds, ladder_line = pending_thresholds
+            if thresholds[0] != pending_vector.threshold:
+                raise BlifError(
+                    f".thresholds must open with the .vector threshold "
+                    f"{pending_vector.threshold}, got {thresholds[0]}",
+                    ladder_line,
+                )
+            try:
+                vector = MultiThresholdVector(
+                    pending_vector.weights, thresholds
+                )
+            except NetworkError as exc:
+                # Non-increasing ladder: report on the .thresholds line.
+                raise BlifError(str(exc), ladder_line) from None
         try:
             network.add_gate(
                 ThresholdGate(
                     out,
                     tuple(inputs),
-                    pending_vector,
+                    vector,
                     pending_delta[0],
                     pending_delta[1],
                 )
@@ -101,6 +135,7 @@ def parse_thblif(
         network.gate_lines[out] = gate_line
         pending_gate = None
         pending_vector = None
+        pending_thresholds = None
         pending_delta = (0, 1)
 
     lines = text.splitlines()
@@ -149,6 +184,27 @@ def parse_thblif(
             pending_vector = WeightThresholdVector(
                 tuple(values[:-1]), values[-1]
             )
+        elif key == ".thresholds":
+            if pending_gate is None:
+                raise BlifError(".thresholds outside .thgate", number)
+            if pending_vector is None:
+                raise BlifError(
+                    ".thresholds before .vector (weights unknown)", number
+                )
+            if pending_thresholds is not None:
+                raise BlifError(
+                    f"duplicate .thresholds for gate {pending_gate[1]!r}",
+                    number,
+                )
+            if len(tokens) < 2:
+                raise BlifError(".thresholds needs >= 1 value", number)
+            try:
+                ladder = tuple(int(t) for t in tokens[1:])
+            except ValueError:
+                raise BlifError(
+                    f"non-integer threshold in {raw!r}", number
+                ) from None
+            pending_thresholds = (ladder, number)
         elif key == ".delta":
             if pending_gate is None:
                 raise BlifError(".delta outside .thgate", number)

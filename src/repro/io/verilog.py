@@ -4,7 +4,10 @@ Threshold networks are emitted as instantiations of a behavioral ``LTG``
 primitive module (parameterized by weights and threshold, written once per
 distinct arity), so the output simulates directly in any Verilog simulator
 and serves as a hand-off format toward nanotechnology mapping flows.
-Boolean networks are emitted as ``assign`` equations.
+Multi-threshold gates (the ``multi-threshold`` gate model) instantiate an
+``MTG`` primitive instead — output high when the weighted sum has crossed
+an odd number of thresholds — written once per distinct (arity, ladder
+depth) pair.  Boolean networks are emitted as ``assign`` equations.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.core.threshold import ThresholdNetwork
+from repro.core.threshold import MultiThresholdVector, ThresholdNetwork
 from repro.network.network import BooleanNetwork
 
 _IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
@@ -65,16 +68,57 @@ def _ltg_module(arity: int) -> str:
     return "\n".join(lines)
 
 
+def _mtg_module(arity: int, depth: int) -> str:
+    """Behavioral multi-threshold primitive: parity of crossed thresholds."""
+    parameters = [
+        f"parameter signed [31:0] T{j} = {j + 1}" for j in range(depth)
+    ]
+    parameters += [f"parameter signed [31:0] W{i} = 1" for i in range(arity)]
+    if arity:
+        port_list = "output y, input " + ", ".join(
+            f"x{i}" for i in range(arity)
+        )
+        total = " + ".join(f"(x{i} ? W{i} : 0)" for i in range(arity))
+    else:
+        port_list = "output y"
+        total = "0"
+    crossed = " + ".join(f"(sum >= T{j} ? 1 : 0)" for j in range(depth))
+    lines = [f"module mtg{arity}_{depth} #("]
+    lines.append(",\n".join(f"    {p}" for p in parameters))
+    lines.append(f") ({port_list});")
+    lines.append(f"    wire signed [31:0] sum = {total};")
+    lines.append(f"    wire [31:0] crossed = {crossed};")
+    lines.append("    assign y = crossed[0];")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
 def threshold_to_verilog(network: ThresholdNetwork) -> str:
     """Render a threshold network as self-contained structural Verilog."""
     order = network.topological_order()
     names = _unique_names(
         list(network.inputs) + order + [o for o in network.outputs]
     )
-    arities = sorted({network.gate(g).fanin for g in order})
+    arities = sorted(
+        {
+            network.gate(g).fanin
+            for g in order
+            if not isinstance(network.gate(g).vector, MultiThresholdVector)
+        }
+    )
+    mtg_shapes = sorted(
+        {
+            (network.gate(g).fanin, len(network.gate(g).vector.thresholds))
+            for g in order
+            if isinstance(network.gate(g).vector, MultiThresholdVector)
+        }
+    )
     lines = [f"// threshold network {network.name} (generated)", ""]
     for arity in arities:
         lines.append(_ltg_module(arity))
+        lines.append("")
+    for arity, depth in mtg_shapes:
+        lines.append(_mtg_module(arity, depth))
         lines.append("")
     # A primary output that aliases a primary input needs its own port name
     # (one Verilog port cannot be both input and output).
@@ -92,14 +136,22 @@ def threshold_to_verilog(network: ThresholdNetwork) -> str:
             lines.append(f"    wire {names[gate_name]};")
     for gate_name in order:
         gate = network.gate(gate_name)
-        params = [f".T({gate.threshold})"]
+        if isinstance(gate.vector, MultiThresholdVector):
+            thresholds = gate.vector.thresholds
+            params = [
+                f".T{j}({t})" for j, t in enumerate(thresholds)
+            ]
+            module = f"mtg{gate.fanin}_{len(thresholds)}"
+        else:
+            params = [f".T({gate.threshold})"]
+            module = f"ltg{gate.fanin}"
         params += [f".W{i}({w})" for i, w in enumerate(gate.weights)]
         ports_map = [f".y({names[gate_name]})"]
         ports_map += [
             f".x{i}({names[s]})" for i, s in enumerate(gate.inputs)
         ]
         lines.append(
-            f"    ltg{gate.fanin} #({', '.join(params)}) "
+            f"    {module} #({', '.join(params)}) "
             f"g_{names[gate_name]} ({', '.join(ports_map)});"
         )
     for out in network.outputs:

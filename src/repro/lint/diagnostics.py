@@ -137,6 +137,10 @@ class LintOptions:
         strict: escalate the exit code on any finding, not just errors.
         max_enumeration_fanin: semantic rules enumerate ``2**fanin`` points
             per gate; gates wider than this are skipped (with a note).
+        gate_model: the :mod:`repro.gates` backend the network was
+            synthesized for.  Margin recomputation asks the model (not a
+            hard-coded ``sum(w·x) >= T``), and the flash-grid rule TLM106
+            only fires under ``"flash"``.
         gate_lines: per-gate source line numbers (from ``parse_thblif``)
             so diagnostics carry file coordinates.
     """
@@ -145,6 +149,7 @@ class LintOptions:
     rules: tuple[str, ...] | None = None
     strict: bool = False
     max_enumeration_fanin: int = 16
+    gate_model: str = "ltg"
     gate_lines: dict[str, int] = field(default_factory=dict)
 
     def selects(self, rule_id: str) -> bool:

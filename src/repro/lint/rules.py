@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.boolean.unate import Phase, semantic_unateness
-from repro.core.threshold import ThresholdGate, ThresholdNetwork
+from repro.core.threshold import (
+    MultiThresholdVector,
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
 from repro.lint.diagnostics import Diagnostic, LintOptions, Severity
 
 
@@ -274,7 +279,9 @@ def check_fanin_overflow(ctx: LintContext) -> Iterator[Diagnostic]:
 def check_duplicate_bodies(ctx: LintContext) -> Iterator[Diagnostic]:
     seen: dict[tuple, str] = {}
     for gate in ctx.gates:
-        body = (gate.inputs, gate.vector.weights, gate.vector.threshold)
+        # Key on the whole (frozen) vector: multi-threshold gates agreeing
+        # on weights and first threshold may still differ in later ones.
+        body = (gate.inputs, gate.vector)
         first = seen.get(body)
         if first is None:
             seen[body] = gate.name
@@ -354,19 +361,28 @@ def check_gate_fanin(
 
 
 def check_gate_margins(
-    gate: ThresholdGate, max_fanin: int, ctx: LintContext | None = None
+    gate: ThresholdGate,
+    max_fanin: int,
+    ctx: LintContext | None = None,
+    model=None,
 ) -> Iterator[Diagnostic]:
     """Recompute worst-case ON/OFF margins against the claimed tolerances.
 
     The Eq. (1) contract: every true input vector's weighted sum reaches
     ``T + delta_on`` and every false one stays at or below
-    ``T - delta_off``.  ``gate.margins()`` enumerates ``2**fanin`` points,
+    ``T - delta_off``.  The recompute is delegated to the gate model
+    (``model.gate_margins``) rather than assuming the single-threshold
+    ``sum(w·x) >= T`` form — multi-threshold gates measure against the
+    *nearest enclosing* thresholds.  Enumeration is ``2**fanin`` points,
     so wide gates are skipped (they cannot come out of the synthesizer,
     whose ψ is small).
     """
     if not _enumerable(gate, max_fanin):
         return
-    on_margin, off_margin = gate.margins()
+    if model is not None:
+        on_margin, off_margin = model.gate_margins(gate)
+    else:
+        on_margin, off_margin = gate.margins()
     if on_margin is not None and on_margin < gate.delta_on:
         yield _gate_diag(
             "TLM101",
@@ -398,6 +414,11 @@ def check_gate_weight_signs(
     and negative unate in every negative-weight input; an input whose
     weight cannot change the output (semantically absent) is a redundant
     connection, and a zero weight is a dead input outright.
+
+    Only the zero-weight check applies to multi-threshold gates: crossing
+    a higher threshold can turn the output back *off*, so their functions
+    are legitimately binate in positive-weight inputs (that is the whole
+    point of the backend — absorbing parity cones into one gate).
     """
     if gate.fanin == 0:
         return
@@ -415,6 +436,8 @@ def check_gate_weight_signs(
         )
     if not _enumerable(gate, max_fanin):
         return
+    if not isinstance(gate.vector, WeightThresholdVector):
+        return  # multi-threshold gates are deliberately binate
     report = semantic_unateness(gate.local_function().cover)
     for name, weight, phase in zip(gate.inputs, gate.weights, report.phases):
         if weight == 0:
@@ -459,8 +482,29 @@ def check_gate_threshold_bounds(
     declare a model infeasible before any solver runs.  Zero-fanin gates
     are exempt: the synthesizer legitimately emits them for constant
     nodes.
+
+    Multi-threshold gates have no positive-unate normal form; for them
+    the equivalent check is that at least one threshold is *crossable* —
+    it lies strictly above the minimum reachable sum and at or below the
+    maximum.  If none is, the output never changes and the gate is
+    constant.
     """
     if gate.fanin == 0:
+        return
+    if isinstance(gate.vector, MultiThresholdVector):
+        lo = sum(w for w in gate.weights if w < 0)
+        hi = sum(w for w in gate.weights if w > 0)
+        if not any(lo < t <= hi for t in gate.vector.thresholds):
+            yield _gate_diag(
+                "TLM103",
+                ctx,
+                gate,
+                f"gate {gate.name!r}: no threshold in "
+                f"{gate.vector.thresholds} lies within the reachable sum "
+                f"range ({lo}, {hi}]: the gate is constant",
+                hint="replace the gate with a constant gate and drop the "
+                "uncrossable thresholds",
+            )
         return
     t_pos = gate.vector.to_positive_threshold()
     weight_sum = sum(abs(w) for w in gate.weights)
@@ -507,6 +551,68 @@ def check_gate_delta_sanity(
         )
 
 
+def check_gate_flash_grid(
+    gate: ThresholdGate,
+    model,
+    max_fanin: int = 16,
+    ctx: LintContext | None = None,
+) -> Iterator[Diagnostic]:
+    """Flash calibration audit: weights on the device grid, δ over drift.
+
+    A flash-calibrated network only programs weight magnitudes the device
+    exposes (``|w| <= levels``), and must hold margins at least the
+    drift-derived floor ``ceil(drift * max|w|)`` — otherwise threshold
+    drift over the retention window can flip the gate.  Multi-threshold
+    vectors cannot be programmed on a single-threshold flash cell at all.
+    """
+    if gate.fanin == 0:
+        return
+    if not isinstance(gate.vector, WeightThresholdVector):
+        yield _gate_diag(
+            "TLM106",
+            ctx,
+            gate,
+            f"gate {gate.name!r} is a multi-threshold gate, which a "
+            f"single-threshold flash cell cannot realize",
+            hint="re-synthesize the network with --gate-model flash",
+        )
+        return
+    levels = model.levels
+    off_grid = [
+        (name, w)
+        for name, w in zip(gate.inputs, gate.weights)
+        if abs(w) > levels
+    ]
+    for name, weight in off_grid:
+        yield _gate_diag(
+            "TLM106",
+            ctx,
+            gate,
+            f"gate {gate.name!r} input {name!r} weight {weight} is off the "
+            f"device grid (|w| > {levels} programmable levels)",
+            hint="re-solve the gate with the flash model's weight box",
+        )
+    if off_grid or not _enumerable(gate, max_fanin):
+        return
+    required = model.required_margin(gate.weights)
+    if required == 0:
+        return
+    on_margin, off_margin = model.gate_margins(gate)
+    for side, margin in (("ON", on_margin), ("OFF", off_margin)):
+        if margin is not None and margin < required:
+            yield _gate_diag(
+                "TLM106",
+                ctx,
+                gate,
+                f"gate {gate.name!r} {side} margin {margin} is below the "
+                f"drift floor {required} "
+                f"(ceil({model.drift} * max|w|))",
+                hint="re-solve with larger tolerances or smaller weights; "
+                "the flash backend's re-quantization loop does this "
+                "automatically",
+            )
+
+
 GATE_CHECKS: tuple[tuple[str, Callable], ...] = (
     ("TLM101", check_gate_margins),
     ("TLM102", check_gate_weight_signs),
@@ -547,9 +653,12 @@ def _gate_diag(
     "delta_on/delta_off tolerances it was solved with (Eq. 1).",
 )
 def check_margins(ctx: LintContext) -> Iterator[Diagnostic]:
+    from repro.gates import get_model
+
+    model = get_model(getattr(ctx.options, "gate_model", "ltg"))
     for gate in ctx.gates:
         yield from check_gate_margins(
-            gate, ctx.options.max_enumeration_fanin, ctx
+            gate, ctx.options.max_enumeration_fanin, ctx, model=model
         )
 
 
@@ -624,6 +733,28 @@ def check_functional_equivalence(ctx: LintContext) -> Iterator[Diagnostic]:
         hint="one of the structural or per-gate semantic findings above "
         "usually pinpoints the broken cone",
     )
+
+
+@rule(
+    "TLM106",
+    "flash-grid-violation",
+    Severity.ERROR,
+    "semantic",
+    "Under the flash gate model, every weight magnitude must lie on the "
+    "device's programmable grid and every margin must cover the "
+    "drift-derived floor; only runs when the lint options name the flash "
+    "model.",
+)
+def check_flash_grid(ctx: LintContext) -> Iterator[Diagnostic]:
+    if getattr(ctx.options, "gate_model", "ltg") != "flash":
+        return
+    from repro.gates import get_model
+
+    model = get_model("flash")
+    for gate in ctx.gates:
+        yield from check_gate_flash_grid(
+            gate, model, ctx.options.max_enumeration_fanin, ctx
+        )
 
 
 # ----------------------------------------------------------------------

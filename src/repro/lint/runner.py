@@ -88,12 +88,20 @@ def lint_gates(
     psi: int | None = None,
     max_enumeration_fanin: int = 16,
     rules: Iterable[str] | None = None,
+    gate_model: str = "ltg",
 ) -> tuple[Diagnostic, ...]:
     """Gate-local lint over a bare gate list (the engine's per-cone hook).
 
     Runs only checks that need no network topology: the fanin restriction
-    and the TLM1xx gate semantics.  Returns the diagnostics in gate order.
+    and the TLM1xx gate semantics.  The margin recompute is routed through
+    the named :mod:`repro.gates` backend, and the flash-grid rule TLM106
+    joins the set when that backend is ``"flash"``.  Returns the
+    diagnostics in gate order.
     """
+    from repro.gates import get_model
+    from repro.lint.rules import check_gate_flash_grid
+
+    model = get_model(gate_model)
     selected = None if rules is None else set(rules)
 
     def wanted(rule_id: str) -> bool:
@@ -106,8 +114,16 @@ def lint_gates(
         for rule_id, check in GATE_CHECKS:
             if not wanted(rule_id):
                 continue
-            if rule_id in ("TLM101", "TLM102"):
+            if rule_id == "TLM101":
+                diagnostics.extend(
+                    check(gate, max_enumeration_fanin, model=model)
+                )
+            elif rule_id == "TLM102":
                 diagnostics.extend(check(gate, max_enumeration_fanin))
             else:
                 diagnostics.extend(check(gate))
+        if gate_model == "flash" and wanted("TLM106"):
+            diagnostics.extend(
+                check_gate_flash_grid(gate, model, max_enumeration_fanin)
+            )
     return tuple(diagnostics)

@@ -1,0 +1,93 @@
+"""Cross-model cache isolation: backends never share persistent entries.
+
+A vector solved under one gate model is not evidence under another — a
+flash gate has device constraints an LTG entry never checked, and an MT
+entry is not even the same shape.  The entry keys carry the model
+fingerprint (ltg stays un-suffixed for compatibility), so a cache warmed
+under one model must answer *zero* persistent lookups under any other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.function import BooleanFunction
+from repro.cache.store import entry_key
+from repro.core.identify import is_threshold_function
+from repro.engine.store import ResultStore
+from repro.gates import get_model, model_names
+
+#: Majority-of-three: a threshold function every backend can realize, so
+#: any cross-model hit would be a *silent* wrong answer, not a crash.
+MAJ3 = "a b + a c + b c"
+
+
+def test_entry_keys_are_disjoint_per_fingerprint():
+    base = entry_key("3:2.0", 0, 1, None)
+    keys = {base}
+    for name in model_names():
+        if name == "ltg":
+            continue
+        fp = get_model(name).fingerprint
+        keys.add(entry_key("3:2.0", 0, 1, None, model=fp))
+    assert len(keys) == 1 + sum(1 for n in model_names() if n != "ltg")
+    assert base.count("|") == 3  # historical un-suffixed ltg key
+
+
+@pytest.mark.parametrize("warm_model", ("ltg", "flash"))
+def test_warm_cache_is_invisible_to_other_models(tmp_path, warm_model):
+    cache_dir = str(tmp_path / warm_model)
+    assert (
+        is_threshold_function(
+            BooleanFunction.parse(MAJ3),
+            cache_dir=cache_dir,
+            gate_model=warm_model,
+        )
+        is not None
+    )
+    for other in model_names():
+        store = ResultStore.with_cache_dir(cache_dir)
+        result = is_threshold_function(
+            BooleanFunction.parse(MAJ3), store=store, gate_model=other
+        )
+        assert result is not None
+        if other == warm_model:
+            assert store.stats.persistent_hits > 0
+        else:
+            assert store.stats.persistent_hits == 0
+
+
+def test_cross_model_synthesis_never_hits_a_foreign_cache(tmp_path):
+    # Network-level version of the same invariant: warm the cache with a
+    # full ltg synthesis, then synthesize under multi-threshold against a
+    # *read-only* view of the same directory.  Read-only matters: a live
+    # cache would also hold the MT run's own fresh entries, whose
+    # NP-transformed self-hits are legitimate — here every entry on disk
+    # is foreign, so every persistent lookup must miss.
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.cache.store import open_cache
+    from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+    from repro.network.scripts import prepare_tels
+
+    cache_dir = str(tmp_path)
+    synthesize_with_report(
+        prepare_tels(build_extended_benchmark("cm152a")),
+        SynthesisOptions(psi=3, seed=0),
+        cache_dir=cache_dir,
+    )
+    warm = ResultStore.with_cache_dir(cache_dir)
+    synthesize_with_report(
+        prepare_tels(build_extended_benchmark("cm152a")),
+        SynthesisOptions(psi=3, seed=0),
+        store=warm,
+    )
+    assert warm.stats.persistent_hits > 0  # the cache itself works
+
+    store = ResultStore(persistent=open_cache(cache_dir, read_only=True))
+    synthesize_with_report(
+        prepare_tels(build_extended_benchmark("cm152a")),
+        SynthesisOptions(psi=3, seed=0, gate_model="multi-threshold"),
+        store=store,
+    )
+    assert store.stats.persistent_hits == 0
+    assert store.stats.persistent_misses > 0

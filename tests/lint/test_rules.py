@@ -366,3 +366,78 @@ def test_every_rule_has_a_docstringed_description(rule_id):
     spec = RULE_REGISTRY[rule_id]
     assert len(spec.description) > 20
     assert spec.category in ("structure", "semantic", "parse")
+
+
+class TestGateModelRouting:
+    """Gate-model-aware rules: TLM106 and the model-routed margin check."""
+
+    @staticmethod
+    def mt_gate(name: str = "y") -> ThresholdGate:
+        from repro.core.threshold import MultiThresholdVector
+
+        # <1, 1; 1, 2>: two-input XOR as a single multi-threshold gate.
+        return ThresholdGate(
+            name, ("a", "b"), MultiThresholdVector((1, 1), (1, 2)), 0, 1
+        )
+
+    def flash_lint(self, net):
+        return run_lint(net, LintOptions(gate_model="flash"))
+
+    def test_tlm106_silent_under_the_default_model(self):
+        net = network(("a",), ("y",), (gate("y", ("a",), (9,), 5),))
+        assert not rule_ids(run_lint(net), "TLM106")
+
+    def test_tlm106_off_grid_weight(self):
+        # |w| = 9 exceeds the 8 programmable levels of the flash device.
+        net = network(("a",), ("y",), (gate("y", ("a",), (9,), 5),))
+        found = rule_ids(self.flash_lint(net), "TLM106")
+        assert len(found) == 1
+        assert "off the device grid" in found[0].message
+        assert found[0].severity is Severity.ERROR
+
+    def test_tlm106_rejects_multi_threshold_gates(self):
+        net = network(("a", "b"), ("y",), (self.mt_gate(),))
+        found = rule_ids(self.flash_lint(net), "TLM106")
+        assert len(found) == 1
+        assert "single-threshold flash cell" in found[0].message
+
+    def test_tlm106_drift_floor(self):
+        # AND <1,1;2>: ON margin 0 < ceil(0.25 * 1) = 1.
+        net = network(("a", "b"), ("y",), (and2("y"),))
+        found = rule_ids(self.flash_lint(net), "TLM106")
+        assert len(found) == 1
+        assert "drift floor" in found[0].message
+
+    def test_tlm106_clean_on_signed_off_gates(self):
+        # <2, 2; 3>: margins (1, 1) cover the drift of w = 2.
+        net = network(("a", "b"), ("y",), (gate("y", ("a", "b"), (2, 2), 3),))
+        assert not rule_ids(self.flash_lint(net), "TLM106")
+
+    def test_mt_gates_lint_clean_under_their_own_model(self):
+        net = network(("a", "b"), ("y",), (self.mt_gate(),))
+        report = run_lint(net, LintOptions(gate_model="multi-threshold"))
+        assert report.violations == 0
+
+    def test_mt_gates_skip_the_unateness_rule(self):
+        # XOR is deliberately binate: TLM102 must not flag it.
+        net = network(("a", "b"), ("y",), (self.mt_gate(),))
+        assert not rule_ids(run_lint(net), "TLM102")
+
+    def test_tlm103_mt_gate_with_unreachable_thresholds(self):
+        from repro.core.threshold import MultiThresholdVector
+
+        g = ThresholdGate(
+            "y", ("a", "b"), MultiThresholdVector((1, 1), (5, 6)), 0, 0
+        )
+        net = network(("a", "b"), ("y",), (g,))
+        found = rule_ids(run_lint(net), "TLM103")
+        assert len(found) == 1
+        assert "constant" in found[0].message
+
+    def test_lint_gates_threads_the_model(self):
+        from repro.lint.runner import lint_gates
+
+        diags = lint_gates([gate("y", ("a",), (9,), 5)], gate_model="flash")
+        assert any(d.rule_id == "TLM106" for d in diags)
+        diags = lint_gates([gate("y", ("a",), (9,), 5)])
+        assert not any(d.rule_id == "TLM106" for d in diags)
