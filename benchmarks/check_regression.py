@@ -1,0 +1,95 @@
+"""Bench-regression gate: compare a fresh bench run against the baseline.
+
+CI regenerates ``BENCH_synth.json`` on the PR's code and compares its
+``large_corpus`` section against the checked-in baseline artifact.  Wall
+times on shared CI runners are noisy, so latency comparisons use a
+multiplicative tolerance; structural counters (circuits, cones, ILP
+traffic, refutations) must not shrink at all — a drop there means the
+corpus or the checker wiring changed, not the machine.
+
+Run as a module::
+
+    python -m benchmarks.check_regression --baseline BENCH_synth.json \
+        --current /tmp/bench.json [--tolerance 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default multiplicative headroom for p50/p95 latency comparisons.  CI
+#: runners vary widely; the gate exists to catch order-of-magnitude
+#: regressions (a packed kernel silently falling back to a Python loop),
+#: not single-digit-percent drift.
+DEFAULT_TOLERANCE = 3.0
+
+#: Counters that must not shrink relative to the baseline.
+MONOTONE_KEYS = ("circuits", "cones", "ilp_solves", "fastpath_negatives")
+
+#: Latency percentiles compared under the tolerance.
+LATENCY_KEYS = ("cone_wall_ms_p50", "cone_wall_ms_p95")
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    base = baseline.get("large_corpus")
+    cur = current.get("large_corpus")
+    if base is None:
+        # No corpus section in the baseline yet: nothing to regress against.
+        return failures
+    if cur is None:
+        return ["current bench has no large_corpus section"]
+    for key in MONOTONE_KEYS:
+        if cur.get(key, 0) < base.get(key, 0):
+            failures.append(
+                f"large_corpus.{key} shrank: "
+                f"{base.get(key)} -> {cur.get(key)}"
+            )
+    for key in LATENCY_KEYS:
+        base_ms = float(base.get(key, 0.0))
+        cur_ms = float(cur.get(key, 0.0))
+        if base_ms > 0.0 and cur_ms > base_ms * tolerance:
+            failures.append(
+                f"large_corpus.{key} regressed beyond {tolerance}x: "
+                f"{base_ms}ms -> {cur_ms}ms"
+            )
+    micro_base = baseline.get("substrate_microbench")
+    micro_cur = current.get("substrate_microbench")
+    if micro_base is not None:
+        if micro_cur is None:
+            failures.append("current bench has no substrate_microbench section")
+        else:
+            for key in ("cover_eval_speedup", "simulate_speedup"):
+                if float(micro_cur.get(key, 0.0)) < 3.0:
+                    failures.append(
+                        f"substrate_microbench.{key} fell below 3x: "
+                        f"{micro_cur.get(key)}"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_synth.json")
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    failures = compare(baseline, current, args.tolerance)
+    for message in failures:
+        print(f"FAIL: {message}")
+    if failures:
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

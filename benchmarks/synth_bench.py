@@ -11,9 +11,18 @@ gate-model phase runs the ``parmix`` stressor once per ``repro.gates``
 backend and asserts the model-specific outcomes (ILP traffic and fast-path
 refutations under ``ltg``; strictly fewer gates under ``multi-threshold``).
 
+With ``--corpus large`` (the default for the checked-in artifact) two more
+sections are emitted: ``large_corpus`` synthesizes the dozens-of-circuits
+corpus from :mod:`repro.benchgen.mcnc` — thousands of cones, including
+stressors the Chow fast path must hand to the ILP or refute — and records
+per-cone p50/p95 latency; ``substrate_microbench`` times the packed BitVec
+kernels against reference per-point Python loops (cover evaluation and
+network simulation) and records the speedups the substrate must sustain.
+
 Run as a module::
 
     python -m benchmarks.synth_bench [-o BENCH_synth.json] [--jobs N]
+        [--corpus small|large]
 
 (or ``python benchmarks/synth_bench.py`` with ``src`` on ``PYTHONPATH``).
 """
@@ -233,6 +242,211 @@ def run_bench(
     }
 
 
+def _percentile_ms(sorted_walls: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sorted wall-time list, in ms."""
+    if not sorted_walls:
+        return 0.0
+    rank = min(len(sorted_walls) - 1, int(q * (len(sorted_walls) - 1) + 0.5))
+    return round(sorted_walls[rank] * 1000.0, 4)
+
+
+def run_large_corpus(
+    psi: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+    limit: int | None = None,
+) -> dict:
+    """Synthesize the large corpus and distill per-cone latency stats.
+
+    Bulk circuits run at the default ``psi``; the stressor circuits run at
+    ``CORPUS_STRESSOR_PSI`` with sharing preservation off so their
+    9-support cone reaches the checker whole (forcing ILP traffic) and
+    their non-threshold cone exercises the 2-monotonicity refutation.
+    """
+    from repro.benchgen.mcnc import (
+        CORPUS_STRESSOR_PSI,
+        build_corpus_circuit,
+        corpus_names,
+        is_corpus_stressor,
+    )
+    from repro.core.identify import CheckStats
+    from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+    from repro.core.verify import verify_threshold_network
+    from repro.engine.store import ResultStore
+    from repro.network.scripts import prepare_tels
+
+    names = corpus_names()
+    if limit is not None:
+        # Keep the stressors: they carry the ILP/refutation invariants.
+        bulk = [n for n in names if not is_corpus_stressor(n)][:limit]
+        names = bulk + [n for n in names if is_corpus_stressor(n)]
+    store = ResultStore()
+    totals = CheckStats()
+    cone_walls: list[float] = []
+    circuits = 0
+    cones = 0
+    gates = 0
+    area = 0
+    start = time.perf_counter()
+    for name in names:
+        source = build_corpus_circuit(name)
+        prepared = prepare_tels(source)
+        if is_corpus_stressor(name):
+            options = SynthesisOptions(
+                psi=CORPUS_STRESSOR_PSI, seed=seed, preserve_sharing=False
+            )
+        else:
+            options = SynthesisOptions(psi=psi, seed=seed)
+        network, report = synthesize_with_report(
+            prepared, options, jobs=jobs, store=store
+        )
+        if not verify_threshold_network(source, network, vectors=128):
+            raise SystemExit(f"corpus verification failed on {name!r}")
+        circuits += 1
+        from repro.core.area import network_stats
+
+        stats = network_stats(network)
+        gates += stats.gates
+        area += stats.area
+        totals.add(report.checker.stats)
+        if report.trace is not None:
+            cones += len(report.trace.tasks)
+            cone_walls.extend(m.wall_s for m in report.trace.tasks)
+    wall = time.perf_counter() - start
+    cone_walls.sort()
+    return {
+        "circuits": circuits,
+        "cones": cones,
+        "gates": gates,
+        "area": area,
+        "wall_s": round(wall, 4),
+        "ilp_solves": totals.ilp_solved,
+        "fastpath_hits": totals.fastpath_hits,
+        "fastpath_negatives": totals.fastpath_negatives,
+        "fastpath_hit_rate": round(totals.fastpath_hit_rate, 4),
+        "checker_calls": totals.calls,
+        "cone_wall_ms_p50": _percentile_ms(cone_walls, 0.50),
+        "cone_wall_ms_p95": _percentile_ms(cone_walls, 0.95),
+    }
+
+
+def run_substrate_microbench(repeats: int = 3) -> dict:
+    """Packed-kernel speedups over reference per-point Python loops.
+
+    Two microbenchmarks, each run ``repeats`` times keeping the best wall
+    per side:
+
+    * **cover evaluation** — full truth tables of a batch of random
+      12-variable covers, per-cube/per-point loop vs ``bitset.key_table``;
+    * **network simulation** — 4096-vector sweep of a random logic
+      network, per-point ``BooleanNetwork.evaluate`` vs the packed
+      ``simulate_vectors``.
+    """
+    import random as _random
+
+    from repro.boolean import bitset
+    from repro.boolean.cover import Cover
+    from repro.boolean.cube import Cube
+    from repro.benchgen.random_logic import random_logic_network
+    from repro.network.simulate import random_pi_vectors, simulate_vectors
+
+    rng = _random.Random(1234)
+    nvars = 12
+    covers = []
+    for _ in range(24):
+        cubes = []
+        for _ in range(16):
+            pos = 0
+            neg = 0
+            for var in rng.sample(range(nvars), rng.randint(2, 5)):
+                if rng.random() < 0.5:
+                    pos |= 1 << var
+                else:
+                    neg |= 1 << var
+            cubes.append(Cube(pos, neg, nvars))
+        covers.append(Cover(cubes, nvars))
+
+    def legacy_tables() -> list[list[int]]:
+        out = []
+        for cover in covers:
+            out.append(
+                [
+                    int(any(c.evaluate(p) for c in cover.cubes))
+                    for p in range(1 << nvars)
+                ]
+            )
+        return out
+
+    def packed_tables() -> list[list[int]]:
+        return [
+            bitset.key_table(
+                (nvars, tuple((c.pos, c.neg) for c in cover.cubes))
+            ).to_bits()
+            for cover in covers
+        ]
+
+    def best_wall(fn) -> float:
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            t1 = time.perf_counter()
+            if best is None or t1 - t0 < best:
+                best = t1 - t0
+        return best
+
+    if legacy_tables() != packed_tables():
+        raise SystemExit("substrate microbench: packed tables disagree")
+    eval_legacy = best_wall(legacy_tables)
+    eval_packed = best_wall(packed_tables)
+
+    network = random_logic_network(
+        "microbench",
+        num_inputs=16,
+        num_outputs=8,
+        num_nodes=48,
+        seed=77,
+        max_fanin=3,
+        max_cubes=3,
+        locality=12,
+    )
+    width = 4096
+    vecs = random_pi_vectors(network, width, _random.Random(5))
+
+    def legacy_sim() -> list[int]:
+        sigs = []
+        for k in range(width):
+            assignment = {
+                name: vecs[name].test(k) for name in network.inputs
+            }
+            out = network.evaluate(assignment)
+            sigs.append(sum(1 for o in network.outputs if out[o]))
+        return sigs
+
+    def packed_sim() -> list[int]:
+        sim = simulate_vectors(network, vecs, width)
+        counts = [0] * width
+        for o in network.outputs:
+            for k, bit in enumerate(sim[o].to_bits()):
+                counts[k] += bit
+        return counts
+
+    if legacy_sim() != packed_sim():
+        raise SystemExit("substrate microbench: simulations disagree")
+    sim_legacy = best_wall(legacy_sim)
+    sim_packed = best_wall(packed_sim)
+
+    return {
+        "backend": bitset.active_backend(),
+        "cover_eval_legacy_s": round(eval_legacy, 4),
+        "cover_eval_packed_s": round(eval_packed, 4),
+        "cover_eval_speedup": round(eval_legacy / max(eval_packed, 1e-9), 1),
+        "simulate_legacy_s": round(sim_legacy, 4),
+        "simulate_packed_s": round(sim_packed, 4),
+        "simulate_speedup": round(sim_legacy / max(sim_packed, 1e-9), 1),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_synth.json")
@@ -250,11 +464,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the persistent-cache phases",
     )
+    parser.add_argument(
+        "--corpus",
+        choices=("small", "large"),
+        default="large",
+        help="'large' adds the large-corpus and substrate-microbench "
+        "sections; 'small' keeps the historical smoke phases only",
+    )
+    parser.add_argument(
+        "--corpus-limit",
+        type=int,
+        default=None,
+        help="cap the number of bulk corpus circuits (stressors always run)",
+    )
     args = parser.parse_args(argv)
     cache_dir = None if args.no_cache else args.cache
     result = run_bench(
         tuple(args.benchmarks), jobs=args.jobs, cache_dir=cache_dir
     )
+    if args.corpus == "large":
+        result["large_corpus"] = run_large_corpus(
+            jobs=args.jobs, limit=args.corpus_limit
+        )
+        result["substrate_microbench"] = run_substrate_microbench()
     Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     # A vector-tier hit short-circuits the whole check, so the warm run's
@@ -299,6 +531,29 @@ def main(argv: list[str] | None = None) -> int:
     if result["degraded_cones"] != 0:
         print("FAIL: cones degraded without fault injection")
         return 1
+    if args.corpus == "large":
+        corpus = result["large_corpus"]
+        # The corpus stressors exist to force real ILP traffic and real
+        # fast-path refutations at scale; zeros mean the stressor cones
+        # were split before reaching the checker whole.
+        if corpus["ilp_solves"] <= 0:
+            print("FAIL: large corpus never reached the ILP")
+            return 1
+        if corpus["fastpath_negatives"] <= 0:
+            print("FAIL: large corpus never refuted a cone combinatorially")
+            return 1
+        if corpus["cones"] < 1000:
+            print("FAIL: large corpus shrank below a thousand cones")
+            return 1
+        # The substrate's reason to exist: packed kernels must stay well
+        # clear of the per-point Python loops they replaced.
+        micro = result["substrate_microbench"]
+        if micro["cover_eval_speedup"] < 3.0:
+            print("FAIL: packed cover evaluation lost its >=3x speedup")
+            return 1
+        if micro["simulate_speedup"] < 3.0:
+            print("FAIL: packed simulation lost its >=3x speedup")
+            return 1
     print(f"wrote {args.output}")
     return 0
 

@@ -212,6 +212,133 @@ def benchmark_names(include_large: bool = True) -> list[str]:
     return names
 
 
+# ----------------------------------------------------------------------
+# Large-corpus tier
+# ----------------------------------------------------------------------
+#: Bulk random circuits in the large corpus.  Sized so the corpus crosses
+#: a thousand synthesized cones while staying CI-friendly.
+CORPUS_BULK_CIRCUITS = 36
+
+#: Stressor circuits in the large corpus (ILP-forcing + fast-path-reject).
+CORPUS_STRESSOR_CIRCUITS = 4
+
+#: Fanin bound the corpus stressors are meant to be synthesized at: wide
+#: enough to admit their 9-support cone whole, defeating the Chow fast
+#: path's decision bound and forcing the Fig. 6 ILP.
+CORPUS_STRESSOR_PSI = 9
+
+
+def _corpus_bulk_builder(name: str, k: int) -> Callable[[], BooleanNetwork]:
+    def build() -> BooleanNetwork:
+        return random_logic_network(
+            name,
+            num_inputs=12 + (k * 5) % 21,
+            num_outputs=4 + (k * 3) % 9,
+            num_nodes=60 + (k * 13) % 81,
+            seed=9000 + k,
+            max_fanin=3 + k % 2,
+            max_cubes=3,
+            locality=12 + k % 7,
+        )
+
+    return build
+
+
+def _corpus_stressor_builder(name: str, k: int) -> Callable[[], BooleanNetwork]:
+    """A gate-model stressor with rotated cone structure per index ``k``.
+
+    Three cones per circuit, mirroring the ``parmix`` recipe:
+
+    * ``wide`` — OR over all 2-of-9 products: a 9-support threshold cone
+      whose support exceeds the Chow fast path's 8-variable decision bound,
+      so identification at ``psi >= 9`` must solve the Fig. 6 ILP;
+    * ``psel`` — ``x_a x_b + x_c x_d`` on rotated indices: the textbook
+      unate non-threshold cover the 2-monotonicity screen must reject;
+    * ``par`` — a small parity tree (splitter traffic).
+    """
+
+    def build() -> BooleanNetwork:
+        cb = CircuitBuilder(name)
+        xs = cb.inputs("x", 9)
+        ys = cb.inputs("y", 4 + k % 3)
+        pairs = [
+            cb.and_([xs[i], xs[j]])
+            for i in range(len(xs))
+            for j in range(i + 1, len(xs))
+        ]
+        cb.output(cb.or_(pairs), "wide")
+        a, b, c, d = ((k + off) % 9 for off in range(4))
+        cb.output(
+            cb.or_([cb.and_([xs[a], xs[b]]), cb.and_([xs[c], xs[d]])]),
+            "psel",
+        )
+        cb.output(cb.parity_tree(ys), "par")
+        return cb.done()
+
+    return build
+
+
+def _corpus_specs() -> dict[str, BenchmarkSpec]:
+    specs: list[BenchmarkSpec] = []
+    for k in range(CORPUS_BULK_CIRCUITS):
+        name = f"corpus_r{k:02d}"
+        specs.append(
+            BenchmarkSpec(
+                name,
+                12 + (k * 5) % 21,
+                4 + (k * 3) % 9,
+                "bulk random logic (large corpus)",
+                _corpus_bulk_builder(name, k),
+            )
+        )
+    for k in range(CORPUS_STRESSOR_CIRCUITS):
+        name = f"corpus_s{k}"
+        specs.append(
+            BenchmarkSpec(
+                name,
+                13 + k % 3,
+                3,
+                "fast-path stressor (large corpus)",
+                _corpus_stressor_builder(name, k),
+            )
+        )
+    return {spec.name: spec for spec in specs}
+
+
+CORPUS_BENCHMARKS: dict[str, BenchmarkSpec] = _corpus_specs()
+
+
+def corpus_names() -> list[str]:
+    """Names of the large-corpus circuits (bulk first, stressors last)."""
+    return list(CORPUS_BENCHMARKS)
+
+
+def is_corpus_stressor(name: str) -> bool:
+    """True for the ILP-forcing stressor circuits of the corpus."""
+    return name.startswith("corpus_s")
+
+
+def build_corpus_circuit(name: str) -> BooleanNetwork:
+    """Build a large-corpus circuit by name."""
+    try:
+        spec = CORPUS_BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(corpus_names())
+        raise KeyError(
+            f"unknown corpus circuit {name!r}; known: {known}"
+        ) from None
+    network = spec.builder()
+    if len(network.inputs) != spec.num_inputs or len(
+        network.outputs
+    ) != spec.num_outputs:
+        raise AssertionError(
+            f"{name}: I/O profile mismatch "
+            f"({len(network.inputs)}/{len(network.outputs)} vs "
+            f"{spec.num_inputs}/{spec.num_outputs})"
+        )
+    return network
+
+
 def build_benchmark(name: str) -> BooleanNetwork:
     """Build a benchmark stand-in by MCNC name."""
     try:

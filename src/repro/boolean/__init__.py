@@ -2,7 +2,8 @@
 
 This subpackage implements the sum-of-products machinery the TELS algorithms
 sit on: positional-notation cubes (:mod:`repro.boolean.cube`), SOP covers with
-cofactor / tautology / complement (:mod:`repro.boolean.cover`), unateness
+cofactor / tautology / complement (:mod:`repro.boolean.cover`), the packed
+bit-parallel truth-table substrate (:mod:`repro.boolean.bitset`), unateness
 analysis (:mod:`repro.boolean.unate`), an espresso-style two-level minimizer
 (:mod:`repro.boolean.minimize`), algebraic division / kernels / factoring
 (:mod:`repro.boolean.divide`, :mod:`repro.boolean.kernels`,
@@ -10,8 +11,9 @@ analysis (:mod:`repro.boolean.unate`), an espresso-style two-level minimizer
 (:mod:`repro.boolean.function`).
 """
 
+from repro.boolean.bitset import BitVec
 from repro.boolean.cube import Cube
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 
-__all__ = ["Cube", "Cover", "BooleanFunction"]
+__all__ = ["BitVec", "Cube", "Cover", "BooleanFunction"]

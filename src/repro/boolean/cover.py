@@ -13,6 +13,8 @@ from __future__ import annotations
 import functools
 from typing import Iterable, Iterator, Sequence
 
+from repro.boolean import bitset
+from repro.boolean.bitset import MAX_TABLE_VARS, BitVec
 from repro.boolean.cube import Cube
 from repro.errors import CoverError
 
@@ -23,12 +25,27 @@ class Cover:
     The empty cover is the constant-0 function; a cover containing the
     universal cube is the constant-1 function (after SCC it is exactly
     ``[Cube.full]``).
+
+    Exact duplicate cubes are dropped at construction (first occurrence
+    wins), so downstream normal forms never re-deduplicate.  Expensive
+    derived data — the packed truth table, the SCC form, the canonical
+    key, literal/support tallies — is memoized on the frozen instance;
+    the caches are dropped by pickling (``__reduce__`` rebuilds through
+    the constructor) and never observable through the public API.
     """
 
-    __slots__ = ("cubes", "nvars")
+    __slots__ = (
+        "cubes",
+        "nvars",
+        "_table",
+        "_scc",
+        "_ckey",
+        "_nlits",
+        "_supp",
+    )
 
     def __init__(self, cubes: Iterable[Cube], nvars: int):
-        cubes = tuple(cubes)
+        cubes = tuple(dict.fromkeys(cubes))
         for cube in cubes:
             if cube.nvars != nvars:
                 raise CoverError(
@@ -36,6 +53,11 @@ class Cover:
                 )
         object.__setattr__(self, "cubes", cubes)
         object.__setattr__(self, "nvars", nvars)
+        object.__setattr__(self, "_table", None)
+        object.__setattr__(self, "_scc", None)
+        object.__setattr__(self, "_ckey", None)
+        object.__setattr__(self, "_nlits", None)
+        object.__setattr__(self, "_supp", None)
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Cover is immutable")
@@ -97,16 +119,24 @@ class Cover:
 
     @property
     def num_literals(self) -> int:
-        """Total literal count over all cubes (an area proxy)."""
-        return sum(cube.num_literals for cube in self.cubes)
+        """Total literal count over all cubes (an area proxy, cached)."""
+        if self._nlits is None:
+            object.__setattr__(
+                self,
+                "_nlits",
+                sum(cube.num_literals for cube in self.cubes),
+            )
+        return self._nlits
 
     @property
     def support(self) -> int:
-        """Bitmask of variables that appear in some cube."""
-        mask = 0
-        for cube in self.cubes:
-            mask |= cube.support
-        return mask
+        """Bitmask of variables that appear in some cube (cached)."""
+        if self._supp is None:
+            mask = 0
+            for cube in self.cubes:
+                mask |= cube.support
+            object.__setattr__(self, "_supp", mask)
+        return self._supp
 
     def support_vars(self) -> list[int]:
         """Sorted list of variable indices in the support."""
@@ -131,16 +161,51 @@ class Cover:
     def to_strings(self) -> list[str]:
         return [cube.to_string() for cube in self.cubes]
 
+    def packable(self) -> bool:
+        """True when the variable space fits the packed truth-table kernels."""
+        return self.nvars <= MAX_TABLE_VARS
+
+    def packed_table(self) -> BitVec:
+        """The packed truth table (cached; ``nvars <= MAX_TABLE_VARS`` only).
+
+        This is the substrate every exponential query below rides on: one
+        word-parallel AND per literal per cube, instead of a Python loop
+        over the ``2**nvars`` points.
+        """
+        if self._table is None:
+            if not self.packable():
+                raise CoverError(
+                    f"cover over {self.nvars} variables exceeds the "
+                    f"{MAX_TABLE_VARS}-variable packed-table bound"
+                )
+            object.__setattr__(
+                self,
+                "_table",
+                bitset.key_table(
+                    (self.nvars, tuple((c.pos, c.neg) for c in self.cubes))
+                ),
+            )
+        return self._table
+
     def evaluate(self, point: int) -> bool:
-        """Evaluate the function at a point bitmask."""
+        """Evaluate the function at a point bitmask.
+
+        Reads the packed table when one is cached (repeated point queries
+        amortize to a single bit test); falls back to the cube loop for
+        one-off evaluations and unpackable widths.
+        """
+        if self._table is not None:
+            return self._table.test(point)
         return any(cube.evaluate(point) for cube in self.cubes)
 
     def truth_table(self) -> list[int]:
         """Full truth table as a list of 0/1 (exponential; small n only)."""
-        return [int(self.evaluate(p)) for p in range(1 << self.nvars)]
+        return self.packed_table().to_bits()
 
     def num_minterms(self) -> int:
-        """Exact minterm count of the function (recursive, disjoint Shannon)."""
+        """Exact minterm count of the function."""
+        if self.packable():
+            return self.packed_table().count()
         return _count_minterms(self.canonical_key())
 
     # ------------------------------------------------------------------
@@ -149,20 +214,42 @@ class Cover:
     def scc(self) -> "Cover":
         """Single-cube containment: drop cubes contained in another cube.
 
-        Also deduplicates.  If the universal cube is present the result is
-        exactly the constant-1 cover.
+        If the universal cube is present the result is exactly the
+        constant-1 cover.  Duplicates were already dropped at construction;
+        the result is cached on the instance (and the result knows it is
+        its own SCC form, so chains of normal-form calls are free).
         """
-        kept: list[Cube] = []
-        # Sort by decreasing size so containers are seen before containees.
-        for cube in sorted(set(self.cubes), key=lambda c: c.num_literals):
-            if not any(k.contains(cube) for k in kept):
-                kept.append(cube)
-        return Cover(kept, self.nvars)
+        if self._scc is None:
+            kept: list[Cube] = []
+            # Sort by increasing size so containers are seen before
+            # containees.  The set() pre-pass is kept deliberately: its
+            # iteration order is the historical tie-break among equal-size
+            # cubes, and downstream decompositions are pinned to it.
+            for cube in sorted(set(self.cubes), key=lambda c: c.num_literals):
+                if not any(k.contains(cube) for k in kept):
+                    kept.append(cube)
+            reduced = Cover(kept, self.nvars)
+            object.__setattr__(reduced, "_scc", reduced)
+            object.__setattr__(self, "_scc", reduced)
+        return self._scc
 
     def canonical_key(self) -> tuple:
-        """A hashable canonical key for memoization (after SCC, sorted)."""
-        reduced = self.scc()
-        return (self.nvars, tuple(sorted((c.pos, c.neg) for c in reduced.cubes)))
+        """A hashable canonical key for memoization (after SCC, sorted).
+
+        Cached on the instance: checkers, cache tiers, and lint rules all
+        re-derive the key of the same frozen cover.
+        """
+        if self._ckey is None:
+            reduced = self.scc()
+            object.__setattr__(
+                self,
+                "_ckey",
+                (
+                    self.nvars,
+                    tuple(sorted((c.pos, c.neg) for c in reduced.cubes)),
+                ),
+            )
+        return self._ckey
 
     # ------------------------------------------------------------------
     # Cofactors
@@ -198,21 +285,37 @@ class Cover:
     # Tautology / containment / equivalence
     # ------------------------------------------------------------------
     def is_tautology(self) -> bool:
-        """True when the function is the constant 1."""
+        """True when the function is the constant 1.
+
+        Packed tables decide small spaces in a handful of word compares;
+        wider covers run the unate-recursive paradigm.
+        """
+        if self.packable():
+            return self.packed_table().is_ones()
         return _is_tautology(self.canonical_key())
 
     def contains_cube(self, cube: Cube) -> bool:
         """True when every minterm of ``cube`` is covered."""
+        if self.packable():
+            return (
+                bitset.cube_table(cube.pos, cube.neg, self.nvars)
+                .andnot(self.packed_table())
+                .is_zero()
+            )
         return self.cofactor(cube).is_tautology()
 
     def covers(self, other: "Cover") -> bool:
         """True when this function is implied by ``other`` (other ≤ self)."""
+        if self.packable() and other.nvars == self.nvars:
+            return other.packed_table().andnot(self.packed_table()).is_zero()
         return all(self.contains_cube(cube) for cube in other.cubes)
 
     def equivalent(self, other: "Cover") -> bool:
         """Semantic equality of the two functions."""
         if self.nvars != other.nvars:
             raise CoverError("covers over different variable counts")
+        if self.packable():
+            return self.packed_table() == other.packed_table()
         return self.covers(other) and other.covers(self)
 
     # ------------------------------------------------------------------

@@ -219,8 +219,19 @@ class BooleanFunction:
     def complement(self) -> "BooleanFunction":
         return BooleanFunction(self.cover.complement(), self.variables)
 
+    def packed_table(self):
+        """The cover's packed truth table (variable *i* = fanin *i*)."""
+        return self.cover.packed_table()
+
     def equivalent(self, other: "BooleanFunction") -> bool:
-        """Semantic equality, aligning variables by name."""
+        """Semantic equality, aligning variables by name.
+
+        Identically-ordered variable tuples compare their packed tables
+        directly; otherwise both sides are rebased onto the name union
+        first (the packed comparison then happens in the union space).
+        """
+        if self.variables == other.variables:
+            return self.cover.equivalent(other.cover)
         union = list(self.variables)
         for v in other.variables:
             if v not in union:

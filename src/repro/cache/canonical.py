@@ -36,6 +36,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.boolean import bitset
 from repro.core.threshold import WeightThresholdVector
 
 #: Covers wider than this skip NP-canonicalization entirely: the exhaustive
@@ -130,6 +133,40 @@ def _var_signature(rows: list[tuple[int, int]], var: int) -> tuple:
     )
 
 
+def _var_signatures(
+    rows: list[tuple[int, int]], nvars: int
+) -> dict[int, tuple]:
+    """All variable signatures in one pass over the rows.
+
+    Treats each phase as a packed column over the row index: row sizes are
+    computed once, then scattered to the variables each row touches —
+    O(rows * literals) instead of O(nvars * rows) rescans.
+    """
+    pos_sizes: list[list[int]] = [[] for _ in range(nvars)]
+    neg_sizes: list[list[int]] = [[] for _ in range(nvars)]
+    for pos, neg in rows:
+        size = (pos | neg).bit_count()
+        mask = pos
+        while mask:
+            low = mask & -mask
+            pos_sizes[low.bit_length() - 1].append(size)
+            mask ^= low
+        mask = neg
+        while mask:
+            low = mask & -mask
+            neg_sizes[low.bit_length() - 1].append(size)
+            mask ^= low
+    return {
+        var: (
+            len(pos_sizes[var]),
+            len(neg_sizes[var]),
+            tuple(sorted(pos_sizes[var])),
+            tuple(sorted(neg_sizes[var])),
+        )
+        for var in range(nvars)
+    }
+
+
 def np_canonicalize(cover_key: tuple) -> NPCanonical:
     """Reduce a cover key to its NP-semi-canonical representative.
 
@@ -153,7 +190,7 @@ def np_canonicalize(cover_key: tuple) -> NPCanonical:
 
     # Order variables by signature; signatures sort descending so heavily
     # used variables take the low canonical slots.
-    signatures = {v: _var_signature(normalized, v) for v in range(nvars)}
+    signatures = _var_signatures(normalized, nvars)
     ordered = sorted(range(nvars), key=lambda v: (signatures[v], v))
     ordered.reverse()  # descending signature, descending index within ties
 
@@ -241,21 +278,13 @@ def verify_vector_key(
     threshold = vector.threshold
     if len(weights) != nvars:
         return False
-    for point in range(1 << nvars):
-        total = 0
-        remaining = point
-        var = 0
-        while remaining:
-            if remaining & 1:
-                total += weights[var]
-            remaining >>= 1
-            var += 1
-        on = any(
-            (pos & point) == pos and not (neg & point) for pos, neg in rows
-        )
-        if on:
-            if total < threshold + delta_on:
-                return False
-        elif total > threshold - delta_off:
-            return False
+    # Bit-parallel contract check: one weighted-sum sweep plus one packed
+    # ON-set table replaces the per-point Python loop.
+    sums = np.asarray(bitset.weighted_sums(weights))
+    on = np.array(bitset.key_table(cover_key).to_bits(), dtype=bool)
+    if on.any() and int(sums[on].min()) < threshold + delta_on:
+        return False
+    off = ~on
+    if off.any() and int(sums[off].max()) > threshold - delta_off:
+        return False
     return True

@@ -370,6 +370,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.corpus is not None:
+        # Suite mode: wrap benchmarks/synth_bench (the CI artifact script).
+        # The benchmarks package lives next to src/, not inside it, so it
+        # is reached through the repo root when running from a checkout.
+        import sys as _sys
+        from pathlib import Path as _Path
+
+        repo_root = _Path(__file__).resolve().parents[2]
+        if str(repo_root) not in _sys.path:
+            _sys.path.insert(0, str(repo_root))
+        from benchmarks.synth_bench import main as bench_main
+
+        bench_args = ["--corpus", args.corpus, "--jobs", str(args.jobs)]
+        if args.output:
+            bench_args += ["-o", args.output]
+        return bench_main(bench_args)
+    if args.name is None:
+        print("error: bench requires a benchmark name (or --corpus)")
+        return 2
     from repro.benchgen.extended import build_extended_benchmark
 
     network = build_extended_benchmark(args.name)
@@ -622,11 +641,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_synthesis_args(p)
     p.set_defaults(func=cmd_verilog)
 
-    p = sub.add_parser("bench", help="emit a benchmark stand-in as BLIF")
+    p = sub.add_parser(
+        "bench",
+        help="emit a benchmark stand-in as BLIF, or run the synthesis "
+        "bench suite with --corpus",
+    )
     from repro.benchgen.extended import all_benchmark_names
 
-    p.add_argument("name", choices=sorted(all_benchmark_names()))
+    p.add_argument(
+        "name", nargs="?", choices=sorted(all_benchmark_names())
+    )
     p.add_argument("-o", "--output")
+    p.add_argument(
+        "--corpus",
+        choices=("small", "large"),
+        help="run the benchmarks/synth_bench suite instead of emitting "
+        "BLIF ('large' adds the corpus and substrate sections)",
+    )
+    p.add_argument("--jobs", type=int, default=1)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

@@ -16,13 +16,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.threshold import ThresholdNetwork
-from repro.core.verify import _pi_matrix_from_words
+from repro.core.verify import _pi_matrix_from_vectors
 from repro.network.network import BooleanNetwork
 from repro.network.simulate import (
     EXHAUSTIVE_LIMIT,
-    exhaustive_pi_words,
-    random_pi_words,
-    simulate_words,
+    exhaustive_pi_vectors,
+    random_pi_vectors,
+    simulate_vectors,
 )
 
 
@@ -78,14 +78,6 @@ def perturb_weights(
     return noise
 
 
-def _bits_from_word(word: int, width: int) -> np.ndarray:
-    """Unpack a ``width``-bit simulation word into a boolean vector."""
-    raw = np.frombuffer(
-        word.to_bytes((width + 7) // 8, "little"), dtype=np.uint8
-    )
-    return np.unpackbits(raw, bitorder="little")[:width].astype(bool)
-
-
 def run_defect_trial(
     source: BooleanNetwork,
     synthesized: ThresholdNetwork,
@@ -95,17 +87,17 @@ def run_defect_trial(
 ) -> DefectTrialResult:
     """Disturb every weight once and simulate the whole vector set."""
     if len(source.inputs) <= EXHAUSTIVE_LIMIT:
-        words, width = exhaustive_pi_words(source)
+        vecs, width = exhaustive_pi_vectors(source)
     else:
         width = vectors
-        words = random_pi_words(source, width, rng)
-    golden = simulate_words(source, words, width)
-    matrix = _pi_matrix_from_words(source, words, width)
+        vecs = random_pi_vectors(source, width, rng)
+    golden = simulate_vectors(source, vecs, width)
+    matrix = _pi_matrix_from_vectors(source, vecs)
     noise = perturb_weights(synthesized, v, rng)
     outputs = synthesized.simulate_matrix(matrix, weight_noise=noise)
     wrong = 0
     for name in source.outputs:
-        want = _bits_from_word(golden[name], width)
+        want = golden[name].to_bool_array()
         wrong += int(np.count_nonzero(outputs[name] != want))
     return DefectTrialResult(wrong > 0, wrong, width * len(source.outputs))
 

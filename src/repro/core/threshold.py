@@ -16,6 +16,8 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.boolean import bitset
+from repro.boolean.bitset import BitVec
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.errors import NetworkError
@@ -65,18 +67,18 @@ class WeightThresholdVector:
         ``T``; the OFF margin the tightest slack of a false vector's sum
         below ``T``.  None when the gate has no true (resp. false) vectors.
         """
-        on_margin: int | None = None
-        off_margin: int | None = None
-        for total in _point_sums(self.weights):
-            if total >= self.threshold:
-                slack = total - self.threshold
-                on_margin = slack if on_margin is None else min(on_margin, slack)
-            else:
-                slack = self.threshold - total
-                off_margin = (
-                    slack if off_margin is None else min(off_margin, slack)
-                )
+        sums = np.asarray(bitset.weighted_sums(self.weights))
+        on = sums[sums >= self.threshold]
+        off = sums[sums < self.threshold]
+        on_margin = int(on.min() - self.threshold) if on.size else None
+        off_margin = int(self.threshold - off.max()) if off.size else None
         return on_margin, off_margin
+
+    def table(self) -> BitVec:
+        """Packed truth table over all ``2**l`` input points."""
+        return bitset.fires_table(
+            bitset.weighted_sums(self.weights), self.threshold
+        )
 
     def __str__(self) -> str:
         ws = ", ".join(str(w) for w in self.weights)
@@ -151,20 +153,30 @@ class MultiThresholdVector:
         OFF margin (``T_above - s``).  For ``k = 1`` this reduces exactly to
         :meth:`WeightThresholdVector.margins`.
         """
+        sums = np.asarray(bitset.weighted_sums(self.weights))
+        ts = np.asarray(self.thresholds)
+        # searchsorted(right) counts thresholds <= s; the nearest threshold
+        # below is ts[idx-1] (when idx > 0), the one above ts[idx] (idx < k).
+        idx = np.searchsorted(ts, sums, side="right")
+        has_below = idx > 0
+        has_above = idx < len(ts)
         on_margin: int | None = None
         off_margin: int | None = None
-        for total in _point_sums(self.weights):
-            below = max((t for t in self.thresholds if t <= total), default=None)
-            above = min((t for t in self.thresholds if t > total), default=None)
-            if below is not None:
-                slack = total - below
-                on_margin = slack if on_margin is None else min(on_margin, slack)
-            if above is not None:
-                slack = above - total
-                off_margin = (
-                    slack if off_margin is None else min(off_margin, slack)
-                )
+        if has_below.any():
+            below = sums[has_below] - ts[idx[has_below] - 1]
+            on_margin = int(below.min())
+        if has_above.any():
+            above = ts[idx[has_above]] - sums[has_above]
+            off_margin = int(above.min())
         return on_margin, off_margin
+
+    def table(self) -> BitVec:
+        """Packed truth table: XOR of the per-threshold fire tables."""
+        sums = bitset.weighted_sums(self.weights)
+        table = bitset.fires_table(sums, self.thresholds[0])
+        for t in self.thresholds[1:]:
+            table = table ^ bitset.fires_table(sums, t)
+        return table
 
     def __str__(self) -> str:
         ws = ", ".join(str(w) for w in self.weights)
@@ -178,9 +190,8 @@ GateVector = WeightThresholdVector | MultiThresholdVector
 
 def _point_sums(weights: tuple[int, ...]) -> Iterator[int]:
     """Weighted sums of all ``2**l`` input points (small l only)."""
-    n = len(weights)
-    for point in range(1 << n):
-        yield sum(weights[i] for i in range(n) if (point >> i) & 1)
+    for total in bitset.weighted_sums(weights):
+        yield int(total)
 
 
 @dataclass(frozen=True)
@@ -233,32 +244,18 @@ class ThresholdGate:
     def local_function(self) -> BooleanFunction:
         """The Boolean function this gate implements, as an SOP.
 
-        Built by enumerating input combinations — gates are small (fanin is
-        bounded by the synthesis fanin restriction), so this is cheap.
+        Built from the vector's packed truth table — gates are small (fanin
+        is bounded by the synthesis fanin restriction), so this is cheap.
         """
         n = len(self.inputs)
-        bits = []
-        for point in range(1 << n):
-            total = sum(
-                self.vector.weights[i]
-                for i in range(n)
-                if (point >> i) & 1
-            )
-            bits.append(int(self.vector.fires(total)))
+        bits = self.vector.table().to_bits()
         return BooleanFunction(Cover.from_truth_table(bits, n), self.inputs)
 
     def implements(self, function: BooleanFunction) -> bool:
         """Exhaustively check this gate against ``function`` (small fanin)."""
         if tuple(function.variables) != self.inputs:
             function = function.rebased(self.inputs)
-        n = len(self.inputs)
-        for point in range(1 << n):
-            total = sum(
-                self.vector.weights[i] for i in range(n) if (point >> i) & 1
-            )
-            if self.vector.fires(total) != function.cover.evaluate(point):
-                return False
-        return True
+        return self.vector.table() == function.cover.packed_table()
 
     def margins(self) -> tuple[int | None, int | None]:
         """(ON margin, OFF margin), delegated to the gate's vector.

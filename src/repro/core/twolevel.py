@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.boolean import bitset
+from repro.boolean.bitset import MAX_TABLE_VARS
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction
 from repro.boolean.unate import syntactic_unateness
@@ -135,15 +137,31 @@ def _partition_into_threshold_parts(
                 f"(max_fanin={options.max_fanin})"
             )
         best = vector
+        packable = nvars <= MAX_TABLE_VARS
+        part_table = (
+            Cover(packed, nvars).packed_table() if packable else None
+        )
         index = 0
         while index < len(remaining):
-            candidate = packed + [remaining[index]]
+            cube = remaining[index]
+            if part_table is not None:
+                # Packed absorption: a cube already covered by the part
+                # adds no minterms, so the part's vector keeps working —
+                # fold it in without paying for a checker call.
+                ctab = bitset.cube_table(cube.pos, cube.neg, nvars)
+                if ctab.andnot(part_table).is_zero():
+                    packed = packed + [cube]
+                    remaining.pop(index)
+                    continue
+            candidate = packed + [cube]
             cand_vector = _try_part(
                 candidate, nvars, function, checker, options
             )
             if cand_vector is not None:
                 packed = candidate
                 best = cand_vector
+                if part_table is not None:
+                    part_table = Cover(packed, nvars).packed_table()
                 remaining.pop(index)
             else:
                 index += 1

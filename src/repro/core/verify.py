@@ -3,7 +3,9 @@
 The paper simulates every synthesized network against its source for
 functional correctness; this module does the same.  Small-input networks are
 checked exhaustively (exact equivalence); larger ones with a batch of random
-vectors (a strong randomized check).
+vectors (a strong randomized check).  Golden values come from the packed
+BitVec simulator; the threshold side runs through ``simulate_matrix`` so
+weight perturbations stay representable.
 """
 
 from __future__ import annotations
@@ -12,29 +14,24 @@ import random
 
 import numpy as np
 
+from repro.boolean.bitset import BitVec
 from repro.core.threshold import ThresholdNetwork
 from repro.network.network import BooleanNetwork
 from repro.network.simulate import (
     EXHAUSTIVE_LIMIT,
-    exhaustive_pi_words,
-    random_pi_words,
-    simulate_words,
+    exhaustive_pi_vectors,
+    random_pi_vectors,
+    simulate_vectors,
 )
 
 
-def _pi_matrix_from_words(
-    network: BooleanNetwork, words: dict[str, int], width: int
+def _pi_matrix_from_vectors(
+    network: BooleanNetwork, vecs: dict[str, BitVec]
 ) -> dict[str, np.ndarray]:
-    matrix: dict[str, np.ndarray] = {}
-    for name in network.inputs:
-        word = words[name]
-        bits = np.frombuffer(
-            word.to_bytes((width + 7) // 8, "little"), dtype=np.uint8
-        )
-        matrix[name] = np.unpackbits(bits, bitorder="little")[:width].astype(
-            np.float64
-        )
-    return matrix
+    return {
+        name: vecs[name].to_bool_array().astype(np.float64)
+        for name in network.inputs
+    }
 
 
 def verify_threshold_network(
@@ -54,19 +51,16 @@ def verify_threshold_network(
     if set(source.outputs) != set(synthesized.outputs):
         return False
     if len(source.inputs) <= exhaustive_limit:
-        words, width = exhaustive_pi_words(source)
+        vecs, width = exhaustive_pi_vectors(source)
     else:
         width = vectors
-        words = random_pi_words(source, width, random.Random(seed))
-    golden = simulate_words(source, words, width)
-    matrix = _pi_matrix_from_words(source, words, width)
+        vecs = random_pi_vectors(source, width, random.Random(seed))
+    golden = simulate_vectors(source, vecs, width)
+    matrix = _pi_matrix_from_vectors(source, vecs)
     outputs = synthesized.simulate_matrix(matrix)
     for name in source.outputs:
-        got = outputs[name]
-        want_word = golden[name]
-        want = np.array(
-            [(want_word >> k) & 1 for k in range(width)], dtype=bool
-        )
+        got = np.asarray(outputs[name], dtype=bool)
+        want = golden[name].to_bool_array()
         if not np.array_equal(got, want):
             return False
     return True
@@ -81,25 +75,27 @@ def first_mismatch(
     """Return a PI assignment on which the two disagree, or None.
 
     Debugging helper: exhaustive for small input counts, random otherwise.
+    Both sides are simulated bit-parallel; only the first disagreeing
+    vector is unpacked into a point assignment.
     """
     if len(source.inputs) <= EXHAUSTIVE_LIMIT:
-        points = range(1 << len(source.inputs))
-        assignments = (
-            {
-                name: bool((p >> i) & 1)
-                for i, name in enumerate(source.inputs)
-            }
-            for p in points
-        )
+        vecs, width = exhaustive_pi_vectors(source)
     else:
-        rng = random.Random(seed)
-        assignments = (
-            {name: bool(rng.getrandbits(1)) for name in source.inputs}
-            for _ in range(vectors)
+        vecs, width = (
+            random_pi_vectors(source, vectors, random.Random(seed)),
+            vectors,
         )
-    for assignment in assignments:
-        want = source.evaluate(assignment)
-        got = synthesized.evaluate(assignment)
-        if any(want[o] != got[o] for o in source.outputs):
-            return assignment
-    return None
+    golden = simulate_vectors(source, vecs, width)
+    matrix = _pi_matrix_from_vectors(source, vecs)
+    outputs = synthesized.simulate_matrix(matrix)
+    bad = np.zeros(width, dtype=bool)
+    for name in source.outputs:
+        got = np.asarray(outputs[name], dtype=bool)
+        want = golden[name].to_bool_array()
+        bad |= got != want
+    if not bad.any():
+        return None
+    k = int(np.argmax(bad))
+    return {
+        name: bool(vecs[name].test(k)) for name in source.inputs
+    }

@@ -29,6 +29,9 @@ from __future__ import annotations
 
 from itertools import product
 
+import numpy as np
+
+from repro.boolean import bitset
 from repro.core.threshold import (
     GateVector,
     MultiThresholdVector,
@@ -104,21 +107,23 @@ class MultiThresholdModel(GateModel):
 
         Groups the ``2**nvars`` input points by weighted sum; a realization
         exists iff equal sums agree on the output, and every output flip
-        between consecutive sums leaves room for both tolerances.
+        between consecutive sums leaves room for both tolerances.  The
+        grouping runs bit-parallel: one weighted-sum sweep plus bincounts
+        over the sum classes.
         """
-        by_sum: dict[int, bool] = {}
-        for point in range(1 << nvars):
-            total = sum(
-                slot_weights[slot]
-                for slot, var in enumerate(support)
-                if (point >> var) & 1
-            )
-            value = bool(outputs[point])
-            seen = by_sum.get(total)
-            if seen is None:
-                by_sum[total] = value
-            elif seen != value:
-                return None  # same sum, different output: weights too coarse
+        full_weights = [0] * nvars
+        for slot, var in enumerate(support):
+            full_weights[var] = slot_weights[slot]
+        totals = np.asarray(bitset.weighted_sums(full_weights))
+        out = np.asarray(outputs, dtype=bool)
+        uniq, inverse = np.unique(totals, return_inverse=True)
+        on_hits = np.bincount(inverse, weights=out, minlength=len(uniq))
+        off_hits = np.bincount(inverse, weights=~out, minlength=len(uniq))
+        if bool(((on_hits > 0) & (off_hits > 0)).any()):
+            return None  # same sum, different output: weights too coarse
+        by_sum = {
+            int(s): bool(on_hits[k] > 0) for k, s in enumerate(uniq)
+        }
         sums = sorted(by_sum)
         min_gap = checker.delta_on + checker.delta_off
         thresholds: list[int] = []
@@ -185,24 +190,25 @@ class MultiThresholdModel(GateModel):
         nvars, rows = cover_key
         if nvars > MAX_CANONICAL_VARS or len(vector.weights) != nvars:
             return False
-        weights = vector.weights
-        thresholds = vector.thresholds
-        for point in range(1 << nvars):
-            total = sum(
-                weights[var] for var in range(nvars) if (point >> var) & 1
-            )
-            on = any(
-                (pos & point) == pos and not (neg & point)
-                for pos, neg in rows
-            )
-            if vector.fires(total) != on:
+        totals = np.asarray(bitset.weighted_sums(vector.weights))
+        on = bitset.key_table(cover_key).to_bool_array()
+        ts = np.asarray(vector.thresholds)
+        crossed = np.zeros(totals.shape, dtype=np.int64)
+        for t in vector.thresholds:
+            crossed += totals >= t
+        if not np.array_equal(crossed % 2 == 1, on):
+            return False
+        # Generalized Eq. 1: clear the nearest threshold below by the
+        # ON margin, stay under the nearest above by the OFF margin.
+        idx = np.searchsorted(ts, totals, side="right")
+        has_below = idx > 0
+        has_above = idx < len(ts)
+        if has_below.any():
+            below = totals[has_below] - ts[idx[has_below] - 1]
+            if int(below.min()) < delta_on:
                 return False
-            # Generalized Eq. 1: clear the nearest threshold below by the
-            # ON margin, stay under the nearest above by the OFF margin.
-            below = max((t for t in thresholds if t <= total), default=None)
-            above = min((t for t in thresholds if t > total), default=None)
-            if below is not None and total - below < delta_on:
-                return False
-            if above is not None and above - total < delta_off:
+        if has_above.any():
+            above = ts[idx[has_above]] - totals[has_above]
+            if int(above.min()) < delta_off:
                 return False
         return True

@@ -39,7 +39,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Sequence
 
+from repro.boolean import bitset
 from repro.boolean.cover import Cover
 
 #: All 2-monotonic functions of up to 8 variables are threshold functions,
@@ -85,10 +87,36 @@ def chow_parameters(cover: Cover) -> dict[int, int]:
     leaves ``x_i`` free, doubling every count uniformly), which preserves
     the ordering the enumeration needs.
     """
+    support = cover.support_vars()
+    if cover.packable():
+        return bitset.chow_from_table(
+            cover.packed_table(), cover.nvars, support
+        )
     return {
-        var: cover.restrict(var, True).num_minterms()
-        for var in cover.support_vars()
+        var: cover.restrict(var, True).num_minterms() for var in support
     }
+
+
+def chow_parameters_batch(covers: Sequence[Cover]) -> list[dict[int, int]]:
+    """Chow parameters for many covers at once (bit-parallel when packed).
+
+    Covers sharing a variable count are screened in one broadcast popcount
+    pass; unpackable covers fall back to :func:`chow_parameters` per cover.
+    """
+    out: list[dict[int, int] | None] = [None] * len(covers)
+    groups: dict[int, list[int]] = {}
+    for idx, cover in enumerate(covers):
+        if cover.packable() and cover.nvars > 0:
+            groups.setdefault(cover.nvars, []).append(idx)
+        else:
+            out[idx] = chow_parameters(cover)
+    for nvars, indices in groups.items():
+        tables = [covers[i].packed_table() for i in indices]
+        rows = bitset.chow_batch(tables, nvars)
+        for i, row in zip(indices, rows):
+            support = covers[i].support_vars()
+            out[i] = {var: row[var] for var in support}
+    return [row if row is not None else {} for row in out]
 
 
 def two_monotonicity_violation(
@@ -101,6 +129,24 @@ def two_monotonicity_violation(
     """
     if support is None:
         support = cover.support_vars()
+    if cover.packable():
+        table = cover.packed_table()
+        nvars = cover.nvars
+        cof: dict[tuple[int, bool], bitset.BitVec] = {}
+
+        def cofactor(var: int, value: bool) -> bitset.BitVec:
+            key = (var, value)
+            if key not in cof:
+                cof[key] = bitset.cofactor_table(table, nvars, var, value)
+            return cof[key]
+
+        for a_pos, i in enumerate(support):
+            for j in support[a_pos + 1 :]:
+                fi = bitset.cofactor_table(cofactor(i, True), nvars, j, False)
+                fj = bitset.cofactor_table(cofactor(j, True), nvars, i, False)
+                if not fj.andnot(fi).is_zero() and not fi.andnot(fj).is_zero():
+                    return (i, j)
+        return None
     for a_pos, i in enumerate(support):
         for j in support[a_pos + 1 :]:
             fi = cover.restrict(i, True).restrict(j, False)
@@ -108,6 +154,13 @@ def two_monotonicity_violation(
             if not fi.covers(fj) and not fj.covers(fi):
                 return (i, j)
     return None
+
+
+def screen_batch(
+    covers: Sequence[Cover],
+) -> list[tuple[int, int] | None]:
+    """2-monotonicity screen over many covers (first violation or None)."""
+    return [two_monotonicity_violation(cover) for cover in covers]
 
 
 def fastpath_check(

@@ -709,7 +709,8 @@ def check_delta_sanity(ctx: LintContext) -> Iterator[Diagnostic]:
     Severity.ERROR,
     "semantic",
     "The synthesized network must agree with its source Boolean network "
-    "on every primary output (core/verify simulation).",
+    "on every primary output (bit-parallel core/verify simulation; the "
+    "counterexample is the first disagreeing packed vector).",
     needs_source=True,
 )
 def check_functional_equivalence(ctx: LintContext) -> Iterator[Diagnostic]:

@@ -1,11 +1,15 @@
 """Bit-parallel simulation and equivalence checking of Boolean networks.
 
-Signals are Python integers used as bit-vectors: bit *k* of every signal word
-is simulation vector *k*.  Arbitrary-precision integers make the width
-unbounded, so a single pass can evaluate thousands of random vectors — the
-workhorse behind functional validation of synthesized threshold networks
-(Section VI of the paper: "all the synthesized networks were simulated for
-functional correctness").
+Signals are :class:`~repro.boolean.bitset.BitVec` bit-vectors: bit *k* of
+every signal is simulation vector *k*.  The packed substrate makes a single
+pass over a network evaluate thousands of vectors at once — the workhorse
+behind functional validation of synthesized threshold networks (Section VI
+of the paper: "all the synthesized networks were simulated for functional
+correctness").
+
+The historical integer-word API (``simulate_words`` and friends, using
+Python ints as bit-vectors) is kept as a thin compatibility layer over the
+BitVec core; new code should prefer the ``*_vectors`` functions.
 """
 
 from __future__ import annotations
@@ -13,39 +17,88 @@ from __future__ import annotations
 import random
 from typing import Mapping
 
+from repro.boolean import bitset
+from repro.boolean.bitset import BitVec
 from repro.boolean.function import BooleanFunction
 from repro.network.network import BooleanNetwork
 
+EXHAUSTIVE_LIMIT = 14  # 2**14 = 16384 vectors: cheap, exact
 
+
+# ----------------------------------------------------------------------
+# BitVec core
+# ----------------------------------------------------------------------
+def eval_function_vectors(
+    function: BooleanFunction, vecs: Mapping[str, BitVec], width: int
+) -> BitVec:
+    """Evaluate an SOP function over packed fanin bit-vectors."""
+    fanins = [vecs[name] for name in function.variables]
+    return bitset.eval_cover_vecs(function.cover, fanins, width)
+
+
+def simulate_vectors(
+    network: BooleanNetwork, pi_vecs: Mapping[str, BitVec], width: int
+) -> dict[str, BitVec]:
+    """Simulate every signal over ``width`` parallel vectors."""
+    vecs: dict[str, BitVec] = {}
+    for name in network.inputs:
+        vecs[name] = pi_vecs[name]
+    for node in network.topological_order():
+        vecs[node] = eval_function_vectors(network.function(node), vecs, width)
+    return vecs
+
+
+def random_pi_vectors(
+    network: BooleanNetwork, width: int, rng: random.Random
+) -> dict[str, BitVec]:
+    """Independent uniform random bit-vectors for every primary input."""
+    return {name: BitVec.random(width, rng) for name in network.inputs}
+
+
+def exhaustive_pi_vectors(
+    network: BooleanNetwork,
+) -> tuple[dict[str, BitVec], int]:
+    """PI vectors enumerating *all* input combinations (small #PI only).
+
+    Returns the vectors and the width ``2**num_inputs``: bit *k* of input
+    *i* is bit *i* of the integer *k*, so the simulation sweeps the full
+    truth table in one pass.  Input *i*'s vector is exactly the packed
+    variable column of the truth-table substrate.
+    """
+    n = len(network.inputs)
+    vecs = {
+        name: bitset.variable_column(i, n)
+        for i, name in enumerate(network.inputs)
+    }
+    return vecs, 1 << n
+
+
+# ----------------------------------------------------------------------
+# Integer-word compatibility layer
+# ----------------------------------------------------------------------
 def eval_function_words(
     function: BooleanFunction, words: Mapping[str, int], mask: int
 ) -> int:
-    """Evaluate an SOP function over bit-vector words."""
-    result = 0
-    for cube in function.cover.cubes:
-        term = mask
-        for var, phase in cube.literals():
-            value = words[function.variables[var]]
-            term &= value if phase else (~value & mask)
-            if not term:
-                break
-        result |= term
-        if result == mask:
-            break
-    return result
+    """Evaluate an SOP function over integer bit-vector words."""
+    width = mask.bit_length()
+    vecs = {
+        name: BitVec.from_int(words[name], width)
+        for name in function.variables
+    }
+    return eval_function_vectors(function, vecs, width).to_int()
 
 
 def simulate_words(
     network: BooleanNetwork, pi_words: Mapping[str, int], width: int
 ) -> dict[str, int]:
-    """Simulate every signal over ``width`` parallel vectors."""
+    """Simulate every signal over ``width`` parallel vectors (int words)."""
     mask = (1 << width) - 1
-    words: dict[str, int] = {}
-    for name in network.inputs:
-        words[name] = pi_words[name] & mask
-    for node in network.topological_order():
-        words[node] = eval_function_words(network.function(node), words, mask)
-    return words
+    pi_vecs = {
+        name: BitVec.from_int(pi_words[name] & mask, width)
+        for name in network.inputs
+    }
+    vecs = simulate_vectors(network, pi_vecs, width)
+    return {name: vec.to_int() for name, vec in vecs.items()}
 
 
 def random_pi_words(
@@ -56,29 +109,14 @@ def random_pi_words(
 
 
 def exhaustive_pi_words(network: BooleanNetwork) -> tuple[dict[str, int], int]:
-    """PI words enumerating *all* input combinations (use when #PI is small).
-
-    Returns the words and the width ``2**num_inputs``: bit *k* of input *i*
-    is bit *i* of the integer *k*, so the simulation sweeps the full truth
-    table in one pass.
-    """
-    n = len(network.inputs)
-    width = 1 << n
-    words: dict[str, int] = {}
-    for i, name in enumerate(network.inputs):
-        # Pattern for input i: blocks of 2**i ones alternating with zeros.
-        block = (1 << (1 << i)) - 1  # 2**i ones
-        word = 0
-        period = 1 << (i + 1)
-        for start in range(1 << i, width, period):
-            word |= block << start
-        words[name] = word
-    return words, width
+    """PI words enumerating *all* input combinations (use when #PI is small)."""
+    vecs, width = exhaustive_pi_vectors(network)
+    return {name: vec.to_int() for name, vec in vecs.items()}, width
 
 
-EXHAUSTIVE_LIMIT = 14  # 2**14 = 16384 vectors: cheap, exact
-
-
+# ----------------------------------------------------------------------
+# Equivalence / signatures
+# ----------------------------------------------------------------------
 def equivalent_networks(
     a: BooleanNetwork,
     b: BooleanNetwork,
@@ -97,14 +135,14 @@ def equivalent_networks(
     if list(a.outputs) != list(b.outputs):
         return False
     if len(a.inputs) <= exhaustive_limit:
-        words, width = exhaustive_pi_words(a)
+        vecs, width = exhaustive_pi_vectors(a)
     else:
         rng = random.Random(seed)
         width = vectors
-        words = random_pi_words(a, width, rng)
-    wa = simulate_words(a, words, width)
-    wb = simulate_words(b, words, width)
-    return all(wa[o] == wb[o] for o in a.outputs)
+        vecs = random_pi_vectors(a, width, rng)
+    va = simulate_vectors(a, vecs, width)
+    vb = simulate_vectors(b, vecs, width)
+    return all(va[o] == vb[o] for o in a.outputs)
 
 
 def output_signatures(
@@ -112,6 +150,6 @@ def output_signatures(
 ) -> dict[str, int]:
     """Random-simulation signatures of the primary outputs (for hashing)."""
     rng = random.Random(seed)
-    words = random_pi_words(network, vectors, rng)
-    sim = simulate_words(network, words, vectors)
-    return {o: sim[o] for o in network.outputs}
+    vecs = random_pi_vectors(network, vectors, rng)
+    sim = simulate_vectors(network, vecs, vectors)
+    return {o: sim[o].to_int() for o in network.outputs}

@@ -1,0 +1,221 @@
+"""Differential suite: packed bitset kernels vs legacy cube semantics.
+
+Every packed kernel must agree bit-for-bit with the per-cube / per-point
+definitions it replaced, on both backends (numpy word arrays and the pure
+Python int fallback).  Property-based inputs come from the same cover
+strategy the boolean substrate's other property tests use.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean import bitset
+from repro.boolean.bitset import BitVec
+from repro.boolean.cover import Cover, _count_minterms, _is_tautology
+from repro.boolean.cube import Cube
+
+needs_numpy = pytest.mark.skipif(
+    not bitset._numpy_available(), reason="numpy not installed"
+)
+BACKENDS = (pytest.param("numpy", marks=needs_numpy), "python")
+
+
+@st.composite
+def covers(draw, max_vars: int = 6, max_cubes: int = 6):
+    nvars = draw(st.integers(min_value=1, max_value=max_vars))
+    rows = draw(
+        st.lists(
+            st.text(alphabet="01-", min_size=nvars, max_size=nvars),
+            min_size=0,
+            max_size=max_cubes,
+        )
+    )
+    return Cover.from_strings(rows) if rows else Cover.zero(nvars)
+
+
+def legacy_truth_table(cover: Cover) -> list[int]:
+    """The pre-substrate definition: a per-cube loop at every point."""
+    return [
+        int(any(cube.evaluate(p) for cube in cover.cubes))
+        for p in range(1 << cover.nvars)
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(cover=covers())
+@settings(max_examples=60, deadline=None)
+def test_cover_table_matches_legacy_evaluation(backend, cover):
+    with bitset.force_backend(backend):
+        table = bitset.cover_table(cover)
+        assert table.to_bits() == legacy_truth_table(cover)
+        assert table.count() == sum(legacy_truth_table(cover))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(cover=covers(), var=st.integers(min_value=0, max_value=5),
+       value=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_cofactor_table_matches_restrict(backend, cover, var, value):
+    var = var % cover.nvars
+    with bitset.force_backend(backend):
+        table = bitset.cover_table(cover)
+        packed = bitset.cofactor_table(table, cover.nvars, var, value)
+        assert packed.to_bits() == legacy_truth_table(
+            cover.restrict(var, value)
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(cover=covers())
+@settings(max_examples=60, deadline=None)
+def test_tautology_matches_unate_recursion(backend, cover):
+    with bitset.force_backend(backend):
+        table = bitset.cover_table(cover)
+        assert bitset.table_is_tautology(table) == _is_tautology(
+            cover.canonical_key()
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(a=covers(max_vars=4), b=covers(max_vars=4))
+@settings(max_examples=60, deadline=None)
+def test_xor_matches_cover_xor(backend, a, b):
+    nvars = max(a.nvars, b.nvars)
+    a = Cover([Cube(c.pos, c.neg, nvars) for c in a.cubes], nvars)
+    b = Cover([Cube(c.pos, c.neg, nvars) for c in b.cubes], nvars)
+    with bitset.force_backend(backend):
+        packed = bitset.cover_table(a) ^ bitset.cover_table(b)
+        assert packed.to_bits() == legacy_truth_table(a.xor(b))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(cover=covers())
+@settings(max_examples=60, deadline=None)
+def test_chow_matches_restricted_minterm_counts(backend, cover):
+    with bitset.force_backend(backend):
+        table = bitset.cover_table(cover)
+        chow = bitset.chow_from_table(
+            table, cover.nvars, cover.support_vars()
+        )
+    for var, value in chow.items():
+        legacy = _count_minterms(cover.restrict(var, True).canonical_key())
+        assert value == legacy
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    weights=st.lists(
+        st.integers(min_value=-7, max_value=7), min_size=0, max_size=8
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_weighted_sums_match_pointwise(backend, weights):
+    with bitset.force_backend(backend):
+        sums = [int(s) for s in bitset.weighted_sums(weights)]
+    expected = [
+        sum(w for i, w in enumerate(weights) if (p >> i) & 1)
+        for p in range(1 << len(weights))
+    ]
+    assert sums == expected
+
+
+@needs_numpy
+@given(cover=covers())
+@settings(max_examples=40, deadline=None)
+def test_backends_agree_bit_for_bit(cover):
+    with bitset.force_backend("numpy"):
+        via_numpy = bitset.cover_table(cover).to_int()
+    with bitset.force_backend("python"):
+        via_python = bitset.cover_table(cover).to_int()
+    assert via_numpy == via_python
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(cover=covers(max_vars=4), var=st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_smooth_matches_cover_smooth(backend, cover, var):
+    var = var % cover.nvars
+    with bitset.force_backend(backend):
+        table = bitset.cover_table(cover)
+        packed = bitset.smooth_table(table, cover.nvars, var)
+        assert packed.to_bits() == legacy_truth_table(cover.smooth(var))
+
+
+class TestBitVecBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_roundtrip_and_algebra(self, backend):
+        with bitset.force_backend(backend):
+            a = BitVec.from_int(0b1011_0101, 8)
+            b = BitVec.from_int(0b0110_0110, 8)
+            assert (a & b).to_int() == 0b0010_0100
+            assert (a | b).to_int() == 0b1111_0111
+            assert (a ^ b).to_int() == 0b1101_0011
+            assert a.andnot(b).to_int() == 0b1001_0001
+            assert a.invert().to_int() == 0b0100_1010
+            assert a.count() == 5
+            assert a.test(0) and not a.test(1)
+            assert BitVec.from_bits(a.to_bits()) == a
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_wide_vectors(self, backend):
+        # Cross the single-word boundary: 200 bits spans four words.
+        with bitset.force_backend(backend):
+            value = (1 << 199) | (1 << 64) | 1
+            v = BitVec.from_int(value, 200)
+            assert v.to_int() == value
+            assert v.count() == 3
+            assert v.invert().count() == 197
+            assert not v.is_zero() and not v.is_ones()
+            assert BitVec.ones(200).is_ones()
+
+    def test_variable_column_is_cached_per_backend(self):
+        with bitset.force_backend("python"):
+            first = bitset.variable_column(2, 4)
+            again = bitset.variable_column(2, 4)
+            assert first is again
+
+
+class TestCoverMemoization:
+    def test_construction_dedupes_exact_cubes(self):
+        cube = Cube.from_string("1-0")
+        cover = Cover([cube, cube, Cube.from_string("01-"), cube], 3)
+        assert cover.num_cubes == 2
+
+    def test_truth_table_memoized_on_instance(self):
+        cover = Cover.from_strings(["1-0", "01-"])
+        first = cover.packed_table()
+        assert cover.packed_table() is first
+        # truth_table() hands out fresh lists: mutation must not leak back.
+        bits = cover.truth_table()
+        bits[0] ^= 1
+        assert cover.truth_table() != bits
+
+    def test_canonical_key_and_scc_memoized(self):
+        cover = Cover.from_strings(["1--", "11-", "0-1"])
+        assert cover.canonical_key() is cover.canonical_key()
+        reduced = cover.scc()
+        assert cover.scc() is reduced
+        # The SCC form knows it is already reduced.
+        assert reduced.scc() is reduced
+
+    def test_cached_properties_match_recomputation(self):
+        cover = Cover.from_strings(["1-0", "01-", "-11"])
+        assert cover.num_literals == sum(
+            c.num_literals for c in cover.cubes
+        )
+        expected = 0
+        for c in cover.cubes:
+            expected |= c.support
+        assert cover.support == expected
+
+    def test_pickle_drops_caches_but_preserves_value(self):
+        import pickle
+
+        cover = Cover.from_strings(["1-0", "01-"])
+        cover.packed_table()
+        clone = pickle.loads(pickle.dumps(cover))
+        assert clone == cover
+        assert clone.truth_table() == cover.truth_table()
