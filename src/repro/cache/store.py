@@ -12,6 +12,11 @@ Design points:
   entries in one buffered write to an append-mode handle, so concurrent
   writers (parallel suite benchmarks) interleave whole batches; a torn
   line from a crash is skipped by the corruption-tolerant loader.
+* **single-writer locking** — every file mutation (flush append,
+  compaction, clear) is serialized through an instance lock *and* an
+  advisory ``cache.jsonl.lock`` flock, so the daemon's concurrent job
+  threads — or two processes sharing one cache directory — cannot
+  interleave partial journal appends or race a compaction rename.
 * **journal/merge semantics** — new entries accumulate in a dirty journal;
   the engine's process-pool workers hold read-only copies (pickling a
   cache drops its journal and write permission), journal through the
@@ -35,15 +40,22 @@ Design points:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.canonical import CANONICAL_FINGERPRINT
 from repro.faults.injector import get_injector
 from repro.faults.retry import RetryPolicy, retry_call
+
+try:  # advisory inter-process locking (POSIX only; see _advisory_lock)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 logger = logging.getLogger("repro.cache")
 
@@ -135,8 +147,37 @@ class PersistentCache:
         self._entries: dict[str, list[int] | None] = {}
         self._dirty: dict[str, list[int] | None] = {}
         self._needs_rewrite = False
+        self._lock = threading.RLock()
         self.file_stats = CacheFileStats(path=str(self.path))
         self._load()
+
+    @contextlib.contextmanager
+    def _advisory_lock(self):
+        """Exclusive inter-process flock on ``<cache>.lock`` (best effort).
+
+        The instance lock serializes this process's threads; the flock
+        extends the single-writer guarantee across processes sharing one
+        cache directory.  Platforms without :mod:`fcntl` (and unopenable
+        lock files) degrade to the instance lock alone.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        try:
+            handle = open(lock_path, "a")
+        except OSError:
+            yield
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            handle.close()
 
     # -- loading -------------------------------------------------------
     def _header(self) -> dict:
@@ -205,12 +246,13 @@ class PersistentCache:
 
     def put(self, key: str, values: list[int] | None) -> bool:
         """Install an entry; journals it for the next flush. False if known."""
-        if key in self._entries:
-            return False
-        self._entries[key] = values
-        if not self.read_only:
-            self._dirty[key] = values
-        return True
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = values
+            if not self.read_only:
+                self._dirty[key] = values
+            return True
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -229,31 +271,48 @@ class PersistentCache:
         return json.dumps({"k": key, "v": values}, separators=(",", ":"))
 
     def flush(self) -> int:
-        """Append journaled entries to disk; returns lines written."""
-        if self.read_only or (not self._dirty and not self._needs_rewrite):
-            return 0
-        if self._needs_rewrite or not self.path.exists():
-            return len(self._entries) if self.compact() else 0
-        lines = [self._encode(k, v) for k, v in self._dirty.items()]
-        payload = "".join(line + "\n" for line in lines)
-        # A torn trailing line (chaos: what a crash mid-append leaves
-        # behind) exercises the loader's corruption tolerance.
-        payload += self._chaos_torn_line("flush")
+        """Append journaled entries to disk; returns lines written.
 
-        def _append(attempt: int) -> None:
-            self._chaos_write_fault("flush", attempt)
-            with open(self.path, "a") as handle:
-                handle.write(payload)
-
-        try:
-            retry_call(
-                _append, _IO_RETRY, retryable=(OSError,), key=str(self.path)
-            )
-        except OSError as exc:
-            logger.warning("cache %s flush failed (%s)", self.path, exc)
+        Thread- and process-safe: the instance lock serializes journal
+        swaps among this process's threads, and the advisory flock keeps
+        a concurrent writer in another process from interleaving bytes
+        inside our batch.
+        """
+        if self.read_only:
             return 0
-        self._dirty.clear()
-        return len(lines)
+        with self._lock:
+            if not self._dirty and not self._needs_rewrite:
+                return 0
+            if self._needs_rewrite or not self.path.exists():
+                return len(self._entries) if self._compact_locked() else 0
+            dirty, self._dirty = self._dirty, {}
+            lines = [self._encode(k, v) for k, v in dirty.items()]
+            payload = "".join(line + "\n" for line in lines)
+            # A torn trailing line (chaos: what a crash mid-append leaves
+            # behind) exercises the loader's corruption tolerance.
+            payload += self._chaos_torn_line("flush")
+
+            def _append(attempt: int) -> None:
+                self._chaos_write_fault("flush", attempt)
+                with open(self.path, "a") as handle:
+                    handle.write(payload)
+
+            try:
+                with self._advisory_lock():
+                    retry_call(
+                        _append,
+                        _IO_RETRY,
+                        retryable=(OSError,),
+                        key=str(self.path),
+                    )
+            except OSError as exc:
+                logger.warning("cache %s flush failed (%s)", self.path, exc)
+                # Keep the batch journaled for a later flush; entries are
+                # content-addressed, so merge order is irrelevant.
+                dirty.update(self._dirty)
+                self._dirty = dirty
+                return 0
+            return len(lines)
 
     def compact(self) -> bool:
         """Crash-safely rewrite the file: header + deduplicated entries.
@@ -267,6 +326,10 @@ class PersistentCache:
         """
         if self.read_only:
             return False
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> bool:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         lines = [json.dumps(self._header())]
@@ -283,9 +346,10 @@ class PersistentCache:
             _fsync_dir(self.path.parent)
 
         try:
-            retry_call(
-                _rewrite, _IO_RETRY, retryable=(OSError,), key=str(tmp)
-            )
+            with self._advisory_lock():
+                retry_call(
+                    _rewrite, _IO_RETRY, retryable=(OSError,), key=str(tmp)
+                )
         except OSError as exc:
             logger.warning("cache %s compaction failed (%s)", self.path, exc)
             return False
@@ -317,23 +381,28 @@ class PersistentCache:
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""
-        self._entries.clear()
-        self._dirty.clear()
-        self._needs_rewrite = False
-        if not self.read_only:
-            try:
-                self.path.unlink(missing_ok=True)
-            except OSError as exc:
-                logger.warning("cache %s clear failed (%s)", self.path, exc)
+        with self._lock:
+            self._entries.clear()
+            self._dirty.clear()
+            self._needs_rewrite = False
+            if not self.read_only:
+                try:
+                    with self._advisory_lock():
+                        self.path.unlink(missing_ok=True)
+                except OSError as exc:
+                    logger.warning(
+                        "cache %s clear failed (%s)", self.path, exc
+                    )
 
     # -- worker shipping -----------------------------------------------
     def __getstate__(self) -> dict:
         """Pickle as a read-only snapshot: workers look up, never write."""
-        return {
-            "path": str(self.path),
-            "fingerprint": self.fingerprint,
-            "entries": self._entries,
-        }
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "fingerprint": self.fingerprint,
+                "entries": dict(self._entries),
+            }
 
     def __setstate__(self, state: dict) -> None:
         self.path = Path(state["path"])
@@ -342,6 +411,7 @@ class PersistentCache:
         self._entries = state["entries"]
         self._dirty = {}
         self._needs_rewrite = False
+        self._lock = threading.RLock()
         self.file_stats = CacheFileStats(
             entries=len(self._entries), path=str(self.path)
         )

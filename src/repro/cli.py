@@ -22,6 +22,7 @@ Extras for the reproduction:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.benchgen.mcnc import benchmark_names
@@ -189,11 +190,46 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.errors import SynthesisCancelled
+
     network = read_blif(args.file)
     prepared = prepare_tels(network)
-    threshold_net, report = synthesize_with_report(
-        prepared, _options(args), jobs=_jobs(args), cache_dir=_cache_dir(args)
-    )
+    # Ctrl-C cancels cooperatively: the first SIGINT sets the flag, the
+    # scheduler stops between cones and reaps its pool workers (a second
+    # Ctrl-C falls through to the default handler and kills the process).
+    cancel = threading.Event()
+
+    def _on_sigint(signum, frame):
+        if cancel.is_set():
+            raise KeyboardInterrupt
+        cancel.set()
+        print(
+            "tels synth: interrupt received, stopping between cones "
+            "(Ctrl-C again to kill)",
+            file=sys.stderr,
+        )
+
+    try:
+        previous = signal.signal(signal.SIGINT, _on_sigint)
+    except ValueError:  # not the main thread (embedded use): no handler
+        previous = None
+    try:
+        threshold_net, report = synthesize_with_report(
+            prepared,
+            _options(args),
+            jobs=_jobs(args),
+            cache_dir=_cache_dir(args),
+            cancel=cancel,
+        )
+    except SynthesisCancelled as exc:
+        print(f"tels synth: {exc}", file=sys.stderr)
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
     ok = verify_threshold_network(network, threshold_net)
     stats = network_stats(threshold_net)
     print(f"TELS: {stats} verified={ok}")
@@ -574,6 +610,138 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.serve.app import ServeApp
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        cache_dir=_cache_dir(args),
+        journal_dir=args.journal,
+        max_workers=args.max_workers,
+        queue_limit=args.queue_limit,
+    )
+    print(f"tels serve listening on {app.url}")
+    if app.manager.journal is not None:
+        print(f"jobs journal: {app.manager.journal.path}")
+    try:
+        app.serve_forever()
+    except KeyboardInterrupt:
+        print("tels serve: shutting down", file=sys.stderr)
+    finally:
+        app.shutdown()
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.serve.client import TelsClient
+
+    return TelsClient(base_url=args.url)
+
+
+def _api_options(args: argparse.Namespace) -> dict:
+    """Synthesis flags as a job-API options dict (defaults elided)."""
+    options = {
+        "psi": args.psi,
+        "delta_on": args.delta_on,
+        "delta_off": args.delta_off,
+        "seed": args.seed,
+        "backend": args.ilp_backend,
+        "gate_model": getattr(args, "gate_model", "ltg"),
+        "use_fastpath": not args.no_fastpath,
+        "use_presolve": not args.no_presolve,
+        "lint": not getattr(args, "no_lint", False),
+        "deadline_per_cone_s": getattr(args, "deadline_per_cone", None),
+        "deadline_total_s": getattr(args, "deadline_total", None),
+        "max_attempts": getattr(args, "max_attempts", 3),
+        "strict_synthesis": getattr(args, "strict_synthesis", False),
+    }
+    return {k: v for k, v in options.items() if v is not None}
+
+
+def _print_snapshot(snapshot: dict) -> None:
+    print(json.dumps(snapshot, indent=2))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    client = _client(args)
+    blif = Path(args.file).read_text()
+    name = args.name or Path(args.file).stem
+    snapshot = client.submit(
+        blif,
+        name=name,
+        options=_api_options(args),
+        jobs=_jobs(args),
+        use_cache=not args.no_cache,
+    )
+    job_id = snapshot["id"]
+    if not args.wait:
+        print(job_id)
+        return 0
+    print(f"submitted {job_id} ({name}); waiting", file=sys.stderr)
+    final = client.wait(job_id, timeout=args.timeout)
+    _print_snapshot(final)
+    if final["state"] != "done":
+        return 1
+    summary = final.get("summary") or {}
+    ok = bool(summary.get("verified"))
+    lint_clean = summary.get("lint_clean")
+    return 0 if ok and lint_clean in (True, None) else 1
+
+
+def cmd_status_job(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.job_id:
+        _print_snapshot(client.status(args.job_id))
+    else:
+        _print_snapshot({"jobs": client.jobs()})
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    client = _client(args)
+    result = client.result(args.job_id, fmt=args.format)
+    text = (
+        result
+        if isinstance(result, str)
+        else json.dumps(result, indent=2) + "\n"
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    client = _client(args)
+    for event in client.events(args.job_id, since=args.since):
+        print(json.dumps(event, separators=(",", ":")), flush=True)
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    client = _client(args)
+    _print_snapshot(client.cancel(args.job_id))
+    return 0
+
+
+def cmd_daemon_stats(args: argparse.Namespace) -> int:
+    _print_snapshot(_client(args).stats())
+    return 0
+
+
 def cmd_enumerate(args: argparse.Namespace) -> int:
     from repro.experiments.enumeration import (
         PAPER_COUNTS,
@@ -784,6 +952,102 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("enumerate", help="Section VI-B function counts")
     p.add_argument("nvars", type=int, choices=range(1, 6))
     p.set_defaults(func=cmd_enumerate)
+
+    def _add_url_arg(client_parser: argparse.ArgumentParser) -> None:
+        client_parser.add_argument(
+            "--url",
+            default=None,
+            help="daemon base URL (default: $TELS_SERVE_URL or "
+            "http://127.0.0.1:8765)",
+        )
+
+    p = sub.add_parser(
+        "serve", help="run the synthesis-as-a-service HTTP daemon"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=2,
+        help="concurrent synthesis worker threads",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="jobs-journal directory: accepted jobs survive a daemon "
+        "restart (omit for in-memory jobs only)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="pending-job bound before submissions get 503",
+    )
+    p.add_argument("--verbose", action="store_true", help="debug logging")
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a BLIF circuit to a running daemon"
+    )
+    p.add_argument("file")
+    p.add_argument("--name", default=None, help="model name (default: stem)")
+    _add_url_arg(p)
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job is terminal and print its snapshot",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait limit in seconds",
+    )
+    _add_synthesis_args(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="show one job (or all jobs) on the daemon"
+    )
+    p.add_argument("job_id", nargs="?", default=None)
+    _add_url_arg(p)
+    p.set_defaults(func=cmd_status_job)
+
+    p = sub.add_parser("result", help="fetch a finished job's result")
+    p.add_argument("job_id")
+    p.add_argument(
+        "--format",
+        choices=("json", "thblif", "sarif"),
+        default="json",
+        help="full report, the synthesized network, or the lint log",
+    )
+    p.add_argument("-o", "--output", help="write the result here")
+    _add_url_arg(p)
+    p.set_defaults(func=cmd_result)
+
+    p = sub.add_parser(
+        "events", help="stream a job's progress events as NDJSON"
+    )
+    p.add_argument("job_id")
+    p.add_argument(
+        "--since", type=int, default=0, help="resume after event N-1"
+    )
+    _add_url_arg(p)
+    p.set_defaults(func=cmd_events)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job_id")
+    _add_url_arg(p)
+    p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser(
+        "daemon-stats", help="queue depth and cache hit rates of the daemon"
+    )
+    _add_url_arg(p)
+    p.set_defaults(func=cmd_daemon_stats)
 
     return parser
 

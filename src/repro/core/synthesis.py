@@ -181,6 +181,8 @@ def synthesize(
     jobs: int = 1,
     store: "ResultStore | None" = None,
     cache_dir: str | None = None,
+    on_event=None,
+    cancel=None,
 ) -> ThresholdNetwork:
     """Run TELS on an (ideally algebraically-factored) Boolean network.
 
@@ -195,11 +197,22 @@ def synthesize(
         cache_dir: directory of the persistent NP-canonical synthesis cache
             (ignored when ``store`` is given — attach the cache to the
             store instead).
+        on_event: optional structured-progress listener (see
+            :func:`repro.engine.scheduler.run_synthesis`).
+        cancel: optional cooperative cancellation flag checked between
+            cones; when set the run raises
+            :class:`~repro.errors.SynthesisCancelled`.
     """
     from repro.engine.scheduler import run_synthesis
 
     return run_synthesis(
-        network, options, jobs=jobs, store=store, cache_dir=cache_dir
+        network,
+        options,
+        jobs=jobs,
+        store=store,
+        cache_dir=cache_dir,
+        on_event=on_event,
+        cancel=cancel,
     ).network
 
 
@@ -209,11 +222,19 @@ def synthesize_with_report(
     jobs: int = 1,
     store: "ResultStore | None" = None,
     cache_dir: str | None = None,
+    on_event=None,
+    cancel=None,
 ) -> tuple[ThresholdNetwork, SynthesisReport]:
     """Like :func:`synthesize` but also returns run statistics."""
     from repro.engine.scheduler import run_synthesis
 
     result = run_synthesis(
-        network, options, jobs=jobs, store=store, cache_dir=cache_dir
+        network,
+        options,
+        jobs=jobs,
+        store=store,
+        cache_dir=cache_dir,
+        on_event=on_event,
+        cancel=cancel,
     )
     return result.network, result.report

@@ -45,7 +45,7 @@ from repro.engine.tasks import (
     plan_initial_tasks,
     preserved_set,
 )
-from repro.errors import SynthesisError
+from repro.errors import SynthesisCancelled, SynthesisError
 from repro.faults.injector import get_injector
 from repro.network.network import BooleanNetwork
 
@@ -66,6 +66,8 @@ def run_synthesis(
     jobs: int = 1,
     store: ResultStore | None = None,
     cache_dir: str | None = None,
+    on_event=None,
+    cancel=None,
 ) -> EngineResult:
     """Synthesize ``network`` with the pass-based engine.
 
@@ -78,6 +80,18 @@ def run_synthesis(
         cache_dir: directory of the persistent NP-canonical cache; ignored
             when ``store`` is given (attach the cache to the store instead).
             New solves are flushed back to disk when the run completes.
+        on_event: optional callable receiving structured progress events as
+            plain dicts — one ``{"event": "phase", ...}`` per pass of every
+            finished cone (from :meth:`TaskMetrics.events`), a
+            ``"task-done"`` row with completion counts per cone, and a
+            ``"task-degraded"`` marker per fallback.  A listener exception
+            disables further delivery but never fails the run; the daemon
+            (``repro.serve``) taps this for live job streaming.
+        cancel: optional cooperative cancellation flag (anything with an
+            ``is_set()`` method, e.g. :class:`threading.Event`).  The flag
+            is checked between cones; when observed set the executor is
+            closed — in-flight cones are cancelled, pool workers reaped —
+            and :class:`~repro.errors.SynthesisCancelled` is raised.
     """
     from repro.core.synthesis import SynthesisOptions, SynthesisReport
 
@@ -111,10 +125,40 @@ def run_synthesis(
     results: dict[str, TaskResult] = {}
     crashes: dict[str, int] = {}
     degraded_records: list[DegradedCone] = []
+    listener = on_event
+
+    def _emit(payload: dict) -> None:
+        nonlocal listener
+        if listener is None:
+            return
+        try:
+            listener(payload)
+        except Exception:
+            listener = None  # a broken listener must never fail the run
 
     def _register(result: TaskResult, submit_new: bool = True) -> None:
         results[result.task_id] = result
         trace.add(result.metrics)
+        for event in result.metrics.events():
+            _emit(
+                {
+                    "event": "phase",
+                    "task_id": event.task_id,
+                    "phase": event.phase,
+                    "seconds": round(event.seconds, 6),
+                    "detail": event.detail,
+                }
+            )
+        _emit(
+            {
+                "event": "task-done",
+                "task_id": result.task_id,
+                "gates": result.metrics.gates_emitted,
+                "degraded": result.metrics.degraded,
+                "completed": len(results),
+                "scheduled": len(tasks),
+            }
+        )
         if result.store_delta is not None:
             store.merge(result.store_delta)
         for root in result.discovered:
@@ -151,6 +195,7 @@ def run_synthesis(
             DegradedCone(task_id, reason, attempts, detail)
         )
         trace.degraded.append((task_id, reason))
+        _emit({"event": "task-degraded", "task_id": task_id, "reason": reason})
         _register(
             TaskResult(
                 task_id=task_id,
@@ -206,6 +251,14 @@ def run_synthesis(
             tasks[task.task_id] = task
             executor.submit(task)
         while len(results) < len(tasks):
+            if cancel is not None and cancel.is_set():
+                # Cooperative cancellation: observed only between cones, so
+                # the executor teardown in the ``finally`` below reaps every
+                # pool worker and nothing is left running detached.
+                raise SynthesisCancelled(
+                    f"cancelled with {len(tasks) - len(results)} of "
+                    f"{len(tasks)} cones unfinished"
+                )
             if total_deadline is not None and total_deadline.expired:
                 # Whole-run budget exhausted: every unfinished cone —
                 # including roots the fallbacks themselves discover —
@@ -226,6 +279,11 @@ def run_synthesis(
                     _register(result)
             for failure in failures:
                 _handle_failure(failure)
+    except SynthesisCancelled:
+        # A cancelled run still banks its work: everything solved so far
+        # goes to the persistent tier for the next submission to reuse.
+        store.flush_persistent()
+        raise
     finally:
         executor.close()
     trace.wall_s = time.perf_counter() - started

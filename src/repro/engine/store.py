@@ -28,6 +28,7 @@ persistent journal; :meth:`ResultStore.flush_persistent` writes it out.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields, replace
 
 from repro.boolean.cover import Cover
@@ -155,6 +156,11 @@ class ResultStore:
         self._journal: StoreDelta | None = None
         self.persistent = persistent
         self._canonical_memo: dict[tuple, tuple] = {}
+        # Serializes multi-step mutations (persistent lookups/installs,
+        # journal merges, snapshots) when the daemon's job threads share
+        # one store.  Plain dict reads stay lock-free: they are GIL-atomic
+        # and the entries are immutable once installed.
+        self._lock = threading.RLock()
 
     @classmethod
     def with_cache_dir(cls, cache_dir) -> "ResultStore":
@@ -171,22 +177,24 @@ class ResultStore:
             self.stats.vector_hits += 1
             return found
         if self.persistent is not None:
-            found = self._persistent_lookup(key)
-            if found is not _MISSING:
-                self.stats.vector_hits += 1
-                self._vectors[key] = found
-                if self._journal is not None:
-                    self._journal.vectors[key] = found
-                return found
+            with self._lock:
+                found = self._persistent_lookup(key)
+                if found is not _MISSING:
+                    self.stats.vector_hits += 1
+                    self._vectors[key] = found
+                    if self._journal is not None:
+                        self._journal.vectors[key] = found
+                    return found
         self.stats.vector_misses += 1
         return _MISSING
 
     def put_vector(self, key: tuple, vector: GateVector | None) -> None:
-        self._vectors[key] = vector
-        if self._journal is not None:
-            self._journal.vectors[key] = vector
-        if self.persistent is not None:
-            self._persistent_put(key, vector)
+        with self._lock:
+            self._vectors[key] = vector
+            if self._journal is not None:
+                self._journal.vectors[key] = vector
+            if self.persistent is not None:
+                self._persistent_put(key, vector)
 
     # -- persistent tier -----------------------------------------------
     @staticmethod
@@ -326,9 +334,10 @@ class ResultStore:
         return found
 
     def put_analysis(self, key: tuple, analysis: CoverAnalysis | None) -> None:
-        self._analyses[key] = analysis
-        if self._journal is not None:
-            self._journal.analyses[key] = analysis
+        with self._lock:
+            self._analyses[key] = analysis
+            if self._journal is not None:
+                self._journal.analyses[key] = analysis
 
     @staticmethod
     def is_miss(value) -> bool:
@@ -353,21 +362,23 @@ class ResultStore:
         workers hold read-only cache snapshots.
         """
         added = 0
-        for key, vector in delta.vectors.items():
-            if key not in self._vectors:
-                self._vectors[key] = vector
-                added += 1
-                if self.persistent is not None:
-                    self._persistent_put(key, vector)
-        for key, analysis in delta.analyses.items():
-            if key not in self._analyses:
-                self._analyses[key] = analysis
-                added += 1
+        with self._lock:
+            for key, vector in delta.vectors.items():
+                if key not in self._vectors:
+                    self._vectors[key] = vector
+                    added += 1
+                    if self.persistent is not None:
+                        self._persistent_put(key, vector)
+            for key, analysis in delta.analyses.items():
+                if key not in self._analyses:
+                    self._analyses[key] = analysis
+                    added += 1
         return added
 
     def export(self) -> StoreDelta:
         """A full snapshot, for seeding worker processes."""
-        return StoreDelta(dict(self._vectors), dict(self._analyses))
+        with self._lock:
+            return StoreDelta(dict(self._vectors), dict(self._analyses))
 
     # -- introspection -------------------------------------------------
     @property

@@ -54,6 +54,15 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class SynthesisCancelled(ReproError):
+    """Raised when a run's cooperative cancellation flag is observed set.
+
+    The scheduler checks the flag between cones, so cancellation always
+    leaves the executor cleanly closed — no orphaned pool workers — and
+    every already-solved vector is still flushed to the persistent cache.
+    """
+
+
 class TransientError(ReproError):
     """A failure worth retrying: cache I/O hiccup, injected chaos fault,
     or a solver backend error that is not a property of the model."""

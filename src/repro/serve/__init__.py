@@ -1,0 +1,50 @@
+"""Synthesis-as-a-service: the ``tels serve`` daemon and its client.
+
+Layers, bottom to top (see docs/SERVE.md):
+
+* :mod:`repro.serve.schemas` — wire schemas: request validation, the
+  result rendering of a :class:`~repro.core.synthesis.SynthesisReport`,
+  and :class:`ApiError` (structured non-2xx payloads).
+* :mod:`repro.serve.journal` — the crash-tolerant JSON-lines jobs journal
+  (same idiom as the persistent synthesis cache).
+* :mod:`repro.serve.jobs` — :class:`JobManager`: bounded worker pool over
+  the engine, a shared multi-tenant :class:`~repro.engine.store.ResultStore`,
+  per-job event logs, cooperative cancellation, journal recovery.
+* :mod:`repro.serve.sse` — NDJSON / SSE event-stream encodings.
+* :mod:`repro.serve.app` — :class:`ServeApp`: the ThreadingHTTPServer
+  routing layer.
+* :mod:`repro.serve.client` — :class:`TelsClient`: the urllib client the
+  ``tels submit/status/result/events/cancel`` subcommands drive.
+
+Kept import-light: submodules resolve lazily so ``import repro.serve``
+never drags in the HTTP stack (or the engine) for library users.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "JobJournal",
+    "JobManager",
+    "ServeApp",
+    "ServeClientError",
+    "TelsClient",
+]
+
+_LAZY = {
+    "ApiError": "repro.serve.schemas",
+    "JobJournal": "repro.serve.journal",
+    "JobManager": "repro.serve.jobs",
+    "ServeApp": "repro.serve.app",
+    "ServeClientError": "repro.serve.client",
+    "TelsClient": "repro.serve.client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

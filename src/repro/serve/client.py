@@ -1,0 +1,151 @@
+"""A stdlib (urllib) client for the ``tels serve`` job API.
+
+Backs the ``tels submit/status/result/events/cancel`` subcommands and the
+test suite; importable as a library for scripted submission.  Errors come
+back as :class:`ServeClientError` carrying the daemon's structured payload
+(``{"error": {"code", "message", ...}}``) plus the HTTP status, so callers
+can distinguish a 400 (bad circuit) from a 404 (unknown job) from a 503
+(queue full) without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from repro.errors import ReproError
+
+#: Default daemon address; overridden by --url or $TELS_SERVE_URL.
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+def resolve_url(explicit: str | None = None) -> str:
+    """The daemon base URL from an explicit flag, the environment, or default."""
+    return (
+        explicit or os.environ.get("TELS_SERVE_URL") or DEFAULT_URL
+    ).rstrip("/")
+
+
+class ServeClientError(ReproError):
+    """A non-2xx API response (or an unreachable daemon)."""
+
+    def __init__(self, message: str, status: int = 0, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def code(self) -> str:
+        return self.payload.get("error", {}).get("code", "unknown")
+
+
+class TelsClient:
+    """Thin JSON-over-HTTP wrapper around one daemon."""
+
+    def __init__(self, base_url: str | None = None, timeout: float = 60.0):
+        self.base_url = resolve_url(base_url)
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _open(self, method: str, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, ValueError):
+                payload = {"error": {"message": raw.decode(errors="replace")}}
+            message = payload.get("error", {}).get("message", str(exc))
+            raise ServeClientError(
+                message, status=exc.code, payload=payload
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"cannot reach daemon at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        with self._open(method, path, body) as response:
+            return json.loads(response.read())
+
+    # -- API -----------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def submit(
+        self,
+        blif: str,
+        name: str = "network",
+        options: dict | None = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+    ) -> dict:
+        """Submit BLIF text; returns the accepted job snapshot (202)."""
+        return self._json(
+            "POST",
+            "/jobs",
+            {
+                "blif": blif,
+                "name": name,
+                "options": options or {},
+                "jobs": jobs,
+                "use_cache": use_cache,
+            },
+        )
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, fmt: str = "json") -> dict | str:
+        """The finished job's result: a dict for json/sarif, text for thblif."""
+        with self._open("GET", f"/jobs/{job_id}/result?format={fmt}") as resp:
+            raw = resp.read()
+        if fmt == "thblif":
+            return raw.decode()
+        return json.loads(raw)
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Stream the job's NDJSON events until it turns terminal."""
+        with self._open("GET", f"/jobs/{job_id}/events?since={since}") as resp:
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job is terminal; returns the final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise ServeClientError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state: {snapshot['state']})"
+                )
+            time.sleep(poll_s)

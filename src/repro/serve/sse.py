@@ -1,0 +1,39 @@
+"""Event-stream encodings for ``GET /jobs/{id}/events``.
+
+Two wire formats over one event source:
+
+* **NDJSON** (default, ``application/x-ndjson``) — one JSON object per
+  line; trivially consumed by ``tels events``, ``curl``, or any language
+  with a line reader.
+* **SSE** (``text/event-stream``, selected via the ``Accept`` header) —
+  each event is a ``event:``/``id:``/``data:`` block per the
+  EventSource spec, so browsers can subscribe natively; the ``id`` field
+  carries the event ``seq`` for ``Last-Event-ID`` resumption.
+"""
+
+from __future__ import annotations
+
+import json
+
+NDJSON_CONTENT_TYPE = "application/x-ndjson"
+SSE_CONTENT_TYPE = "text/event-stream"
+
+
+def wants_sse(accept_header: str | None) -> bool:
+    """True when the request's Accept header asks for an SSE stream."""
+    return bool(accept_header) and "text/event-stream" in accept_header
+
+
+def encode_ndjson(event: dict) -> bytes:
+    return (json.dumps(event, separators=(",", ":")) + "\n").encode()
+
+
+def encode_sse(event: dict) -> bytes:
+    """One SSE message block; ``event`` name and ``id`` ride the metadata."""
+    name = event.get("event", "message")
+    lines = [f"event: {name}"]
+    seq = event.get("seq")
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"data: {json.dumps(event, separators=(',', ':'))}")
+    return ("\n".join(lines) + "\n\n").encode()

@@ -1,0 +1,93 @@
+"""Scheduler event subscription and cooperative cancellation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+from repro.engine.scheduler import run_synthesis
+from repro.engine.store import ResultStore
+from repro.errors import SynthesisCancelled
+from repro.network.scripts import prepare_tels
+
+
+class TestOnEvent:
+    def test_events_cover_every_task(self, motivational_network):
+        events: list[dict] = []
+        prepared = prepare_tels(motivational_network)
+        network, report = synthesize_with_report(
+            prepared, SynthesisOptions(), on_event=events.append
+        )
+        done = [e for e in events if e["event"] == "task-done"]
+        assert len(done) == report.trace.num_tasks
+        # Monotonic completion counter, ending at the full task count.
+        assert [e["completed"] for e in done] == list(
+            range(1, len(done) + 1)
+        )
+        assert done[-1]["completed"] == done[-1]["scheduled"]
+        phases = {e["phase"] for e in events if e["event"] == "phase"}
+        assert {"collapse", "check", "done"} <= phases
+
+    def test_listener_exception_does_not_fail_the_run(
+        self, motivational_network
+    ):
+        calls = {"n": 0}
+
+        def bomb(event: dict) -> None:
+            calls["n"] += 1
+            raise RuntimeError("listener bug")
+
+        prepared = prepare_tels(motivational_network)
+        network, _ = synthesize_with_report(
+            prepared, SynthesisOptions(), on_event=bomb
+        )
+        assert network.gates  # synthesis finished regardless
+        assert calls["n"] == 1  # delivery disabled after the first failure
+
+    def test_no_listener_no_events(self, motivational_network):
+        prepared = prepare_tels(motivational_network)
+        network, _ = synthesize_with_report(prepared, SynthesisOptions())
+        assert network.gates
+
+
+class TestCancellation:
+    def test_preset_flag_cancels_before_any_cone(self, motivational_network):
+        cancel = threading.Event()
+        cancel.set()
+        prepared = prepare_tels(motivational_network)
+        with pytest.raises(SynthesisCancelled) as err:
+            run_synthesis(prepared, cancel=cancel)
+        assert "unfinished" in str(err.value)
+
+    def test_cancel_mid_run_keeps_solved_vectors(self, motivational_network):
+        """Cancelling after the first cone still flushes its results."""
+        cancel = threading.Event()
+        seen: list[str] = []
+
+        def cancel_after_first(event: dict) -> None:
+            if event["event"] == "task-done":
+                seen.append(event["task_id"])
+                cancel.set()
+
+        store = ResultStore()
+        prepared = prepare_tels(motivational_network)
+        with pytest.raises(SynthesisCancelled):
+            run_synthesis(
+                prepared,
+                store=store,
+                on_event=cancel_after_first,
+                cancel=cancel,
+            )
+        assert len(seen) == 1  # stopped between cones, not at the end
+        assert store.num_vectors > 0  # partial work banked
+
+    def test_unset_flag_changes_nothing(self, motivational_network):
+        cancel = threading.Event()
+        prepared = prepare_tels(motivational_network)
+        baseline = run_synthesis(prepare_tels(motivational_network))
+        result = run_synthesis(prepared, cancel=cancel)
+        from repro.io.thblif import to_thblif
+
+        assert to_thblif(result.network) == to_thblif(baseline.network)

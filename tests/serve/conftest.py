@@ -1,0 +1,66 @@
+"""Fixtures for the ``tels serve`` daemon tests.
+
+One ephemeral-port daemon per test (port 0, background accept thread),
+with its own temporary persistent cache and jobs journal, torn down
+through the same shutdown path the CLI uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.paper_examples import MOTIVATIONAL_BLIF
+from repro.serve.app import ServeApp
+from repro.serve.client import TelsClient
+
+#: A second small circuit sharing cones with the motivational network
+#: (same AND/OR structure over renamed inputs exercises the NP-canonical
+#: persistent tier, not the per-network vector tier).
+SHARED_CONE_BLIF = """\
+.model twin
+.inputs p q r s
+.outputs y
+.names p q a
+11 1
+.names r s b
+11 1
+.names a b y
+1- 1
+-1 1
+.end
+"""
+
+BAD_BLIF = """\
+.model broken
+.inputs a b
+.outputs y
+.names a b y
+11 oops
+.end
+"""
+
+
+@pytest.fixture
+def small_blif() -> str:
+    return MOTIVATIONAL_BLIF
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on an ephemeral port; yields ``(app, client)``."""
+    app = ServeApp(
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        journal_dir=str(tmp_path / "journal"),
+        max_workers=2,
+    )
+    app.start_background()
+    try:
+        yield app, TelsClient(app.url, timeout=30.0)
+    finally:
+        app.shutdown()
+
+
+@pytest.fixture
+def client(daemon) -> TelsClient:
+    return daemon[1]

@@ -1,0 +1,110 @@
+"""Cooperative cancellation through the job layer and the HTTP API."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.benchgen.paper_examples import MOTIVATIONAL_BLIF
+from repro.errors import SynthesisCancelled
+from repro.serve.client import ServeClientError
+from repro.serve.jobs import JobManager
+from repro.serve.schemas import ApiError
+
+
+@pytest.fixture
+def blocking_manager(monkeypatch):
+    """A one-worker manager whose synthesis blocks until cancelled."""
+    import repro.core.synthesis as synthesis_module
+
+    started = threading.Event()
+
+    def blocking_synthesis(network, options=None, **kwargs):
+        started.set()
+        cancel = kwargs["cancel"]
+        assert cancel.wait(timeout=30.0), "job was never cancelled"
+        raise SynthesisCancelled("cancelled between cones")
+
+    monkeypatch.setattr(
+        synthesis_module, "synthesize_with_report", blocking_synthesis
+    )
+    manager = JobManager(max_workers=1)
+    try:
+        yield manager, started
+    finally:
+        manager.shutdown(timeout=5.0)
+
+
+def _wait_terminal(manager: JobManager, job_id: str, timeout: float = 10.0):
+    deadline = time.monotonic() + timeout
+    while not manager.get(job_id).is_terminal:
+        assert time.monotonic() < deadline, "job never became terminal"
+        time.sleep(0.01)
+    return manager.get(job_id)
+
+
+class TestManagerCancellation:
+    def _submit(self, manager: JobManager) -> str:
+        return manager.submit(
+            {"blif": MOTIVATIONAL_BLIF, "name": "motivational"}
+        ).job_id
+
+    def test_cancel_running_job_stops_the_worker(self, blocking_manager):
+        manager, started = blocking_manager
+        job_id = self._submit(manager)
+        assert started.wait(timeout=10.0)
+        manager.cancel(job_id)
+        job = _wait_terminal(manager, job_id)
+        assert job.state == "cancelled"
+        assert [e["event"] for e in job.events][-1] == "job-cancelled"
+
+    def test_cancel_queued_job_resolves_immediately(self, blocking_manager):
+        manager, started = blocking_manager
+        running = self._submit(manager)
+        assert started.wait(timeout=10.0)
+        queued = self._submit(manager)  # worker is busy: stays queued
+        manager.cancel(queued)
+        assert manager.get(queued).state == "cancelled"
+        # The blocked job is still running; clean up.
+        manager.cancel(running)
+        _wait_terminal(manager, running)
+
+    def test_worker_survives_to_run_the_next_job(self, blocking_manager):
+        """Cancellation must not orphan the pool worker."""
+        manager, started = blocking_manager
+        first = self._submit(manager)
+        assert started.wait(timeout=10.0)
+        second = self._submit(manager)
+        manager.cancel(first)
+        _wait_terminal(manager, first)
+        # The same (sole) worker picks up the next job.
+        manager.cancel(second)
+        assert _wait_terminal(manager, second).state == "cancelled"
+
+    def test_cancel_terminal_job_conflicts(self, blocking_manager):
+        manager, started = blocking_manager
+        job_id = self._submit(manager)
+        assert started.wait(timeout=10.0)
+        manager.cancel(job_id)
+        _wait_terminal(manager, job_id)
+        with pytest.raises(ApiError) as err:
+            manager.cancel(job_id)
+        assert err.value.status == 409
+
+
+class TestHttpCancellation:
+    def test_delete_terminal_job_is_409(self, daemon, small_blif):
+        _, client = daemon
+        job_id = client.submit(small_blif)["id"]
+        assert client.wait(job_id)["state"] == "done"
+        with pytest.raises(ServeClientError) as err:
+            client.cancel(job_id)
+        assert err.value.status == 409
+        assert err.value.code == "conflict"
+
+    def test_delete_unknown_job_is_404(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.cancel("j424242")
+        assert err.value.status == 404
