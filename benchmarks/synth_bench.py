@@ -211,7 +211,10 @@ def run_bench(
         lint_violations += lint_report.violations
     lint_wall = time.perf_counter() - start
 
+    analysis = run_analysis_phase(names, psi=psi, seed=seed, jobs=jobs)
+
     return {
+        "analysis": analysis,
         "psi": psi,
         "seed": seed,
         "jobs": jobs,
@@ -239,6 +242,168 @@ def run_bench(
         "exact_solve_wall_s": round(totals.exact_wall_s, 4),
         "scipy_solve_wall_s": round(totals.scipy_wall_s, 4),
         "presolve_rows_removed": totals.presolve_rows_removed,
+    }
+
+
+def _analysis_stressor():
+    """Hand-built network with known-redundant structure for the analyzer.
+
+    ``g1 = <2,1;2>(a, b)`` fires iff ``a`` does (the weight-1 fanin ``b``
+    can never bridge the threshold gap alone), so ``b`` is a redundant
+    fanin; ``g2 = <1,1;0>(a, c)`` is satisfied by the empty assignment and
+    therefore a constant-1 gate.  Both must be found, verified by packed
+    equivalence, and removable without changing the network's function.
+    """
+    from repro.core.threshold import (
+        ThresholdGate,
+        ThresholdNetwork,
+        WeightThresholdVector,
+    )
+
+    net = ThresholdNetwork("analysis_stressor")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_gate(
+        ThresholdGate("g1", ("a", "b"), WeightThresholdVector((2, 1), 2))
+    )
+    net.add_gate(
+        ThresholdGate("g2", ("a", "c"), WeightThresholdVector((1, 1), 0))
+    )
+    net.add_output("g1")
+    net.add_output("g2")
+    return net
+
+
+def run_analysis_phase(
+    names: tuple[str, ...],
+    psi: int = 3,
+    seed: int = 0,
+    jobs: int = 1,
+) -> dict:
+    """Dataflow-analysis phase: certificates per gate model + a stressor.
+
+    Two invariants feed the FAIL gates in :func:`main`:
+
+    * the hand-built stressor must yield at least one *verified* removal
+      (a redundant fanin and a constant gate are planted), and applying
+      the removals must leave the network packed-equivalent to the
+      original — a failed re-verification would be a false positive;
+    * across every analyzed network the unverified-candidate count must
+      be zero: each suggestion the analyzer reports on synthesized output
+      has to survive its own equivalence check.
+
+    The gate-model sub-section re-synthesizes the ``parmix`` stressor once
+    per registered backend (same configuration as the gate-model phase)
+    and records the robustness-certificate margin statistics — ``ltg``
+    margins are structural, ``flash`` margins absorb the drift floor, and
+    ``multi-threshold`` gates are skipped from enumeration-based
+    certification only when their fanin exceeds the enumeration bound.
+    """
+    from repro.analysis import (
+        AnalysisOptions,
+        analyze_threshold_network,
+        apply_removals,
+    )
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.core.synthesis import SynthesisOptions, synthesize_with_report
+    from repro.engine.store import ResultStore
+    from repro.gates import model_names
+    from repro.network.scripts import prepare_tels
+    from repro.network.simulate import equivalent_threshold_networks
+
+    def _bound(value: float) -> float | None:
+        return None if value == float("inf") else round(value, 4)
+
+    verified_total = 0
+    unverified_total = 0
+
+    # Stressor: planted redundancies the analyzer must find and verify.
+    stressor = _analysis_stressor()
+    start = time.perf_counter()
+    s_result = analyze_threshold_network(stressor, AnalysisOptions(seed=seed))
+    s_wall = time.perf_counter() - start
+    rewritten, applied = apply_removals(
+        stressor, s_result.verified_findings, seed=seed
+    )
+    equivalent = equivalent_threshold_networks(stressor, rewritten, seed=seed)
+    verified_total += len(s_result.verified_findings)
+    unverified_total += len(s_result.unverified_findings)
+    stressor_row = {
+        "findings": len(s_result.findings),
+        "verified_findings": len(s_result.verified_findings),
+        "unverified_findings": len(s_result.unverified_findings),
+        "applied": len(applied),
+        "gates_before": sum(1 for _ in stressor.gates()),
+        "gates_after": sum(1 for _ in rewritten.gates()),
+        "equivalent_after_apply": equivalent,
+        "wall_s": round(s_wall, 4),
+    }
+
+    # Certificate margins for every registered gate model on parmix.
+    gate_models: dict = {}
+    gm_prepared = prepare_tels(build_extended_benchmark("parmix"))
+    for model in model_names():
+        gm_options = SynthesisOptions(
+            psi=9, seed=seed, gate_model=model, preserve_sharing=False
+        )
+        gm_net, _ = synthesize_with_report(
+            gm_prepared, gm_options, jobs=jobs, store=ResultStore()
+        )
+        start = time.perf_counter()
+        result = analyze_threshold_network(
+            gm_net, AnalysisOptions(gate_model=model, seed=seed)
+        )
+        wall = time.perf_counter() - start
+        cert = result.certificate
+        verified_total += len(result.verified_findings)
+        unverified_total += len(result.unverified_findings)
+        gate_models[model] = {
+            "benchmark": "parmix",
+            "gates": sum(1 for _ in gm_net.gates()),
+            "certified_gates": len(cert.gates),
+            "skipped_gates": len(cert.skipped),
+            "min_slack": cert.min_slack,
+            "perturbation_bound": _bound(cert.perturbation_bound),
+            "meets_tolerances": cert.meets_tolerances,
+            "constant_gates": len(result.interval.constant_gates),
+            "verified_findings": len(result.verified_findings),
+            "unverified_findings": len(result.unverified_findings),
+            "wall_s": round(wall, 4),
+        }
+
+    # Subset sweep: the analyzer over every synthesized smoke benchmark.
+    # Synthesized output should carry no unverified suggestions at all.
+    subset_rows = []
+    options = SynthesisOptions(psi=psi, seed=seed)
+    store = ResultStore()
+    for name in names:
+        prepared = prepare_tels(build_extended_benchmark(name))
+        network, _ = synthesize_with_report(
+            prepared, options, jobs=jobs, store=store
+        )
+        result = analyze_threshold_network(
+            network, AnalysisOptions(seed=seed)
+        )
+        cert = result.certificate
+        verified_total += len(result.verified_findings)
+        unverified_total += len(result.unverified_findings)
+        subset_rows.append(
+            {
+                "benchmark": name,
+                "gates": sum(1 for _ in network.gates()),
+                "min_slack": cert.min_slack,
+                "perturbation_bound": _bound(cert.perturbation_bound),
+                "verified_findings": len(result.verified_findings),
+                "unverified_findings": len(result.unverified_findings),
+            }
+        )
+
+    return {
+        "stressor": stressor_row,
+        "gate_models": gate_models,
+        "benchmarks": subset_rows,
+        "verified_removals": verified_total,
+        "unverified_findings": unverified_total,
     }
 
 
@@ -522,6 +687,30 @@ def main(argv: list[str] | None = None) -> int:
     if gm["multi-threshold"]["gates"] >= gm["ltg"]["gates"]:
         print("FAIL: multi-threshold did not beat ltg on parmix")
         return 1
+    # The analysis stressor plants a redundant fanin and a constant gate;
+    # the analyzer must find them, verify them by packed equivalence, and
+    # the applied rewrite must stay equivalent to the original network.
+    analysis = result["analysis"]
+    if analysis["verified_removals"] < 1:
+        print("FAIL: analysis phase found no verified removal candidates")
+        return 1
+    if analysis["stressor"]["verified_findings"] < 2:
+        print("FAIL: analysis stressor missed a planted redundancy")
+        return 1
+    if not analysis["stressor"]["equivalent_after_apply"]:
+        print("FAIL: applying analysis removals changed the stressor")
+        return 1
+    # An unverified suggestion on synthesized output is a false positive:
+    # every candidate the analyzer reports must survive its own packed
+    # equivalence check.
+    if analysis["unverified_findings"] != 0:
+        print("FAIL: analysis phase reported unverified removal candidates")
+        return 1
+    # Certificate margin stats must cover every registered gate model.
+    for model in ("ltg", "multi-threshold", "flash"):
+        if model not in analysis["gate_models"]:
+            print(f"FAIL: analysis phase missing gate model {model!r}")
+            return 1
     # Every synthesized network must come out of the engine lint-clean.
     if result["lint_violations"] != 0:
         print("FAIL: lint smoke phase found violations in synthesized output")

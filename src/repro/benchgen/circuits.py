@@ -9,7 +9,7 @@ example scripts.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube

@@ -11,7 +11,7 @@ behaviour of the two flows is comparable, though absolute numbers differ
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.benchgen.circuits import CircuitBuilder
 from repro.benchgen.random_logic import random_logic_network

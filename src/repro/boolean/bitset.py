@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 try:  # pragma: no cover - exercised by the CI no-numpy job
     import numpy as _np

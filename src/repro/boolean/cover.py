@@ -11,7 +11,7 @@ unate variables, branch (Shannon) on the most binate variable.
 from __future__ import annotations
 
 import functools
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.boolean import bitset
 from repro.boolean.bitset import MAX_TABLE_VARS, BitVec

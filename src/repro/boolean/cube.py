@@ -12,7 +12,7 @@ dictionary keys for memoization.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import CoverError
 

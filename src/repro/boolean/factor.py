@@ -11,7 +11,7 @@ baseline's technology decomposition into bounded-fanin simple gates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube

@@ -9,7 +9,7 @@ support trimming, and re-basing onto a different variable ordering.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.boolean.cover import Cover
 from repro.boolean.cube import Cube

@@ -70,9 +70,8 @@ def _fsync_dir(directory: Path) -> None:
     except OSError:
         return
     try:
-        os.fsync(fd)
-    except OSError:
-        pass
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
     finally:
         os.close(fd)
 
@@ -173,10 +172,8 @@ class PersistentCache:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             yield
         finally:
-            try:
+            with contextlib.suppress(OSError):
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-            except OSError:
-                pass
             handle.close()
 
     # -- loading -------------------------------------------------------

@@ -22,6 +22,7 @@ Extras for the reproduction:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 
@@ -125,6 +126,12 @@ def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
         help="skip the static lint post-pass over the synthesized network",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the whole-network dataflow analysis post-pass "
+        "(certificate + verified removal candidates in the trace summary)",
+    )
+    parser.add_argument(
         "--deadline-per-cone",
         type=float,
         default=None,
@@ -166,6 +173,7 @@ def _options(args: argparse.Namespace) -> SynthesisOptions:
         use_fastpath=not args.no_fastpath,
         use_presolve=not args.no_presolve,
         lint=not getattr(args, "no_lint", False),
+        analyze=getattr(args, "analyze", False),
         deadline_per_cone_s=getattr(args, "deadline_per_cone", None),
         deadline_total_s=getattr(args, "deadline_total", None),
         max_attempts=getattr(args, "max_attempts", 3),
@@ -334,20 +342,195 @@ def cmd_print_th(args: argparse.Namespace) -> int:
     return 0
 
 
+def _expand_paths(paths: list[str], suffixes: tuple[str, ...]) -> list[str]:
+    """Expand directories into their matching files (sorted), keep files."""
+    from pathlib import Path
+
+    out: list[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            matches = sorted(
+                str(f)
+                for f in p.iterdir()
+                if f.is_file() and f.suffix in suffixes
+            )
+            out.extend(matches)
+        else:
+            out.append(raw)
+    return out
+
+
+def _analyze_load(args: argparse.Namespace, path: str):
+    """Load one analyze input: (threshold network, golden BooleanNetwork)."""
+    from repro.analysis import threshold_to_boolean
+
+    if path.endswith(".th"):
+        network = read_thblif(path)
+        return network, threshold_to_boolean(network)
+    source = read_blif(path)
+    prepared = prepare_tels(source)
+    network, _ = synthesize_with_report(prepared, _options(args))
+    return network, source
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        AnalysisOptions,
+        analyze_threshold_network,
+        apply_removals,
+    )
+    from repro.analysis.report import format_analysis_report
     from repro.core.analysis import analyze_network, format_analysis
     from repro.core.technology import format_mobile_report, mobile_report
+    from repro.lint.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_USAGE,
+        EXIT_VIOLATIONS,
+        LintOptions,
+        merge_reports,
+    )
+    from repro.lint.emitters import render
+    from repro.lint.runner import run_lint
 
-    if args.file.endswith(".th"):
-        network = read_thblif(args.file)
+    files = _expand_paths(args.files, (".th", ".blif"))
+    if not files:
+        print("analyze: no input files found", file=sys.stderr)
+        return EXIT_USAGE
+    if args.apply and len(files) != 1:
+        print(
+            "analyze: --apply takes exactly one input file",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    gate_model = getattr(args, "gate_model", "ltg")
+    aopts = AnalysisOptions(
+        gate_model=gate_model,
+        vectors=args.vectors,
+        seed=getattr(args, "seed", 0),
+    )
+    entries = []  # (path, network, golden source, AnalysisResult, report)
+    for path in files:
+        network, golden = _analyze_load(args, path)
+        result = analyze_threshold_network(network, aopts)
+        report = run_lint(
+            network,
+            LintOptions(
+                analysis=True,
+                gate_model=gate_model,
+                gate_lines=dict(network.gate_lines),
+            ),
+            source=golden,
+            file=path,
+            analysis=result,
+        )
+        entries.append((path, network, golden, result, report))
+
+    merged = merge_reports(
+        [e[4] for e in entries], name=f"{len(entries)} files"
+    )
+    unverified = sum(len(e[3].unverified_findings) for e in entries)
+
+    if args.apply:
+        return _analyze_apply(args, entries[0], apply_removals)
+
+    if args.format == "text":
+        blocks = []
+        for path, network, _, result, _ in entries:
+            blocks.append(
+                "\n\n".join(
+                    (
+                        format_analysis(analyze_network(network)),
+                        format_mobile_report(mobile_report(network)),
+                        format_analysis_report(result),
+                    )
+                )
+            )
+        text = ("\n\n" + "=" * 60 + "\n\n").join(blocks)
+        if merged.diagnostics:
+            text += "\n\n" + render(merged, "text")
+    elif args.format == "json":
+        text = json.dumps(
+            {
+                "files": [
+                    {"file": path, **result.to_dict()}
+                    for path, _, _, result, _ in entries
+                ],
+                "unverified_findings": unverified,
+            },
+            indent=2,
+            sort_keys=True,
+        )
     else:
-        source = read_blif(args.file)
-        prepared = prepare_tels(source)
-        network, _ = synthesize_with_report(prepared, _options(args))
-    print(format_analysis(analyze_network(network)))
-    print()
-    print(format_mobile_report(mobile_report(network)))
-    return 0
+        text = render(merged, "sarif")
+
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+    return EXIT_VIOLATIONS if unverified else EXIT_CLEAN
+
+
+def _analyze_apply(args: argparse.Namespace, entry, apply_removals) -> int:
+    """The ``tels analyze --apply`` round-trip: rewrite, re-lint, re-verify."""
+    from repro.lint.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_VIOLATIONS,
+        LintOptions,
+    )
+    from repro.lint.emitters import render
+    from repro.lint.runner import run_lint
+
+    path, network, golden, result, _ = entry
+    gate_model = getattr(args, "gate_model", "ltg")
+    rewritten, applied = apply_removals(
+        network, result.findings, vectors=args.vectors
+    )
+    if not applied:
+        print(f"{path}: no verified removals to apply")
+        return EXIT_CLEAN
+
+    # Round-trip gate 1: the rewritten network must re-lint without new
+    # errors before anything touches the filesystem.
+    post = run_lint(
+        rewritten,
+        LintOptions(gate_model=gate_model),
+        source=golden,
+        file=path,
+    )
+    if post.errors:
+        print(render(post, "text"), file=sys.stderr)
+        print(
+            f"analyze: rewritten network fails lint with {post.errors} "
+            "error(s); not writing",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATIONS
+    # Round-trip gate 2: packed golden compare against the source Boolean
+    # network (for .th inputs, the truth-table mirror of the original).
+    if not verify_threshold_network(golden, rewritten, vectors=args.vectors):
+        print(
+            "analyze: rewritten network is NOT equivalent to the source; "
+            "not writing",
+            file=sys.stderr,
+        )
+        return EXIT_VIOLATIONS
+
+    out_path = args.output
+    if not out_path:
+        out_path = path if path.endswith(".th") else path + ".th"
+    write_thblif(rewritten, out_path)
+    for finding in applied:
+        print(f"applied: {finding.message}")
+    print(
+        f"wrote {out_path}: {len(applied)} removal(s) applied, "
+        f"{network.num_gates} -> {rewritten.num_gates} gates, "
+        "equivalence verified"
+    )
+    return EXIT_CLEAN
 
 
 def cmd_verilog(args: argparse.Namespace) -> int:
@@ -531,53 +714,28 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
+def _lint_one_file(
+    args: argparse.Namespace, path: str, rules: tuple[str, ...] | None
+):
+    """Lint one ``.th`` file.  Returns ``(LintReport | None, parse_failed)``."""
     from pathlib import Path
 
     from repro.errors import BlifError
-    from repro.lint.diagnostics import (
-        EXIT_USAGE,
-        LintOptions,
-        LintReport,
-    )
-    from repro.lint.emitters import render
-    from repro.lint.rules import parse_diagnostic, registered_rules
+    from repro.lint.diagnostics import LintOptions, LintReport
+    from repro.lint.rules import parse_diagnostic
     from repro.lint.runner import run_lint
 
-    if args.list_rules:
-        for rule in registered_rules():
-            print(
-                f"{rule.rule_id}  {rule.severity.value:7s} "
-                f"{rule.category:9s} {rule.name}"
-            )
-        return 0
-    if args.file is None:
-        print("lint: a FILE argument is required", file=sys.stderr)
-        return EXIT_USAGE
-
-    def emit(report: LintReport) -> None:
-        text = render(report, args.format)
-        if args.output:
-            Path(args.output).write_text(text + "\n")
-        else:
-            print(text)
-
-    rules = (
-        tuple(r for part in args.rules for r in part.split(",") if r)
-        if args.rules
-        else None
-    )
     try:
-        text = Path(args.file).read_text()
+        text = Path(path).read_text()
     except OSError as exc:
-        print(f"lint: cannot read {args.file}: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+        print(f"lint: cannot read {path}: {exc}", file=sys.stderr)
+        return None, True
     try:
         # validate=False: structural defects (cycles, dangling fanins,
         # undriven outputs) should surface as TLS0xx findings, not as a
         # blanket parse failure.
         network = parse_thblif(
-            text, default_name=Path(args.file).stem, validate=False
+            text, default_name=Path(path).stem, validate=False
         )
     except BlifError as exc:
         # Parse failures are reported through the same diagnostic pipe as
@@ -587,27 +745,67 @@ def cmd_lint(args: argparse.Namespace) -> int:
             prefix = f"line {exc.line_number}: "
             message = message.removeprefix(prefix)
         report = LintReport(
-            network_name=Path(args.file).stem,
+            network_name=Path(path).stem,
             diagnostics=(
-                parse_diagnostic(
-                    message, file=args.file, line=exc.line_number
-                ),
+                parse_diagnostic(message, file=path, line=exc.line_number),
             ),
             rules_run=("TLP201",),
-            file=args.file,
+            file=path,
         )
-        emit(report)
-        return EXIT_USAGE
+        return report, True
     options = LintOptions(
         psi=args.psi,
         rules=rules,
         strict=args.strict,
         gate_model=getattr(args, "gate_model", "ltg"),
         gate_lines=dict(network.gate_lines),
+        analysis=getattr(args, "analysis", False),
     )
-    report = run_lint(network, options, file=args.file)
-    emit(report)
-    return report.exit_code(strict=args.strict)
+    return run_lint(network, options, file=path), False
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint.diagnostics import EXIT_USAGE, merge_reports
+    from repro.lint.emitters import render
+    from repro.lint.rules import registered_rules
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(
+                f"{rule.rule_id}  {rule.severity.value:7s} "
+                f"{rule.category:9s} {rule.name}"
+            )
+        return 0
+    files = _expand_paths(args.files, (".th",))
+    if not files:
+        print("lint: a FILE argument is required", file=sys.stderr)
+        return EXIT_USAGE
+
+    rules = (
+        tuple(r for part in args.rules for r in part.split(",") if r)
+        if args.rules
+        else None
+    )
+    reports = []
+    parse_failed = False
+    for path in files:
+        report, failed = _lint_one_file(args, path, rules)
+        parse_failed |= failed
+        if report is not None:
+            reports.append(report)
+    if not reports:
+        return EXIT_USAGE
+    merged = merge_reports(reports, name=f"{len(reports)} files")
+    text = render(merged, args.format)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+    if parse_failed:
+        return EXIT_USAGE
+    return merged.exit_code(strict=args.strict)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -795,9 +993,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_print_th)
 
     p = sub.add_parser(
-        "analyze", help="structural analysis of a network (.blif or .th)"
+        "analyze",
+        help="whole-network dataflow analysis: structural stats, interval "
+        "and don't-care fixpoints, robustness certificate, verified "
+        "removal suggestions (.blif or .th; files or directories)",
     )
-    p.add_argument("file")
+    p.add_argument(
+        "files",
+        nargs="+",
+        help="input files or directories (directories expand to their "
+        ".th/.blif members)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif aggregates all inputs into one log "
+        "with per-file artifact locations)",
+    )
+    p.add_argument(
+        "--apply",
+        action="store_true",
+        help="apply the verified removals, re-lint and re-verify the "
+        "rewritten network against the source (packed golden compare), "
+        "and write it out; exits nonzero without writing on any failure",
+    )
+    p.add_argument(
+        "--vectors",
+        type=int,
+        default=4096,
+        help="random vectors for equivalence checks past the exhaustive "
+        "limit",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write the report (or with --apply the rewritten network) "
+        "here instead of stdout / in place",
+    )
     _add_synthesis_args(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -914,9 +1147,21 @@ def build_parser() -> argparse.ArgumentParser:
         cp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
-        "lint", help="static verification of a BLIF-TH network"
+        "lint", help="static verification of BLIF-TH networks"
     )
-    p.add_argument("file", nargs="?", help="BLIF-TH file to lint")
+    p.add_argument(
+        "files",
+        nargs="*",
+        help="BLIF-TH files or directories to lint (directories expand "
+        "to their .th members); diagnostics aggregate into one report",
+    )
+    p.add_argument(
+        "--analysis",
+        action="store_true",
+        help="also run the whole-network dataflow analyses so the "
+        "TLA3xx rules can fire (heavier: fixpoints plus packed "
+        "equivalence verification)",
+    )
     p.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
@@ -1068,10 +1313,8 @@ def main(argv: list[str] | None = None) -> int:
         # (Must precede the OSError arm — BrokenPipeError subclasses it.)
         import os
 
-        try:
+        with contextlib.suppress(OSError):
             os.close(sys.stdout.fileno())
-        except OSError:
-            pass
         return 0
     except OSError as exc:
         # Unreadable input / unwritable output: same usage-level bucket.

@@ -21,7 +21,8 @@ all strategies uniformly.
 from __future__ import annotations
 
 import random
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 from repro.boolean.cover import Cover
 from repro.boolean.function import BooleanFunction

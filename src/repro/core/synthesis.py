@@ -37,6 +37,7 @@ from repro.errors import SynthesisError
 from repro.network.network import BooleanNetwork
 
 if TYPE_CHECKING:
+    from repro.analysis.report import AnalysisResult
     from repro.engine.events import EngineTrace
     from repro.engine.resilience import DegradedCone
     from repro.engine.store import ResultStore
@@ -82,6 +83,10 @@ class SynthesisOptions:
             ``EngineTrace`` and the report carries the ``LintReport``.
         lint_rules: restrict the post-pass to these rule ids/prefixes
             (None runs every source-free rule).
+        analyze: run the whole-network dataflow analysis post-pass
+            (``repro.analysis``): interval/don't-care fixpoints, verified
+            redundancy candidates, and a robustness certificate.  Off by
+            default — it re-simulates the network per removal candidate.
         deadline_per_cone_s: wall-clock budget for each cone task; a cone
             blowing it falls back to the one-to-one mapping (degradation).
             None disables the per-cone deadline and the watchdog.
@@ -116,6 +121,7 @@ class SynthesisOptions:
     max_collapse_cubes: int = 128
     lint: bool = True
     lint_rules: tuple[str, ...] | None = None
+    analyze: bool = False
     deadline_per_cone_s: float | None = None
     deadline_total_s: float | None = None
     max_attempts: int = 3
@@ -171,6 +177,7 @@ class SynthesisReport:
     checker: ThresholdChecker | None = None
     trace: "EngineTrace | None" = None
     lint: "LintReport | None" = None
+    analysis: "AnalysisResult | None" = None
     degraded_cones: int = 0
     degraded: "tuple[DegradedCone, ...]" = ()
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,10 @@ class TaskMetrics:
     solver_timeouts: int = 0
     lint_s: float = 0.0
     lint_violations: int = 0
+    #: Per-cone analysis metrics (margin slack over this cone's gates).
+    analysis_s: float = 0.0
+    analysis_min_slack: int | None = None
+    analysis_constant_gates: int = 0
     #: Executor submissions this cone consumed (retries inflate this).
     attempts: int = 1
     #: True when the cone fell back to the one-to-one mapping.
@@ -118,6 +122,15 @@ class TaskMetrics:
         )
         yield TaskEvent(
             self.task_id,
+            "analysis",
+            self.analysis_s,
+            {
+                "min_slack": self.analysis_min_slack,
+                "constant_gates": self.analysis_constant_gates,
+            },
+        )
+        yield TaskEvent(
+            self.task_id,
             "done",
             self.wall_s,
             {
@@ -166,6 +179,10 @@ class EngineTrace:
     #: Findings of the whole-network lint post-pass (None: lint was off).
     network_lint_violations: int | None = None
     network_lint_s: float = 0.0
+    #: Whole-network analysis post-pass (None: analysis was off).
+    network_analysis_s: float = 0.0
+    analysis_removals: int | None = None
+    analysis_min_slack: int | None = None
     #: Resilience telemetry (see docs/RESILIENCE.md).
     retries: int = 0
     requeues: int = 0
@@ -286,6 +303,17 @@ class EngineTrace:
                 f"lint: {int(self.total('lint_violations'))} cone "
                 f"violations, {self.network_lint_violations} network "
                 f"violations ({self.total('lint_s') + self.network_lint_s:.3f}s)"
+            )
+        if self.analysis_removals is not None:
+            slack = (
+                str(self.analysis_min_slack)
+                if self.analysis_min_slack is not None
+                else "n/a"
+            )
+            lines.append(
+                f"analysis: {self.analysis_removals} verified removal "
+                f"candidate(s), min margin slack {slack} "
+                f"({self.total('analysis_s') + self.network_analysis_s:.3f}s)"
             )
         slow = [m for m in self.slowest(3) if m.wall_s > 0]
         if slow:

@@ -34,6 +34,7 @@ Resilience semantics (see docs/RESILIENCE.md):
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
@@ -366,16 +367,12 @@ class ProcessExecutor:
         # API to terminate a running worker.
         processes = getattr(self._pool, "_processes", None) or {}
         for proc in list(processes.values()):
-            try:
+            with contextlib.suppress(Exception):
                 proc.terminate()
-            except Exception:
-                pass
 
     def _rebuild(self) -> None:
-        try:
+        with contextlib.suppress(Exception):
             self._pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
         self._pool = self._make_pool()
         self.rebuilds += 1
 

@@ -314,6 +314,21 @@ def run_synthesis(
         report.lint = lint_report
         trace.network_lint_violations = lint_report.violations
         trace.network_lint_s = lint_report.wall_s
+    if getattr(options, "analyze", False):
+        # Whole-network dataflow post-pass: interval/don't-care fixpoints,
+        # verified removal candidates, and the robustness certificate.
+        from repro.analysis import AnalysisOptions, analyze_threshold_network
+
+        analysis = analyze_threshold_network(
+            result_net,
+            AnalysisOptions(
+                gate_model=getattr(options, "gate_model", "ltg")
+            ),
+        )
+        report.analysis = analysis
+        trace.network_analysis_s = analysis.wall_s
+        trace.analysis_removals = len(analysis.verified_findings)
+        trace.analysis_min_slack = analysis.certificate.min_slack
     return EngineResult(
         network=result_net, report=report, trace=trace, store=store
     )

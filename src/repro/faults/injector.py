@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.errors import ChaosError
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 T = TypeVar("T")
 

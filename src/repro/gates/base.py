@@ -38,7 +38,7 @@ Registering a backend (see ``docs/GATE_MODELS.md``)::
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.core.threshold import (
     GateVector,

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.boolean import bitset
 from repro.boolean.cover import Cover

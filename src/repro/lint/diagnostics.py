@@ -82,6 +82,7 @@ class LintReport:
     gates_checked: int = 0
     wall_s: float = 0.0
     file: str | None = None
+    files: tuple[str, ...] = ()
 
     def count(self, severity: Severity) -> int:
         return sum(1 for d in self.diagnostics if d.severity is severity)
@@ -123,6 +124,46 @@ class LintReport:
     def extend(self, diagnostics: tuple[Diagnostic, ...]) -> None:
         self.diagnostics = self.diagnostics + tuple(diagnostics)
 
+    def artifact_files(self) -> tuple[str, ...]:
+        """Every source file this report covers, in first-seen order.
+
+        Clean files stay listed (they produced a report, just no
+        diagnostics), which is what SARIF ``run.artifacts`` wants.
+        """
+        seen: dict[str, None] = {}
+        for uri in (*self.files, self.file):
+            if uri:
+                seen.setdefault(uri, None)
+        for diag in self.diagnostics:
+            if diag.file:
+                seen.setdefault(diag.file, None)
+        return tuple(seen)
+
+
+def merge_reports(
+    reports: list[LintReport], name: str = "<multiple>"
+) -> LintReport:
+    """Aggregate several per-file reports into one.
+
+    Diagnostics keep their per-file coordinates (each run already stamps
+    ``diag.file``), so SARIF ``artifactLocation``s stay per-file; the
+    roll-up counters and wall time sum across the inputs.
+    """
+    if len(reports) == 1:
+        return reports[0]
+    merged = LintReport(network_name=name)
+    merged.files = tuple(r.file for r in reports if r.file)
+    rules: list[str] = []
+    for report in reports:
+        merged.extend(report.diagnostics)
+        merged.gates_checked += report.gates_checked
+        merged.wall_s += report.wall_s
+        for rule_id in report.rules_run:
+            if rule_id not in rules:
+                rules.append(rule_id)
+    merged.rules_run = tuple(sorted(rules))
+    return merged
+
 
 @dataclass
 class LintOptions:
@@ -143,6 +184,9 @@ class LintOptions:
             only fires under ``"flash"``.
         gate_lines: per-gate source line numbers (from ``parse_thblif``)
             so diagnostics carry file coordinates.
+        analysis: run the whole-network dataflow analyses so the TLA3xx
+            rules can fire.  Off by default — the fixpoint plus packed
+            verification is much heavier than the structural rules.
     """
 
     psi: int | None = None
@@ -151,6 +195,7 @@ class LintOptions:
     max_enumeration_fanin: int = 16
     gate_model: str = "ltg"
     gate_lines: dict[str, int] = field(default_factory=dict)
+    analysis: bool = False
 
     def selects(self, rule_id: str) -> bool:
         if self.rules is None:

@@ -106,10 +106,17 @@ def _sarif_rules() -> list[dict]:
     return rules
 
 
-def _sarif_result(diag: Diagnostic, rule_index: dict[str, int]) -> dict:
+def _sarif_result(
+    diag: Diagnostic,
+    rule_index: dict[str, int],
+    artifact_index: dict[str, int],
+) -> dict:
     location: dict = {}
     if diag.file:
-        physical: dict = {"artifactLocation": {"uri": diag.file}}
+        artifact: dict = {"uri": diag.file}
+        if diag.file in artifact_index:
+            artifact["index"] = artifact_index[diag.file]
+        physical: dict = {"artifactLocation": artifact}
         if diag.line is not None:
             physical["region"] = {"startLine": diag.line}
         location["physicalLocation"] = physical
@@ -136,28 +143,31 @@ def to_sarif(report: LintReport) -> dict:
     """Render the report as a SARIF 2.1.0 log dict."""
     rules = _sarif_rules()
     rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    uris = report.artifact_files()
+    artifact_index = {uri: i for i, uri in enumerate(uris)}
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "tels-lint",
+                "informationUri": (
+                    "https://example.invalid/tels/docs/LINT.md"
+                ),
+                "version": "1.0.0",
+                "rules": rules,
+            }
+        },
+        "results": [
+            _sarif_result(d, rule_index, artifact_index)
+            for d in report.diagnostics
+        ],
+        "columnKind": "utf16CodeUnits",
+    }
+    if uris:
+        run["artifacts"] = [{"location": {"uri": uri}} for uri in uris]
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "tels-lint",
-                        "informationUri": (
-                            "https://example.invalid/tels/docs/LINT.md"
-                        ),
-                        "version": "1.0.0",
-                        "rules": rules,
-                    }
-                },
-                "results": [
-                    _sarif_result(d, rule_index)
-                    for d in report.diagnostics
-                ],
-                "columnKind": "utf16CodeUnits",
-            }
-        ],
+        "runs": [run],
     }
 
 

@@ -26,7 +26,8 @@ them on a task's gate list before the network is even assembled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.boolean.unate import Phase, semantic_unateness
 from repro.core.threshold import (
@@ -36,6 +37,13 @@ from repro.core.threshold import (
     WeightThresholdVector,
 )
 from repro.lint.diagnostics import Diagnostic, LintOptions, Severity
+
+if TYPE_CHECKING:
+    from repro.analysis.report import AnalysisResult
+    from repro.gates import GateModel
+
+#: Signature of every registered rule's check function.
+RuleCheck = Callable[["LintContext"], Iterable[Diagnostic]]
 
 
 @dataclass
@@ -47,6 +55,8 @@ class LintContext:
     source: object | None = None  # BooleanNetwork, for equivalence rules
     file: str | None = None
     _gates: list[ThresholdGate] | None = field(default=None, repr=False)
+    #: Cached whole-network AnalysisResult shared by the TLA3xx rules.
+    _analysis: AnalysisResult | None = field(default=None, repr=False)
 
     @property
     def gates(self) -> list[ThresholdGate]:
@@ -109,10 +119,10 @@ def rule(
     category: str,
     description: str,
     needs_source: bool = False,
-):
+) -> Callable[[RuleCheck], RuleCheck]:
     """Register a check function as a lint rule."""
 
-    def decorate(fn: Callable[["LintContext"], Iterable[Diagnostic]]):
+    def decorate(fn: RuleCheck) -> RuleCheck:
         if rule_id in RULE_REGISTRY:
             raise ValueError(f"duplicate lint rule id {rule_id!r}")
         RULE_REGISTRY[rule_id] = LintRule(
@@ -364,7 +374,7 @@ def check_gate_margins(
     gate: ThresholdGate,
     max_fanin: int,
     ctx: LintContext | None = None,
-    model=None,
+    model: GateModel | None = None,
 ) -> Iterator[Diagnostic]:
     """Recompute worst-case ON/OFF margins against the claimed tolerances.
 
@@ -553,7 +563,7 @@ def check_gate_delta_sanity(
 
 def check_gate_flash_grid(
     gate: ThresholdGate,
-    model,
+    model: GateModel,
     max_fanin: int = 16,
     ctx: LintContext | None = None,
 ) -> Iterator[Diagnostic]:
@@ -756,6 +766,155 @@ def check_flash_grid(ctx: LintContext) -> Iterator[Diagnostic]:
         yield from check_gate_flash_grid(
             gate, model, ctx.options.max_enumeration_fanin, ctx
         )
+
+
+# ----------------------------------------------------------------------
+# Analysis rules (TLA3xx) — findings of the whole-network dataflow
+# analyses (repro.analysis).  They only fire under LintOptions.analysis
+# (the fixpoint plus packed verification is far heavier than the
+# structural rules) and share one cached AnalysisResult per run.
+# ----------------------------------------------------------------------
+def _network_analysis(ctx: LintContext) -> AnalysisResult | None:
+    """The run's shared AnalysisResult, or None when analysis is off."""
+    if not getattr(ctx.options, "analysis", False):
+        return None
+    if ctx._analysis is None:
+        from repro.analysis import AnalysisOptions, analyze_threshold_network
+
+        ctx._analysis = analyze_threshold_network(
+            ctx.network,
+            AnalysisOptions(
+                gate_model=getattr(ctx.options, "gate_model", "ltg"),
+                max_enumeration_fanin=ctx.options.max_enumeration_fanin,
+            ),
+        )
+    return ctx._analysis
+
+
+@rule(
+    "TLA301",
+    "interval-constant-gate",
+    Severity.WARNING,
+    "analysis",
+    "Interval analysis proves the gate's weighted-sum range never crosses "
+    "a threshold: the gate (and any output it drives) is constant, so its "
+    "logic cone is wasted area.",
+)
+def check_interval_constants(ctx: LintContext) -> Iterator[Diagnostic]:
+    analysis = _network_analysis(ctx)
+    if analysis is None:
+        return
+    spec = RULE_REGISTRY["TLA301"]
+    for name, value in sorted(analysis.interval.constant_gates.items()):
+        if ctx.network.gate(name).fanin == 0:
+            continue  # deliberate constant emitted by the synthesizer
+        yield ctx.diag(
+            spec,
+            f"gate {name!r} is provably constant {value} "
+            f"(sum interval {analysis.interval.sums[name]})",
+            gate=name,
+            hint="run `tels analyze --apply` to remove the constant cone",
+        )
+    for out, value in sorted(analysis.interval.stuck_outputs.items()):
+        yield ctx.diag(
+            spec,
+            f"primary output {out!r} is stuck at {value}",
+            net=out,
+        )
+
+
+@rule(
+    "TLA302",
+    "redundant-fanin",
+    Severity.WARNING,
+    "analysis",
+    "Don't-care analysis found a gate input whose removal (weight dropped, "
+    "threshold unchanged) provably preserves every primary output; each "
+    "finding is re-verified by a packed equivalence check before being "
+    "reported.",
+)
+def check_redundant_fanins(ctx: LintContext) -> Iterator[Diagnostic]:
+    analysis = _network_analysis(ctx)
+    if analysis is None:
+        return
+    spec = RULE_REGISTRY["TLA302"]
+    for finding in analysis.findings:
+        if finding.kind != "redundant-fanin":
+            continue
+        if finding.verified:
+            yield ctx.diag(
+                spec,
+                finding.message + " (verified by packed equivalence)",
+                gate=finding.gate,
+                net=finding.fanin,
+                hint="run `tels analyze --apply` to drop the connection",
+            )
+        else:
+            yield ctx.diag(
+                spec,
+                "unverified removal candidate: " + finding.message,
+                gate=finding.gate,
+                net=finding.fanin,
+                hint="the equivalence check could not confirm the "
+                "don't-care filter; do NOT apply this suggestion",
+            )
+
+
+@rule(
+    "TLA303",
+    "unobservable-gate",
+    Severity.WARNING,
+    "analysis",
+    "Observability analysis proves no primary output ever notices the "
+    "gate's value, even though it is structurally connected; verified by "
+    "packed equivalence before being reported.",
+)
+def check_unobservable_gates(ctx: LintContext) -> Iterator[Diagnostic]:
+    analysis = _network_analysis(ctx)
+    if analysis is None:
+        return
+    spec = RULE_REGISTRY["TLA303"]
+    for finding in analysis.findings:
+        if finding.kind != "unobservable-gate":
+            continue
+        message = finding.message
+        if not finding.verified:
+            message = "unverified removal candidate: " + message
+        yield ctx.diag(
+            spec,
+            message
+            + (" (verified by packed equivalence)" if finding.verified else ""),
+            gate=finding.gate,
+        )
+
+
+@rule(
+    "TLA304",
+    "margin-slack-deficit",
+    Severity.NOTE,
+    "analysis",
+    "The robustness certificate's network-wide margin slack is negative: "
+    "at least one gate sits below its required tolerance floor, so the "
+    "gate model's assumed device drift can flip an output.  Zero slack "
+    "(tolerances met exactly) is normal for tight synthesis and does not "
+    "fire this rule.",
+)
+def check_margin_slack(ctx: LintContext) -> Iterator[Diagnostic]:
+    analysis = _network_analysis(ctx)
+    if analysis is None:
+        return
+    cert = analysis.certificate
+    if cert.min_slack is None or cert.min_slack >= 0:
+        return
+    bound = cert.perturbation_bound
+    yield ctx.diag(
+        RULE_REGISTRY["TLA304"],
+        f"network margin slack is {cert.min_slack} at gate "
+        f"{cert.weakest_gate!r} (provable per-weight perturbation bound "
+        f"{bound:.4f})",
+        gate=cert.weakest_gate,
+        hint="re-synthesize with larger delta_on/delta_off to buy margin",
+    )
 
 
 # ----------------------------------------------------------------------

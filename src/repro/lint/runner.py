@@ -13,7 +13,8 @@ bare gate list.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.threshold import ThresholdGate, ThresholdNetwork
 from repro.lint.diagnostics import Diagnostic, LintOptions, LintReport
@@ -24,6 +25,10 @@ from repro.lint.rules import (
     check_gate_fanin,
     registered_rules,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.report import AnalysisResult
+    from repro.network.network import BooleanNetwork
 
 #: Severity order for the stable diagnostic sort (errors first).
 _ORDER = {"error": 0, "warning": 1, "note": 2}
@@ -39,8 +44,9 @@ def select_rules(options: LintOptions) -> tuple[LintRule, ...]:
 def run_lint(
     network: ThresholdNetwork,
     options: LintOptions | None = None,
-    source=None,
+    source: BooleanNetwork | None = None,
     file: str | None = None,
+    analysis: AnalysisResult | None = None,
 ) -> LintReport:
     """Run the selected rules over a threshold network.
 
@@ -51,12 +57,18 @@ def run_lint(
             ``needs_source`` rules (functional equivalence); None skips
             them.
         file: path the network came from, stamped onto diagnostics.
+        analysis: a precomputed
+            :class:`~repro.analysis.report.AnalysisResult` for this
+            network; seeds the TLA3xx rules' shared cache so callers that
+            already ran the dataflow analyses (``tels analyze``) don't pay
+            for them twice.
     """
     options = options or LintOptions()
     started = time.perf_counter()
     ctx = LintContext(
         network=network, options=options, source=source, file=file
     )
+    ctx._analysis = analysis
     diagnostics: list[Diagnostic] = []
     ran: list[str] = []
     for spec in select_rules(options):

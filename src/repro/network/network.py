@@ -11,7 +11,7 @@ full consistency audit used liberally by the test suite.
 from __future__ import annotations
 
 
-from typing import Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.boolean.function import BooleanFunction
 from repro.errors import NetworkError
@@ -20,7 +20,7 @@ from repro.errors import NetworkError
 class BooleanNetwork:
     """A combinational multi-level logic network."""
 
-    def __init__(self, name: str = "network"):
+    def __init__(self, name: str = "network") -> None:
         self.name = name
         self._inputs: list[str] = []
         self._outputs: list[str] = []

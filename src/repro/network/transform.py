@@ -155,7 +155,7 @@ def eliminate(network: BooleanNetwork, threshold: int = 0) -> int:
         for fanin in network.fanins(reader):
             readers[fanin].add(reader)
 
-    def rewire(reader: str, new_func) -> None:
+    def rewire(reader: str, new_func: BooleanFunction) -> None:
         for fanin in network.fanins(reader):
             readers[fanin].discard(reader)
         network.set_function(reader, new_func)

@@ -26,6 +26,7 @@ the parser's line number, never a 500).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import threading
@@ -205,12 +206,11 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.close_connection = True
         self.end_headers()
         encode = encode_sse if sse else encode_ndjson
-        try:
+        # Suppress disconnects: the client went away, nothing to clean up.
+        with contextlib.suppress(BrokenPipeError, ConnectionResetError):
             for event in self.manager.iter_events(job, since=since):
                 self.wfile.write(encode(event))
                 self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; nothing to clean up
 
     # -- HTTP verbs ----------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)

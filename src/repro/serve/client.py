@@ -15,7 +15,7 @@ import os
 import time
 import urllib.error
 import urllib.request
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ReproError
 

@@ -38,6 +38,7 @@ OPTION_FIELDS: dict[str, tuple[type, ...]] = {
     "use_presolve": (bool,),
     "max_weight": (int, type(None)),
     "lint": (bool,),
+    "analyze": (bool,),
     "deadline_per_cone_s": (int, float, type(None)),
     "deadline_total_s": (int, float, type(None)),
     "max_attempts": (int,),
@@ -247,4 +248,8 @@ def report_to_dict(network, report, source_verified: bool, wall_s: float) -> dic
             "json": lint_to_json(report.lint),
             "sarif": lint_to_sarif(report.lint),
         }
+    if getattr(report, "analysis", None) is not None:
+        # The dataflow post-pass (options.analyze): certificate, verified
+        # removal candidates, fixpoint accounting.
+        result["analysis"] = report.analysis.to_dict()
     return result

@@ -1,0 +1,53 @@
+"""Shared fixture networks for the analysis test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+
+
+def build_stressor() -> ThresholdNetwork:
+    """Planted redundancies: ``g1 = <2,1;2>(a,b) == a`` (fanin ``b``
+    redundant) and ``g2 = <1,1;0>(a,c) == 1`` (constant gate)."""
+    net = ThresholdNetwork("stressor")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_gate(
+        ThresholdGate("g1", ("a", "b"), WeightThresholdVector((2, 1), 2))
+    )
+    net.add_gate(
+        ThresholdGate("g2", ("a", "c"), WeightThresholdVector((1, 1), 0))
+    )
+    net.add_output("g1")
+    net.add_output("g2")
+    return net
+
+
+def build_clean() -> ThresholdNetwork:
+    """A small irredundant network: two-input AND feeding a two-input OR."""
+    net = ThresholdNetwork("clean")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_gate(
+        ThresholdGate("and1", ("a", "b"), WeightThresholdVector((1, 1), 2))
+    )
+    net.add_gate(
+        ThresholdGate("or1", ("and1", "c"), WeightThresholdVector((1, 1), 1))
+    )
+    net.add_output("or1")
+    return net
+
+
+@pytest.fixture
+def stressor() -> ThresholdNetwork:
+    return build_stressor()
+
+
+@pytest.fixture
+def clean() -> ThresholdNetwork:
+    return build_clean()

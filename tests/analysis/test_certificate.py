@@ -1,0 +1,98 @@
+"""Robustness certificates: margins, slack, and the perturbation bound."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import build_certificate
+from repro.core.threshold import (
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+
+
+def _single_gate(vector, delta_on=0, delta_off=1, fanin=2):
+    net = ThresholdNetwork("one")
+    inputs = tuple(f"x{i}" for i in range(fanin))
+    for pi in inputs:
+        net.add_input(pi)
+    net.add_gate(
+        ThresholdGate(
+            "g", inputs, vector, delta_on=delta_on, delta_off=delta_off
+        )
+    )
+    net.add_output("g")
+    return net
+
+
+class TestGateMargins:
+    def test_and_gate_margins(self, clean):
+        cert = build_certificate(clean)
+        by_name = {g.gate: g for g in cert.gates}
+        # AND <1,1;2>: ON sums {2} (margin 0), OFF sums {0,1} (margin 1).
+        assert by_name["and1"].on_margin == 0
+        assert by_name["and1"].off_margin == 1
+        # delta_on=0 / delta_off=1 defaults: slack 0 on both sides.
+        assert by_name["and1"].slack == 0
+
+    def test_wide_margin_gate(self):
+        net = _single_gate(WeightThresholdVector((3, 3), 3))
+        cert = build_certificate(net)
+        (gate,) = cert.gates
+        # ON sums {3, 6}: margin 0... threshold 3 reached exactly at one
+        # input high; OFF sum {0}: margin 3 below threshold -> off margin
+        # |0 - 3| - 1 + 1 = 3.
+        assert gate.on_margin == 0
+        assert gate.off_margin == 3
+
+    def test_slack_flags_violated_tolerances(self):
+        # delta_on=2 demanded, but the ON margin is 0: negative slack.
+        net = _single_gate(WeightThresholdVector((1, 1), 2), delta_on=2)
+        cert = build_certificate(net)
+        assert cert.min_slack == -2
+        assert not cert.meets_tolerances
+        assert cert.weakest_gate == "g"
+
+    def test_perturbation_bound_scales_with_fanin(self):
+        net = _single_gate(WeightThresholdVector((3, 3), 3))
+        cert = build_certificate(net)
+        # min margin 0 over fanin 2.
+        assert cert.perturbation_bound == 0.0
+
+    def test_constant_gate_has_infinite_bound(self):
+        net = ThresholdNetwork("const")
+        net.add_input("x")
+        net.add_gate(ThresholdGate("one", (), WeightThresholdVector((), 0)))
+        net.add_output("one")
+        net.add_output("x")
+        cert = build_certificate(net)
+        (gate,) = cert.gates
+        assert gate.perturbation_bound == math.inf
+        assert cert.perturbation_bound == math.inf
+
+    def test_wide_gates_are_skipped_not_trusted(self, clean):
+        cert = build_certificate(clean, max_enumeration_fanin=1)
+        assert set(cert.skipped) == {"and1", "or1"}
+        assert not cert.complete
+        assert cert.min_slack is None
+
+
+class TestFlashModel:
+    def test_drift_raises_required_margins(self):
+        # Flash drift 0.25 with max|w|=3 demands ceil(0.75)=1 on both
+        # sides; the ON margin of <3,3;3> is 0 -> negative slack under
+        # flash even though ltg accepts the same gate.
+        net = _single_gate(WeightThresholdVector((3, 3), 3))
+        ltg = build_certificate(net, gate_model="ltg")
+        flash = build_certificate(net, gate_model="flash")
+        assert ltg.meets_tolerances
+        assert flash.min_slack < ltg.min_slack
+        assert not flash.meets_tolerances
+
+    def test_to_dict_serializes_infinity_as_none(self):
+        net = ThresholdNetwork("const")
+        net.add_gate(ThresholdGate("one", (), WeightThresholdVector((), 0)))
+        net.add_output("one")
+        cert = build_certificate(net)
+        assert cert.to_dict()["perturbation_bound"] is None

@@ -1,0 +1,157 @@
+"""``tels analyze``: multi-file aggregation, SARIF, and --apply."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.thblif import read_thblif, write_thblif
+from repro.network.simulate import equivalent_threshold_networks
+
+from tests.analysis.conftest import build_clean, build_stressor
+
+BLIF = """.model toy
+.inputs a b c
+.outputs f
+.names a b x
+11 1
+.names x c f
+1- 1
+-1 1
+.end
+"""
+
+
+@pytest.fixture
+def stressor_file(tmp_path):
+    path = tmp_path / "stressor.th"
+    write_thblif(build_stressor(), path)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.th"
+    write_thblif(build_clean(), path)
+    return str(path)
+
+
+class TestAnalyzeSingleFile:
+    def test_text_report(self, stressor_file, capsys):
+        assert main(["analyze", stressor_file]) == 0
+        out = capsys.readouterr().out
+        # Legacy structural sections stay, the analysis block is appended.
+        assert "fanin histogram" in out
+        assert "removal candidates: 2 (2 verified)" in out
+        assert "TLA301" in out and "TLA302" in out
+
+    def test_json_format(self, stressor_file, capsys):
+        assert main(["analyze", stressor_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["files"]) == 1
+        assert payload["files"][0]["file"] == stressor_file
+        assert payload["files"][0]["verified_findings"] == 2
+        assert payload["unverified_findings"] == 0
+
+    def test_blif_input_synthesizes_first(self, tmp_path, capsys):
+        path = tmp_path / "toy.blif"
+        path.write_text(BLIF)
+        assert main(["analyze", str(path)]) == 0
+        assert "analysis of" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.th")]) == 2
+
+
+class TestAnalyzeMultiFile:
+    def test_two_files_aggregate(self, stressor_file, clean_file, capsys):
+        assert main(["analyze", stressor_file, clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "analysis of stressor" in out
+        assert "analysis of clean" in out
+        assert out.count("=" * 60) == 1  # one separator between two files
+
+    def test_directory_input_expands(self, stressor_file, clean_file, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "analysis of stressor" in out and "analysis of clean" in out
+
+    def test_sarif_lists_per_file_artifacts(
+        self, stressor_file, clean_file, tmp_path, capsys
+    ):
+        assert main(["analyze", str(tmp_path), "--format", "sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        run = sarif["runs"][0]
+        uris = {a["location"]["uri"] for a in run["artifacts"]}
+        assert uris == {stressor_file, clean_file}
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"TLA301", "TLA302", "TLA303", "TLA304"} <= rule_ids
+        # Every result points at the artifact it came from.
+        result_uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in run["results"]
+        }
+        assert stressor_file in result_uris
+
+
+class TestAnalyzeApply:
+    def test_apply_rewrites_in_place(self, stressor_file, capsys):
+        original = read_thblif(stressor_file)
+        assert main(["analyze", stressor_file, "--apply"]) == 0
+        out = capsys.readouterr().out
+        assert "2 removal(s) applied" in out
+        assert "equivalence verified" in out
+        rewritten = read_thblif(stressor_file)
+        assert rewritten.gate("g1").inputs == ("a",)
+        assert equivalent_threshold_networks(original, rewritten)
+
+    def test_apply_to_output_path(self, stressor_file, tmp_path, capsys):
+        out_path = tmp_path / "rewritten.th"
+        assert main(
+            ["analyze", stressor_file, "--apply", "-o", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        original = read_thblif(stressor_file)
+        assert original.gate("g1").inputs == ("a", "b")  # source untouched
+
+    def test_apply_clean_network_is_a_noop(self, clean_file, capsys):
+        before = open(clean_file).read()
+        assert main(["analyze", clean_file, "--apply"]) == 0
+        assert "no verified removals" in capsys.readouterr().out
+        assert open(clean_file).read() == before
+
+    def test_apply_rejects_multiple_files(
+        self, stressor_file, clean_file, capsys
+    ):
+        assert (
+            main(["analyze", stressor_file, clean_file, "--apply"]) == 2
+        )
+
+    def test_applied_file_reanalyzes_clean(self, stressor_file, capsys):
+        assert main(["analyze", stressor_file, "--apply"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", stressor_file]) == 0
+        out = capsys.readouterr().out
+        assert "removal candidates: none" in out
+
+
+class TestLintMultiFile:
+    def test_lint_accepts_multiple_files(
+        self, stressor_file, clean_file, capsys
+    ):
+        # TLM102 warnings on the stressor are findings, not errors, so
+        # the default (non-strict) exit code stays 0.
+        assert main(["lint", stressor_file, clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 files" in out  # one aggregated summary line
+        assert "stressor.th" in out
+
+    def test_lint_directory_with_analysis_flag(
+        self, stressor_file, clean_file, tmp_path, capsys
+    ):
+        code = main(["lint", str(tmp_path), "--analysis", "--strict"])
+        out = capsys.readouterr().out
+        assert code == 1  # TLA warnings on the stressor gate under strict
+        assert "TLA302" in out

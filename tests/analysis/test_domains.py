@@ -1,0 +1,93 @@
+"""The abstract domains: lattice laws and sum-interval arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.domains import (
+    ONE,
+    UNKNOWN,
+    ZERO,
+    BoolInterval,
+    SumInterval,
+    weighted_sum_interval,
+)
+
+ELEMENTS = (ZERO, ONE, UNKNOWN)
+
+
+class TestBoolInterval:
+    def test_constants(self):
+        assert BoolInterval.constant(0) == ZERO
+        assert BoolInterval.constant(1) == ONE
+        assert BoolInterval.constant(True) == ONE
+        assert ZERO.is_constant and ONE.is_constant
+        assert not UNKNOWN.is_constant
+        assert ZERO.value == 0 and ONE.value == 1 and UNKNOWN.value is None
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BoolInterval(1, 0)
+        with pytest.raises(ValueError):
+            BoolInterval(0, 2)
+
+    def test_join_is_hull(self):
+        assert ZERO.join(ONE) == UNKNOWN
+        assert ZERO.join(ZERO) == ZERO
+        assert UNKNOWN.join(ONE) == UNKNOWN
+
+    def test_join_laws(self):
+        # Commutative, associative, idempotent, UNKNOWN is top.
+        for a in ELEMENTS:
+            assert a.join(a) == a
+            assert a.join(UNKNOWN) == UNKNOWN
+            for b in ELEMENTS:
+                assert a.join(b) == b.join(a)
+                for c in ELEMENTS:
+                    assert a.join(b).join(c) == a.join(b.join(c))
+
+    def test_order_is_inclusion(self):
+        assert ZERO <= UNKNOWN
+        assert ONE <= UNKNOWN
+        assert not (UNKNOWN <= ZERO)
+        assert not (ZERO <= ONE)
+
+    def test_join_is_least_upper_bound(self):
+        for a in ELEMENTS:
+            for b in ELEMENTS:
+                j = a.join(b)
+                assert a <= j and b <= j
+
+
+class TestSumInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SumInterval(1, 0)
+
+    def test_contains_threshold_half_open(self):
+        s = SumInterval(0, 3)
+        assert not s.contains_threshold(0)  # lo itself never separates
+        assert s.contains_threshold(1)
+        assert s.contains_threshold(3)
+        assert not s.contains_threshold(4)
+
+    def test_point_interval_contains_nothing(self):
+        assert not SumInterval(2, 2).contains_threshold(2)
+
+
+class TestWeightedSumInterval:
+    def test_all_unknown_spans_negative_to_positive(self):
+        s = weighted_sum_interval((2, -3), (UNKNOWN, UNKNOWN))
+        assert (s.lo, s.hi) == (-3, 2)
+
+    def test_constants_pin_the_sum(self):
+        s = weighted_sum_interval((2, -3), (ONE, ZERO))
+        assert (s.lo, s.hi) == (2, 2)
+
+    def test_mixed(self):
+        s = weighted_sum_interval((1, 1, -2), (ONE, UNKNOWN, UNKNOWN))
+        assert (s.lo, s.hi) == (-1, 2)
+
+    def test_empty_weights(self):
+        s = weighted_sum_interval((), ())
+        assert (s.lo, s.hi) == (0, 0)

@@ -1,0 +1,143 @@
+"""Interval and don't-care analyses over planted-fact networks."""
+
+from __future__ import annotations
+
+from repro.analysis.domains import ONE, ZERO
+from repro.analysis.dontcare import dontcare_analysis
+from repro.analysis.interval import interval_analysis
+from repro.core.threshold import (
+    MultiThresholdVector,
+    ThresholdGate,
+    ThresholdNetwork,
+    WeightThresholdVector,
+)
+
+
+class TestIntervalAnalysis:
+    def test_constant_gate_detected(self, stressor):
+        result = interval_analysis(stressor)
+        # g2 = <1,1;0> fires on every sum in [0, 2]: constant 1.
+        assert result.constant_gates == {"g2": 1}
+        assert result.stuck_outputs == {"g2": 1}
+        # g1 genuinely depends on a.
+        assert "g1" not in result.constant_gates
+
+    def test_sum_intervals_recorded(self, stressor):
+        result = interval_analysis(stressor)
+        assert (result.sums["g1"].lo, result.sums["g1"].hi) == (0, 3)
+        assert (result.sums["g2"].lo, result.sums["g2"].hi) == (0, 2)
+
+    def test_clean_network_has_no_facts(self, clean):
+        result = interval_analysis(clean)
+        assert result.constant_gates == {}
+        assert result.stuck_outputs == {}
+
+    def test_pinned_inputs_propagate(self, clean):
+        result = interval_analysis(clean, input_values={"a": ONE, "b": ONE})
+        # a=b=1 forces the AND, which forces the OR.
+        assert result.constant_gates == {"and1": 1, "or1": 1}
+
+    def test_constants_cascade_through_readers(self):
+        # const1 = <;0> is a deliberate constant; the reader's sum interval
+        # collapses around it and proves the reader constant too.
+        net = ThresholdNetwork("cascade")
+        net.add_input("x")
+        net.add_gate(ThresholdGate("const1", (), WeightThresholdVector((), 0)))
+        net.add_gate(
+            ThresholdGate(
+                "reader", ("const1", "x"), WeightThresholdVector((2, 1), 2)
+            )
+        )
+        net.add_output("reader")
+        result = interval_analysis(net)
+        assert result.constant_gates["const1"] == 1
+        assert result.constant_gates["reader"] == 1
+
+    def test_multi_threshold_parity_constant(self):
+        # Sum range [0,2] with thresholds (1,) crossed iff sum>=1; with
+        # pinned input the parity is decided.
+        net = ThresholdNetwork("mt")
+        net.add_input("x")
+        net.add_gate(
+            ThresholdGate(
+                "p", ("x", "x2"), MultiThresholdVector((1, 1), (1, 2))
+            )
+        )
+        net.add_input("x2")
+        net.add_output("p")
+        result = interval_analysis(net, input_values={"x": ONE, "x2": ONE})
+        # sum pinned to 2: crossings at 1 and 2 -> parity even... 2 crossed
+        # thresholds -> fires False.
+        assert result.constant_gates["p"] == 0
+
+
+class TestDontCareAnalysis:
+    def test_exact_mode_on_small_networks(self, stressor):
+        result = dontcare_analysis(stressor)
+        assert result.exact
+        assert result.width == 8  # 2**3 inputs
+        assert result.resimulations == 2
+
+    def test_observable_gates_have_nonzero_masks(self, clean):
+        result = dontcare_analysis(clean)
+        assert not result.observable["or1"].is_zero()
+        assert result.unobservable_gates == ()
+
+    def test_unobservable_gate_detected(self):
+        # shadow's output is consumed by a gate that ignores it: the
+        # reader <2,1;2>(a, shadow) equals a regardless of shadow.
+        net = ThresholdNetwork("shadowed")
+        for pi in ("a", "b"):
+            net.add_input(pi)
+        net.add_gate(
+            ThresholdGate("shadow", ("a", "b"), WeightThresholdVector((1, 1), 2))
+        )
+        net.add_gate(
+            ThresholdGate(
+                "root", ("a", "shadow"), WeightThresholdVector((2, 1), 2)
+            )
+        )
+        net.add_output("root")
+        result = dontcare_analysis(net)
+        assert "shadow" in result.unobservable_gates
+        assert result.observable["shadow"].is_zero()
+
+    def test_unreachable_minterms_excluded_from_care(self):
+        # twin1 == twin2 == a, so the reader's fanin pairs (0,1)/(1,0)
+        # never occur: care keeps only minterms 00 and 11.
+        net = ThresholdNetwork("twins")
+        net.add_input("a")
+        net.add_gate(
+            ThresholdGate("twin1", ("a",), WeightThresholdVector((1,), 1))
+        )
+        net.add_gate(
+            ThresholdGate("twin2", ("a",), WeightThresholdVector((1,), 1))
+        )
+        net.add_gate(
+            ThresholdGate(
+                "root", ("twin1", "twin2"), WeightThresholdVector((1, 1), 2)
+            )
+        )
+        net.add_output("root")
+        result = dontcare_analysis(net)
+        assert result.care["root"] == 0b1001  # minterms {00, 11}
+
+    def test_abstract_fallback_is_sound_superset(self, stressor):
+        # Forcing the abstract path: care masks must cover the exact ones.
+        exact = dontcare_analysis(stressor)
+        abstract = dontcare_analysis(stressor, max_table_vars=2)
+        assert not abstract.exact
+        assert abstract.width == 0
+        assert abstract.unobservable_gates == ()  # never claims exactness
+        for name, mask in exact.care.items():
+            assert mask & ~abstract.care[name] == 0
+
+    def test_abstract_care_restricted_by_interval(self, stressor):
+        interval = interval_analysis(
+            stressor, input_values={"a": ZERO}
+        )
+        result = dontcare_analysis(
+            stressor, max_table_vars=2, interval=interval
+        )
+        # g1's fanin a is pinned to 0: only minterms with bit0=0 stay.
+        assert result.care["g1"] == 0b0101

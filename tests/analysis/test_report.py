@@ -1,0 +1,91 @@
+"""The analysis driver, its dict serialization, and the lint bridge."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    AnalysisOptions,
+    analyze_threshold_network,
+    format_analysis_report,
+)
+from repro.lint.diagnostics import LintOptions
+from repro.lint.runner import run_lint
+
+
+class TestAnalyzeThresholdNetwork:
+    def test_end_to_end_on_stressor(self, stressor):
+        result = analyze_threshold_network(stressor)
+        assert result.network == "stressor"
+        assert result.gate_model == "ltg"
+        assert result.dontcare.exact
+        assert len(result.verified_findings) == 2
+        assert result.unverified_findings == []
+        assert result.interval.constant_gates == {"g2": 1}
+
+    def test_verify_off_leaves_candidates_unverified(self, stressor):
+        result = analyze_threshold_network(
+            stressor, AnalysisOptions(verify=False)
+        )
+        assert result.findings
+        assert result.verified_findings == []
+
+    def test_to_dict_is_json_clean(self, stressor):
+        payload = analyze_threshold_network(stressor).to_dict()
+        round_trip = json.loads(json.dumps(payload))
+        assert round_trip["verified_findings"] == 2
+        assert round_trip["unverified_findings"] == 0
+        assert round_trip["dontcare_exact"] is True
+        assert round_trip["certificate"]["network"] == "stressor"
+        assert round_trip["fixpoint"]["signals"] == 5
+
+    def test_text_report_mentions_everything(self, stressor):
+        text = format_analysis_report(analyze_threshold_network(stressor))
+        assert "analysis of stressor" in text
+        assert "removal candidates: 2 (2 verified)" in text
+        assert "constant 1" in text
+        assert "stuck output: g2 = 1" in text
+
+    def test_clean_network_reports_no_candidates(self, clean):
+        result = analyze_threshold_network(clean)
+        assert result.findings == []
+        assert "removal candidates: none" in format_analysis_report(result)
+
+
+class TestLintBridge:
+    def run(self, network, analysis=None):
+        return run_lint(
+            network, LintOptions(analysis=True), analysis=analysis
+        )
+
+    def test_tla_rules_fire_on_stressor(self, stressor):
+        report = self.run(stressor)
+        rules = {d.rule_id for d in report.diagnostics}
+        assert "TLA301" in rules  # constant gate
+        assert "TLA302" in rules  # redundant fanin
+
+    def test_tla_rules_silent_without_analysis_option(self, stressor):
+        report = run_lint(stressor, LintOptions())
+        assert not any(
+            d.rule_id.startswith("TLA3") for d in report.diagnostics
+        )
+
+    def test_precomputed_result_is_reused(self, stressor):
+        result = analyze_threshold_network(stressor)
+        report = self.run(stressor, analysis=result)
+        rules = {d.rule_id for d in report.diagnostics}
+        assert "TLA301" in rules and "TLA302" in rules
+
+    def test_verified_marker_in_messages(self, stressor):
+        report = self.run(stressor)
+        redundant = [
+            d for d in report.diagnostics if d.rule_id == "TLA302"
+        ]
+        assert redundant
+        assert all("verified by packed equivalence" in d.message for d in redundant)
+
+    def test_clean_network_is_tla_silent(self, clean):
+        report = self.run(clean)
+        assert not any(
+            d.rule_id.startswith("TLA3") for d in report.diagnostics
+        )
