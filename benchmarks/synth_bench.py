@@ -212,9 +212,11 @@ def run_bench(
     lint_wall = time.perf_counter() - start
 
     analysis = run_analysis_phase(names, psi=psi, seed=seed, jobs=jobs)
+    distributed = run_distributed_phase(names, psi=psi, seed=seed)
 
     return {
         "analysis": analysis,
+        "distributed": distributed,
         "psi": psi,
         "seed": seed,
         "jobs": jobs,
@@ -404,6 +406,86 @@ def run_analysis_phase(
         "benchmarks": subset_rows,
         "verified_removals": verified_total,
         "unverified_findings": unverified_total,
+    }
+
+
+def run_distributed_phase(
+    names: tuple[str, ...],
+    psi: int = 3,
+    seed: int = 0,
+    workers: int = 2,
+) -> dict:
+    """Distributed phase: the subset farmed to in-process remote workers.
+
+    Boots an in-process daemon (:class:`repro.serve.app.ServeApp`) plus
+    ``workers`` worker threads and re-synthesizes every benchmark with
+    ``distribute=<url>``, against a serial baseline of the same subset.
+    The tracked invariant is byte-identity: distribution may only change
+    *where* a cone runs, never what the assembled network looks like —
+    the ``identical`` flag feeds a FAIL gate in :func:`main`.  Alongside
+    wall times the phase records the resilience counters (expired leases,
+    re-enqueued cones, cones that fell back to the local executor) and the
+    daemon's network-cache traffic, so regressions in the distributed
+    path's sharing or retry behaviour show up in the artifact.
+    """
+    from repro.benchgen.extended import build_extended_benchmark
+    from repro.core.synthesis import SynthesisOptions
+    from repro.engine.scheduler import run_synthesis
+    from repro.io.thblif import to_thblif
+    from repro.network.scripts import prepare_tels
+    from repro.serve.app import ServeApp
+    from repro.serve.worker import start_worker_thread
+
+    options = SynthesisOptions(psi=psi, seed=seed)
+    prepared = [prepare_tels(build_extended_benchmark(n)) for n in names]
+
+    serial_texts = []
+    start = time.perf_counter()
+    for network in prepared:
+        serial_texts.append(to_thblif(run_synthesis(network, options).network))
+    serial_wall = time.perf_counter() - start
+
+    app = ServeApp(port=0)
+    app.start_background()
+    handles = [
+        start_worker_thread(app.url, worker_id=f"bench-w{i}")
+        for i in range(workers)
+    ]
+    identical = True
+    workers_seen = 0
+    lease_expirations = requeues = fallback_tasks = 0
+    try:
+        start = time.perf_counter()
+        for network, expected in zip(prepared, serial_texts):
+            outcome = run_synthesis(network, options, distribute=app.url)
+            identical &= to_thblif(outcome.network) == expected
+            trace = outcome.trace
+            workers_seen = max(workers_seen, trace.remote_workers)
+            lease_expirations += trace.lease_expirations
+            requeues += trace.requeues
+            fallback_tasks += trace.remote_fallback_tasks
+        distributed_wall = time.perf_counter() - start
+        network_cache = dict(app.manager.stats()["network_cache"])
+        duplicate_results = app.manager.broker.duplicate_results
+    finally:
+        for _thread, stop in handles:
+            stop.set()
+        for thread, _stop in handles:
+            thread.join(timeout=5.0)
+        app.shutdown()
+
+    return {
+        "workers": workers,
+        "workers_seen": workers_seen,
+        "serial_wall_s": round(serial_wall, 4),
+        "distributed_wall_s": round(distributed_wall, 4),
+        "speedup": round(serial_wall / max(distributed_wall, 1e-9), 4),
+        "identical": identical,
+        "lease_expirations": lease_expirations,
+        "requeues": requeues,
+        "fallback_tasks": fallback_tasks,
+        "duplicate_results": duplicate_results,
+        "network_cache": network_cache,
     }
 
 
@@ -719,6 +801,20 @@ def main(argv: list[str] | None = None) -> int:
     # a degraded cone here means a deadline/retry bug, not a real fault.
     if result["degraded_cones"] != 0:
         print("FAIL: cones degraded without fault injection")
+        return 1
+    # Distribution may change where a cone runs, never the output: the
+    # remote run must assemble byte-identical networks, on real workers
+    # (a silent fallback to the local executor would mask a broken
+    # distributed path while keeping the bytes right).
+    distributed = result["distributed"]
+    if not distributed["identical"]:
+        print("FAIL: distributed phase diverged from the serial baseline")
+        return 1
+    if distributed["workers_seen"] < 1:
+        print("FAIL: distributed phase never saw a live worker")
+        return 1
+    if distributed["fallback_tasks"] != 0:
+        print("FAIL: distributed phase fell back to the local executor")
         return 1
     if args.corpus == "large":
         corpus = result["large_corpus"]

@@ -31,7 +31,12 @@ class Cover:
     derived data — the packed truth table, the SCC form, the canonical
     key, literal/support tallies — is memoized on the frozen instance;
     the caches are dropped by pickling (``__reduce__`` rebuilds through
-    the constructor) and never observable through the public API.
+    the constructor) and never observable through the public API.  The
+    one exception is the ``scc() is self`` marker: a cover produced *by*
+    :meth:`scc` carries its kept-cube order from the parent cover's
+    tie-break, which is not recomputable from its own cubes — dropping
+    the marker would let a pickled copy re-reduce into a reordered cover
+    and break byte-identity between local and remote synthesis.
     """
 
     __slots__ = (
@@ -64,7 +69,11 @@ class Cover:
 
     def __reduce__(self):
         # Slotted immutables can't use default pickling (it restores via
-        # setattr); rebuild through the constructor instead.
+        # setattr); rebuild through the constructor instead.  The memo
+        # caches are all pure functions of ``cubes`` except the self-SCC
+        # marker, which records *assigned* order and must survive.
+        if self._scc is self:
+            return (_restore_scc_form, (self.cubes, self.nvars))
         return (Cover, (self.cubes, self.nvars))
 
     # ------------------------------------------------------------------
@@ -413,6 +422,13 @@ class Cover:
 # cheap to build and to cache.  The caches make repeated threshold checks on
 # structurally identical nodes (ubiquitous during synthesis) nearly free.
 # ----------------------------------------------------------------------
+
+
+def _restore_scc_form(cubes: tuple, nvars: int) -> Cover:
+    """Unpickle a cover that is its own SCC form, keeping the marker."""
+    cover = Cover(cubes, nvars)
+    object.__setattr__(cover, "_scc", cover)
+    return cover
 
 
 def _key_restrict(key: tuple, var: int, value: bool) -> tuple:

@@ -1,0 +1,172 @@
+"""The network cache tier: the persistent cache served over HTTP.
+
+:class:`NetworkCacheClient` presents the same surface as
+:class:`~repro.cache.store.PersistentCache` (``get`` returning values /
+``None`` / :data:`~repro.cache.store.ABSENT`, ``put``, ``flush``,
+``read_only``), so it drops straight into the ``persistent`` slot of a
+:class:`~repro.engine.store.ResultStore`.  That placement is the whole
+trust story: everything this client returns flows through the store's
+``_persistent_lookup`` — NP-transform decode, then **re-verification of
+the vector against the cover's ON/OFF sets** — before a worker uses it,
+so a corrupt, stale, or adversarial remote entry can only ever cost a
+cache miss, never a wrong gate.
+
+Integrity layers, outermost first:
+
+1. **fingerprint check** — every request carries the client's
+   canonicalization fingerprint; the daemon answers 412 on mismatch
+   (a different canonicalization would silently alias keys).  Gate-model
+   isolation needs no extra plumbing: the model fingerprint is part of
+   the entry key itself.
+2. **ETag check** — the daemon's ``ETag`` is a content hash of the entry
+   values; the client recomputes it over the received body, so transport
+   corruption is caught before deserialization is trusted.
+3. **semantic re-verification** — the store's transform+verify+reject
+   path, unchanged from the on-disk tier (PR 3); the ``net-corrupt``
+   chaos site injects corrupted payloads *after* the ETag check exactly
+   to prove this last line holds.
+
+Network failures degrade to misses (counted in :attr:`get_errors` /
+:attr:`put_errors`); synthesis never fails because the cache tier is
+unreachable.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+
+from repro.cache.store import ABSENT, values_etag
+from repro.faults.injector import get_injector
+from repro.serve.transport import (
+    HttpStatusError,
+    HttpTransport,
+    TransportError,
+)
+
+
+class NetworkCacheClient:
+    """A remote content-addressed vector cache behind ``GET/PUT /cache``."""
+
+    read_only = False
+
+    def __init__(
+        self,
+        base_url: str,
+        fingerprint: str | None = None,
+        transport: HttpTransport | None = None,
+    ):
+        if fingerprint is None:
+            from repro.cache.canonical import CANONICAL_FINGERPRINT
+
+            fingerprint = CANONICAL_FINGERPRINT
+        self.fingerprint = fingerprint
+        self.transport = transport or HttpTransport(base_url)
+        #: Entry count last reported by the daemon (len() support).
+        self.known_entries = 0
+        self.gets = 0
+        self.hits = 0
+        self.absent = 0
+        self.puts = 0
+        self.get_errors = 0
+        self.put_errors = 0
+        self.etag_rejects = 0
+        self.fingerprint_rejects = 0
+
+    # -- persistent-cache surface --------------------------------------
+    def _path(self, key: str) -> str:
+        quoted = urllib.parse.quote(key, safe="")
+        fp = urllib.parse.quote(self.fingerprint, safe="")
+        return f"/cache/{quoted}?fp={fp}"
+
+    @staticmethod
+    def _chaos_corrupt(key: str, values):
+        """The ``net-corrupt`` site: flip one weight after the ETag check.
+
+        The corruption lands between the transport checks and the semantic
+        verification, so only the transform+verify+reject path can catch
+        it — which is the property the chaos campaign exists to prove.
+        """
+        injector = get_injector()
+        if (
+            values
+            and injector is not None
+            and injector.decide("net-corrupt", key)
+        ):
+            return [values[0] + 1, *values[1:]]
+        return values
+
+    def get(self, key: str):
+        """Values for ``key``, ``None`` (non-threshold), or ``ABSENT``."""
+        self.gets += 1
+        try:
+            status, raw, headers = self.transport.request(
+                "GET", self._path(key)
+            )
+        except HttpStatusError as exc:
+            if exc.status == 404:
+                self.absent += 1
+            elif exc.status == 412:
+                self.fingerprint_rejects += 1
+            else:
+                self.get_errors += 1
+            return ABSENT
+        except TransportError:
+            self.get_errors += 1
+            return ABSENT
+        import json
+
+        payload = json.loads(raw)
+        values = payload.get("values")
+        if values is not None:
+            values = [int(v) for v in values]
+        etag = headers.get("ETag", "")
+        if etag and etag != values_etag(values):
+            self.etag_rejects += 1
+            return ABSENT
+        self.known_entries = payload.get("entries", self.known_entries)
+        self.hits += 1
+        return self._chaos_corrupt(key, values)
+
+    def put(self, key: str, values: list[int] | None) -> bool:
+        """Publish an entry; network failures are swallowed (and counted)."""
+        self.puts += 1
+        try:
+            payload = self.transport.json(
+                "PUT",
+                self._path(key),
+                {"values": values},
+            )
+        except (HttpStatusError, TransportError):
+            self.put_errors += 1
+            return False
+        self.known_entries = payload.get("entries", self.known_entries)
+        return bool(payload.get("installed", False))
+
+    def flush(self) -> int:
+        """Nothing to flush: every put is already remote."""
+        return 0
+
+    @property
+    def dirty_count(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return self.known_entries
+
+    def stats(self) -> dict:
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "absent": self.absent,
+            "puts": self.puts,
+            "get_errors": self.get_errors,
+            "put_errors": self.put_errors,
+            "etag_rejects": self.etag_rejects,
+            "fingerprint_rejects": self.fingerprint_rejects,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkCacheClient({self.transport.base_url!r}, "
+            f"hits={self.hits}, puts={self.puts})"
+        )

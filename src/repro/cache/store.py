@@ -41,6 +41,7 @@ Design points:
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import logging
 import os
@@ -109,6 +110,18 @@ def parse_signature(text: str) -> tuple:
             pos, _, neg = item.partition(".")
             rows.append((int(pos), int(neg)))
     return (nvars, tuple(rows))
+
+
+def values_etag(values: list[int] | None) -> str:
+    """Content fingerprint of one cache entry's canonical values.
+
+    Served as the ``ETag`` of the network cache tier
+    (``GET /cache/{key}``) and recomputed by the client over the received
+    body, so a payload corrupted in transit is detected before it even
+    reaches the transform+verify path.
+    """
+    payload = json.dumps(values, separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def entry_key(

@@ -121,6 +121,14 @@ def _add_synthesis_args(parser: argparse.ArgumentParser) -> None:
         help="cone-synthesis worker processes (0 = all cores)",
     )
     parser.add_argument(
+        "--distribute",
+        metavar="URL",
+        default=None,
+        help="farm cones to `tels worker` processes through this serve "
+        "daemon; on total worker loss the run degrades to a local "
+        "executor and still completes with identical output",
+    )
+    parser.add_argument(
         "--no-lint",
         action="store_true",
         help="skip the static lint post-pass over the synthesized network",
@@ -231,6 +239,7 @@ def cmd_synth(args: argparse.Namespace) -> int:
             jobs=_jobs(args),
             cache_dir=_cache_dir(args),
             cancel=cancel,
+            distribute=getattr(args, "distribute", None),
         )
     except SynthesisCancelled as exc:
         print(f"tels synth: {exc}", file=sys.stderr)
@@ -824,6 +833,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal,
         max_workers=args.max_workers,
         queue_limit=args.queue_limit,
+        lease_s=args.lease_s,
     )
     print(f"tels serve listening on {app.url}")
     if app.manager.journal is not None:
@@ -834,6 +844,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("tels serve: shutting down", file=sys.stderr)
     finally:
         app.shutdown()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    import logging
+    import signal
+    import threading
+
+    from repro.serve.client import resolve_url
+    from repro.serve.worker import run_worker
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    stop = threading.Event()
+    with contextlib.suppress(ValueError):  # not the main thread
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        done = run_worker(
+            resolve_url(args.url),
+            worker_id=args.worker_id,
+            max_tasks=args.max_tasks,
+            poll_s=args.poll_s,
+            stop=stop,
+            use_network_cache=not args.no_network_cache,
+        )
+    except KeyboardInterrupt:
+        stop.set()
+        print("tels worker: shutting down", file=sys.stderr)
+        return 0
+    print(f"tels worker: {done} cone(s) completed", file=sys.stderr)
     return 0
 
 
@@ -1230,9 +1272,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="pending-job bound before submissions get 503",
     )
+    p.add_argument(
+        "--lease-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="work-broker lease duration: a worker missing its heartbeat "
+        "this long forfeits its cones back to the queue (default 15)",
+    )
     p.add_argument("--verbose", action="store_true", help="debug logging")
     _add_cache_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a remote cone-synthesis worker against a serve daemon",
+    )
+    _add_url_arg(p)
+    p.add_argument("--id", default=None, dest="worker_id")
+    p.add_argument(
+        "--max-tasks", type=int, default=4, help="cones per claim batch"
+    )
+    p.add_argument(
+        "--poll-s", type=float, default=0.2, help="idle poll interval"
+    )
+    p.add_argument(
+        "--no-network-cache",
+        action="store_true",
+        help="solve without the daemon's shared cache tier",
+    )
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "submit", help="submit a BLIF circuit to a running daemon"

@@ -190,6 +190,7 @@ def synthesize(
     cache_dir: str | None = None,
     on_event=None,
     cancel=None,
+    distribute: str | None = None,
 ) -> ThresholdNetwork:
     """Run TELS on an (ideally algebraically-factored) Boolean network.
 
@@ -209,6 +210,9 @@ def synthesize(
         cancel: optional cooperative cancellation flag checked between
             cones; when set the run raises
             :class:`~repro.errors.SynthesisCancelled`.
+        distribute: URL of a ``tels serve`` daemon to farm cones to
+            (see :mod:`repro.engine.remote`); output is byte-identical
+            to a local run.
     """
     from repro.engine.scheduler import run_synthesis
 
@@ -220,6 +224,7 @@ def synthesize(
         cache_dir=cache_dir,
         on_event=on_event,
         cancel=cancel,
+        distribute=distribute,
     ).network
 
 
@@ -231,6 +236,7 @@ def synthesize_with_report(
     cache_dir: str | None = None,
     on_event=None,
     cancel=None,
+    distribute: str | None = None,
 ) -> tuple[ThresholdNetwork, SynthesisReport]:
     """Like :func:`synthesize` but also returns run statistics."""
     from repro.engine.scheduler import run_synthesis
@@ -243,5 +249,6 @@ def synthesize_with_report(
         cache_dir=cache_dir,
         on_event=on_event,
         cancel=cancel,
+        distribute=distribute,
     )
     return result.network, result.report

@@ -188,6 +188,11 @@ class EngineTrace:
     requeues: int = 0
     pool_rebuilds: int = 0
     watchdog_kills: int = 0
+    #: Distributed-run telemetry (``remote`` backend; see remote.py).
+    lease_expirations: int = 0
+    remote_workers: int = 0
+    remote_fallback_tasks: int = 0
+    remote_fallback_reason: str | None = None
     #: Task ids quarantined as poison after repeated worker crashes.
     quarantined: list[str] = field(default_factory=list)
     #: ``(task_id, reason)`` per cone that fell back to one-to-one mapping.
@@ -286,6 +291,7 @@ class EngineTrace:
             or self.pool_rebuilds
             or self.watchdog_kills
             or self.quarantined
+            or self.lease_expirations
         ):
             cones = ", ".join(
                 f"{task_id} ({reason})" for task_id, reason in self.degraded
@@ -298,6 +304,16 @@ class EngineTrace:
                 f"{self.watchdog_kills} watchdog kills, "
                 f"{len(self.quarantined)} quarantined"
             )
+        if self.backend == "remote":
+            line = (
+                f"remote: {self.remote_workers} worker(s) seen, "
+                f"{self.lease_expirations} expired leases, "
+                f"{self.remote_fallback_tasks} cones ran on the local "
+                f"fallback"
+            )
+            if self.remote_fallback_reason:
+                line += f" ({self.remote_fallback_reason})"
+            lines.append(line)
         if self.network_lint_violations is not None:
             lines.append(
                 f"lint: {int(self.total('lint_violations'))} cone "

@@ -391,8 +391,29 @@ def make_executor(
     store: ResultStore,
     checker: ThresholdChecker,
     policy: ResiliencePolicy | None = None,
+    distribute: str | None = None,
 ):
-    """The backend for a jobs count: inline below 2, process pool above."""
+    """The backend for a jobs count: inline below 2, process pool above.
+
+    ``distribute`` (a ``tels serve`` URL) selects the remote backend
+    instead; ``jobs`` then sizes the local fallback executor the remote
+    backend degrades to when every worker is lost.
+    """
+    if distribute:
+        # Imported lazily: remote.py pulls in the serve transport stack,
+        # which local runs should never pay for (or depend on).
+        from repro.engine.remote import RemoteExecutor
+
+        return RemoteExecutor(
+            distribute,
+            network,
+            options,
+            preserved,
+            store,
+            checker,
+            policy,
+            jobs=jobs,
+        )
     if jobs <= 1:
         return SerialExecutor(network, options, preserved, checker, policy)
     return ProcessExecutor(

@@ -68,6 +68,7 @@ def run_synthesis(
     cache_dir: str | None = None,
     on_event=None,
     cancel=None,
+    distribute: str | None = None,
 ) -> EngineResult:
     """Synthesize ``network`` with the pass-based engine.
 
@@ -92,6 +93,11 @@ def run_synthesis(
             is checked between cones; when observed set the executor is
             closed — in-flight cones are cancelled, pool workers reaped —
             and :class:`~repro.errors.SynthesisCancelled` is raised.
+        distribute: URL of a ``tels serve`` daemon; cones are farmed to
+            ``tels worker`` processes through its work broker instead of
+            a local pool (see :mod:`repro.engine.remote`).  On total
+            worker loss the run degrades to a local executor sized by
+            ``jobs`` and still completes with identical output.
     """
     from repro.core.synthesis import SynthesisOptions, SynthesisReport
 
@@ -114,7 +120,8 @@ def run_synthesis(
 
     started = time.perf_counter()
     executor = make_executor(
-        jobs, network, options, preserved, store, checker, policy
+        jobs, network, options, preserved, store, checker, policy,
+        distribute=distribute,
     )
     trace = EngineTrace(
         jobs=jobs,
@@ -289,6 +296,10 @@ def run_synthesis(
     trace.wall_s = time.perf_counter() - started
     trace.pool_rebuilds = getattr(executor, "rebuilds", 0)
     trace.watchdog_kills = getattr(executor, "watchdog_kills", 0)
+    trace.lease_expirations = getattr(executor, "lease_expirations", 0)
+    trace.remote_workers = getattr(executor, "remote_workers", 0)
+    trace.remote_fallback_tasks = getattr(executor, "fallback_tasks", 0)
+    trace.remote_fallback_reason = getattr(executor, "fallback_reason", None)
     store.flush_persistent()
 
     result_net = _assemble(network, initial, results)

@@ -14,6 +14,19 @@ i.e. a comma-separated list of ``site=rate`` pairs followed by an optional
 * ``cache``        — a persistent-cache write raises ``OSError``;
 * ``cache-corrupt``— a torn garbage line is appended after a cache flush.
 
+Network sites (the HTTP transport of the distributed layer; see
+docs/RESILIENCE.md "Distributed failure modes"):
+
+* ``net-refuse``     — the request fails before any bytes are sent
+  (connection refused);
+* ``net-disconnect`` — the connection drops after the request was sent
+  (mid-body disconnect: the server may or may not have acted on it);
+* ``net-latency``    — a deterministic latency spike before the request;
+* ``net-corrupt``    — a network-cache payload arrives corrupted (the
+  verify-before-trust path must reject it);
+* ``net-dup``        — a successful POST is delivered twice (the broker's
+  idempotency must absorb the duplicate).
+
 Every decision is *content-keyed*: ``decide(site, key)`` draws from
 ``random.Random(f"{seed}|{site}|{key}")``, and string seeding hashes
 through SHA-512, so the same (seed, site, key) triple decides the same way
@@ -41,12 +54,28 @@ CHAOS_ENV = "TELS_CHAOS"
 #: Every site the harness knows; unknown sites in a spec are an error so a
 #: typo cannot silently disable a whole chaos campaign.
 KNOWN_SITES = frozenset(
-    {"worker", "stall", "solver", "solver-wrong", "cache", "cache-corrupt"}
+    {
+        "worker",
+        "stall",
+        "solver",
+        "solver-wrong",
+        "cache",
+        "cache-corrupt",
+        "net-refuse",
+        "net-disconnect",
+        "net-latency",
+        "net-corrupt",
+        "net-dup",
+    }
 )
 
 #: How long a ``stall`` fault sleeps — far beyond any per-cone deadline a
 #: test would configure, so the watchdog (not luck) ends the task.
 STALL_SECONDS = 30.0
+
+#: How long a ``net-latency`` spike delays one request — long enough to be
+#: visible in traces, short enough that chaos campaigns stay fast.
+NET_LATENCY_SECONDS = 0.05
 
 
 @dataclass(frozen=True)

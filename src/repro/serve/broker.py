@@ -1,0 +1,447 @@
+"""Lease-based work distribution: the broker behind ``/work/...``.
+
+The daemon is a *dumb blob broker* between one
+:class:`~repro.engine.remote.RemoteExecutor` (the scheduler side) and any
+number of ``tels worker`` processes:
+
+* the executor opens a **session** carrying an opaque pickled payload (the
+  prepared network, options, preserved set, and store seed) and enqueues
+  cone tasks into it;
+* workers **claim** task batches under a lease, fetch the session payload
+  once (content-addressed by its ETag), run the cones, and post back
+  results as opaque pickled blobs — the daemon never unpickles either
+  direction, it only stores and forwards bytes within one trust domain
+  (the same codebase that already pickles across the process pool);
+* every claim is a **lease**: a worker must heartbeat before
+  ``lease_s`` expires or the broker re-enqueues nothing and instead
+  reports each leased cone as a ``"crash"``-kind failure to the executor,
+  which feeds the scheduler's existing retry/backoff/quarantine ladder —
+  a SIGKILLed worker is indistinguishable from a crashed pool process;
+* results are **idempotent**: the first result for a task wins, duplicate
+  deliveries (client retries, the ``net-dup`` chaos site) are counted and
+  dropped.
+
+Expiry is swept lazily inside broker calls (claim/heartbeat/collect), so
+the daemon needs no background thread and a test can drive time through
+the injectable ``clock``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import itertools
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.schemas import ApiError
+
+#: Default lease duration; a worker heartbeats at a fraction of this.
+DEFAULT_LEASE_S = 15.0
+
+#: Cap on tasks per claim batch.
+MAX_CLAIM_TASKS = 16
+
+
+def encode_blob(obj) -> str:
+    """Pickle + base64 an object for transport through the broker."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_blob(text: str):
+    """Inverse of :func:`encode_blob` (trusted same-host blobs only)."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def payload_etag(payload: bytes) -> str:
+    """Content address of a session payload."""
+    return hashlib.sha256(payload).hexdigest()[:24]
+
+
+@dataclass
+class _LeasedTask:
+    """One claimed cone: who holds it and until when."""
+
+    root: str
+    attempt: int
+    worker_id: str
+    deadline: float
+
+
+@dataclass
+class WorkSession:
+    """One executor's open distribution session."""
+
+    session_id: str
+    payload: bytes
+    etag: str
+    meta: dict = field(default_factory=dict)
+    queue: deque = field(default_factory=deque)  # (task_id, root, attempt)
+    leased: dict = field(default_factory=dict)  # task_id -> _LeasedTask
+    results: list = field(default_factory=list)  # outbox: result rows
+    failures: list = field(default_factory=list)  # outbox: failure rows
+    resolved: set = field(default_factory=set)  # task_ids with a result
+    failure_seen: set = field(default_factory=set)  # (task, attempt, kind)
+    closed: bool = False
+
+
+class WorkBroker:
+    """Sessions, task queues, leases, and result outboxes for the daemon."""
+
+    def __init__(
+        self,
+        lease_s: float = DEFAULT_LEASE_S,
+        worker_timeout_s: float | None = None,
+        clock=time.monotonic,
+    ):
+        self.lease_s = lease_s
+        #: A worker silent longer than this no longer counts as live.
+        self.worker_timeout_s = (
+            worker_timeout_s if worker_timeout_s is not None else 2 * lease_s
+        )
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: dict[str, WorkSession] = {}
+        self._workers: dict[str, float] = {}  # worker_id -> last_seen
+        self._seq = itertools.count(1)
+        # Operator-facing counters (surface in /stats).
+        self.sessions_created = 0
+        self.claims = 0
+        self.claimed_tasks = 0
+        self.results_accepted = 0
+        self.duplicate_results = 0
+        self.failures_reported = 0
+        self.lease_expirations = 0
+
+    # -- internals -----------------------------------------------------
+    def _get(self, session_id: str) -> WorkSession:
+        session = self._sessions.get(session_id)
+        if session is None or session.closed:
+            raise ApiError(
+                404, f"no such work session {session_id!r}", code="not-found"
+            )
+        return session
+
+    def _sweep(self, now: float) -> None:
+        """Expire overdue leases into ``"crash"`` failures (lock held)."""
+        for session in self._sessions.values():
+            if session.closed:
+                continue
+            expired = [
+                task_id
+                for task_id, lease in session.leased.items()
+                if now > lease.deadline
+            ]
+            for task_id in expired:
+                lease = session.leased.pop(task_id)
+                self.lease_expirations += 1
+                if task_id in session.resolved:
+                    continue  # result landed before the sweep ran
+                session.failures.append(
+                    {
+                        "task_id": task_id,
+                        "kind": "crash",
+                        "message": (
+                            f"lease expired: worker {lease.worker_id!r} "
+                            f"missed its heartbeat deadline"
+                        ),
+                        "attempt": lease.attempt,
+                        "expired": True,
+                    }
+                )
+
+    def _live_workers(self, now: float) -> int:
+        return sum(
+            1
+            for last_seen in self._workers.values()
+            if now - last_seen <= self.worker_timeout_s
+        )
+
+    # -- executor side -------------------------------------------------
+    def create_session(self, payload_b64: str, meta: dict | None = None) -> dict:
+        try:
+            payload = base64.b64decode(payload_b64.encode("ascii"))
+        except (ValueError, UnicodeEncodeError):
+            raise ApiError(
+                400, "session payload is not valid base64"
+            ) from None
+        with self._lock:
+            session = WorkSession(
+                session_id=f"s{next(self._seq):06d}",
+                payload=payload,
+                etag=payload_etag(payload),
+                meta=dict(meta or {}),
+            )
+            self._sessions[session.session_id] = session
+            self.sessions_created += 1
+            return {"session": session.session_id, "etag": session.etag}
+
+    def enqueue(self, session_id: str, tasks: list[dict]) -> dict:
+        with self._lock:
+            session = self._get(session_id)
+            for row in tasks:
+                session.queue.append(
+                    (
+                        str(row["task_id"]),
+                        str(row["root"]),
+                        int(row.get("attempt", 1)),
+                    )
+                )
+            return {"queued": len(session.queue)}
+
+    def collect(self, session_id: str) -> dict:
+        """Drain the session outbox; also reports queue/lease/worker state."""
+        now = self._clock()
+        with self._lock:
+            self._sweep(now)
+            session = self._get(session_id)
+            results, session.results = session.results, []
+            failures, session.failures = session.failures, []
+            return {
+                "results": results,
+                "failures": failures,
+                "queued": len(session.queue),
+                "leased": len(session.leased),
+                "workers": self._live_workers(now),
+            }
+
+    def withdraw(self, session_id: str) -> dict:
+        """Pull every unclaimed task back out (local-fallback path)."""
+        with self._lock:
+            session = self._get(session_id)
+            tasks = [
+                {"task_id": task_id, "root": root, "attempt": attempt}
+                for task_id, root, attempt in session.queue
+            ]
+            session.queue.clear()
+            return {"tasks": tasks}
+
+    def close(self, session_id: str) -> dict:
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                session.closed = True
+                session.queue.clear()
+                session.leased.clear()
+                session.payload = b""
+            return {"closed": True}
+
+    # -- worker side ---------------------------------------------------
+    def payload(self, session_id: str) -> tuple[bytes, str]:
+        with self._lock:
+            session = self._get(session_id)
+            return session.payload, session.etag
+
+    def claim(self, worker_id: str, max_tasks: int = 4) -> dict:
+        """Lease up to ``max_tasks`` queued cones (one session per batch)."""
+        max_tasks = max(1, min(int(max_tasks), MAX_CLAIM_TASKS))
+        now = self._clock()
+        with self._lock:
+            self._workers[worker_id] = now
+            self._sweep(now)
+            self.claims += 1
+            for session in self._sessions.values():
+                if session.closed or not session.queue:
+                    continue
+                batch = []
+                while session.queue and len(batch) < max_tasks:
+                    task_id, root, attempt = session.queue.popleft()
+                    session.leased[task_id] = _LeasedTask(
+                        root=root,
+                        attempt=attempt,
+                        worker_id=worker_id,
+                        deadline=now + self.lease_s,
+                    )
+                    batch.append(
+                        {"task_id": task_id, "root": root, "attempt": attempt}
+                    )
+                self.claimed_tasks += len(batch)
+                return {
+                    "session": session.session_id,
+                    "etag": session.etag,
+                    "lease_s": self.lease_s,
+                    "tasks": batch,
+                }
+            return {"session": None, "lease_s": self.lease_s, "tasks": []}
+
+    def heartbeat(self, worker_id: str) -> dict:
+        """Renew the worker's liveness and every lease it holds."""
+        now = self._clock()
+        with self._lock:
+            self._workers[worker_id] = now
+            renewed = 0
+            for session in self._sessions.values():
+                for lease in session.leased.values():
+                    if lease.worker_id == worker_id:
+                        lease.deadline = now + self.lease_s
+                        renewed += 1
+            self._sweep(now)
+            return {"ok": True, "leases": renewed}
+
+    def post_results(
+        self,
+        session_id: str,
+        worker_id: str,
+        results: list[dict],
+        failures: list[dict],
+    ) -> dict:
+        """Accept finished cones (first write wins) and reported failures."""
+        now = self._clock()
+        with self._lock:
+            self._workers[worker_id] = now
+            session = self._get(session_id)
+            accepted = duplicates = 0
+            for row in results:
+                task_id = str(row["task_id"])
+                session.leased.pop(task_id, None)
+                if task_id in session.resolved:
+                    duplicates += 1
+                    continue
+                session.resolved.add(task_id)
+                session.results.append(
+                    {"task_id": task_id, "blob": row["blob"]}
+                )
+                accepted += 1
+            for row in failures:
+                task_id = str(row["task_id"])
+                session.leased.pop(task_id, None)
+                key = (task_id, int(row.get("attempt", 1)), row.get("kind"))
+                if key in session.failure_seen:
+                    duplicates += 1
+                    continue
+                session.failure_seen.add(key)
+                session.failures.append(
+                    {
+                        "task_id": task_id,
+                        "kind": str(row.get("kind", "error")),
+                        "message": str(row.get("message", "")),
+                        "attempt": int(row.get("attempt", 1)),
+                        "expired": False,
+                    }
+                )
+                self.failures_reported += 1
+            self.results_accepted += accepted
+            self.duplicate_results += duplicates
+            return {"accepted": accepted, "duplicates": duplicates}
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        now = self._clock()
+        with self._lock:
+            self._sweep(now)
+            workers = {
+                worker_id: {
+                    "live": now - last_seen <= self.worker_timeout_s,
+                    "idle_s": round(now - last_seen, 3),
+                    "leases": sum(
+                        1
+                        for session in self._sessions.values()
+                        for lease in session.leased.values()
+                        if lease.worker_id == worker_id
+                    ),
+                }
+                for worker_id, last_seen in self._workers.items()
+            }
+            return {
+                "lease_s": self.lease_s,
+                "sessions": sum(
+                    1 for s in self._sessions.values() if not s.closed
+                ),
+                "sessions_created": self.sessions_created,
+                "queued": sum(
+                    len(s.queue)
+                    for s in self._sessions.values()
+                    if not s.closed
+                ),
+                "leased": sum(
+                    len(s.leased)
+                    for s in self._sessions.values()
+                    if not s.closed
+                ),
+                "workers": workers,
+                "live_workers": self._live_workers(now),
+                "claims": self.claims,
+                "claimed_tasks": self.claimed_tasks,
+                "results_accepted": self.results_accepted,
+                "duplicate_results": self.duplicate_results,
+                "failures_reported": self.failures_reported,
+                "lease_expirations": self.lease_expirations,
+            }
+
+
+class WorkClient:
+    """Client of the ``/work`` API — used by executors and workers alike."""
+
+    def __init__(self, transport):
+        self.transport = transport
+
+    def create_session(self, payload: bytes, meta: dict | None = None) -> dict:
+        return self.transport.json(
+            "POST",
+            "/work/sessions",
+            {
+                "payload": base64.b64encode(payload).decode("ascii"),
+                "meta": meta or {},
+            },
+        )
+
+    def fetch_payload(self, session_id: str) -> bytes:
+        from repro.serve.transport import TransportError
+
+        _status, body, headers = self.transport.request(
+            "GET", f"/work/sessions/{session_id}/payload"
+        )
+        etag = headers.get("ETag", "")
+        if etag and etag != payload_etag(body):
+            raise TransportError(
+                f"session {session_id} payload failed its ETag check"
+            )
+        return body
+
+    def enqueue(self, session_id: str, tasks: list[dict]) -> dict:
+        return self.transport.json(
+            "POST", f"/work/sessions/{session_id}/tasks", {"tasks": tasks}
+        )
+
+    def claim(self, worker_id: str, max_tasks: int = 4) -> dict:
+        return self.transport.json(
+            "POST",
+            "/work/claim",
+            {"worker": worker_id, "max_tasks": max_tasks},
+        )
+
+    def heartbeat(self, worker_id: str) -> dict:
+        return self.transport.json(
+            "POST", "/work/heartbeat", {"worker": worker_id}
+        )
+
+    def post_results(
+        self,
+        session_id: str,
+        worker_id: str,
+        results: list[dict],
+        failures: list[dict],
+    ) -> dict:
+        return self.transport.json(
+            "POST",
+            f"/work/sessions/{session_id}/results",
+            {"worker": worker_id, "results": results, "failures": failures},
+        )
+
+    def collect(self, session_id: str) -> dict:
+        return self.transport.json(
+            "POST", f"/work/sessions/{session_id}/collect", {}
+        )
+
+    def withdraw(self, session_id: str) -> dict:
+        return self.transport.json(
+            "POST", f"/work/sessions/{session_id}/withdraw", {}
+        )
+
+    def close(self, session_id: str) -> dict:
+        return self.transport.json(
+            "DELETE", f"/work/sessions/{session_id}"
+        )

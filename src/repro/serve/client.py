@@ -6,6 +6,13 @@ back as :class:`ServeClientError` carrying the daemon's structured payload
 (``{"error": {"code", "message", ...}}``) plus the HTTP status, so callers
 can distinguish a 400 (bad circuit) from a 404 (unknown job) from a 503
 (queue full) without parsing prose.
+
+Requests ride the shared :class:`~repro.serve.transport.HttpTransport`:
+every call has a connect/read timeout and a bounded deterministic
+retry-with-backoff schedule (:mod:`repro.faults.retry`), so a hung or
+briefly unreachable daemon costs a few seconds, never a hung ``tels
+submit``.  Retries only fire on transport failures — a non-2xx response is
+an answer and surfaces immediately.
 """
 
 from __future__ import annotations
@@ -13,14 +20,21 @@ from __future__ import annotations
 import json
 import os
 import time
-import urllib.error
-import urllib.request
 from collections.abc import Iterator
 
 from repro.errors import ReproError
+from repro.faults.retry import RetryPolicy
+from repro.serve.transport import (
+    HttpStatusError,
+    HttpTransport,
+    TransportError,
+)
 
 #: Default daemon address; overridden by --url or $TELS_SERVE_URL.
 DEFAULT_URL = "http://127.0.0.1:8765"
+
+#: Default per-request socket timeout for the job API.
+DEFAULT_TIMEOUT_S = 60.0
 
 
 def resolve_url(explicit: str | None = None) -> str:
@@ -46,40 +60,36 @@ class ServeClientError(ReproError):
 class TelsClient:
     """Thin JSON-over-HTTP wrapper around one daemon."""
 
-    def __init__(self, base_url: str | None = None, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str | None = None,
+        timeout: float = DEFAULT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
+    ):
         self.base_url = resolve_url(base_url)
         self.timeout = timeout
+        self.transport = HttpTransport(
+            self.base_url, timeout_s=timeout, retry=retry
+        )
 
     # -- transport -----------------------------------------------------
-    def _open(self, method: str, path: str, body: dict | None = None):
-        data = None
-        headers = {"Accept": "application/json"}
-        if body is not None:
-            data = json.dumps(body).encode()
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
+    def _request(self, method: str, path: str, body: dict | None = None):
         try:
-            return urllib.request.urlopen(request, timeout=self.timeout)
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
-            try:
-                payload = json.loads(raw)
-            except (json.JSONDecodeError, ValueError):
-                payload = {"error": {"message": raw.decode(errors="replace")}}
+            return self.transport.request(method, path, body)
+        except HttpStatusError as exc:
+            payload = exc.payload()
             message = payload.get("error", {}).get("message", str(exc))
             raise ServeClientError(
-                message, status=exc.code, payload=payload
+                message, status=exc.status, payload=payload
             ) from None
-        except urllib.error.URLError as exc:
+        except TransportError as exc:
             raise ServeClientError(
-                f"cannot reach daemon at {self.base_url}: {exc.reason}"
+                f"cannot reach daemon at {self.base_url}: {exc}"
             ) from None
 
     def _json(self, method: str, path: str, body: dict | None = None) -> dict:
-        with self._open(method, path, body) as response:
-            return json.loads(response.read())
+        _status, raw, _headers = self._request(method, path, body)
+        return json.loads(raw)
 
     # -- API -----------------------------------------------------------
     def healthz(self) -> dict:
@@ -120,16 +130,31 @@ class TelsClient:
 
     def result(self, job_id: str, fmt: str = "json") -> dict | str:
         """The finished job's result: a dict for json/sarif, text for thblif."""
-        with self._open("GET", f"/jobs/{job_id}/result?format={fmt}") as resp:
-            raw = resp.read()
+        _status, raw, _headers = self._request(
+            "GET", f"/jobs/{job_id}/result?format={fmt}"
+        )
         if fmt == "thblif":
             return raw.decode()
         return json.loads(raw)
 
     def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
         """Stream the job's NDJSON events until it turns terminal."""
-        with self._open("GET", f"/jobs/{job_id}/events?since={since}") as resp:
-            for line in resp:
+        try:
+            stream = self.transport.open_stream(
+                "GET", f"/jobs/{job_id}/events?since={since}"
+            )
+        except HttpStatusError as exc:
+            payload = exc.payload()
+            message = payload.get("error", {}).get("message", str(exc))
+            raise ServeClientError(
+                message, status=exc.status, payload=payload
+            ) from None
+        except TransportError as exc:
+            raise ServeClientError(
+                f"cannot reach daemon at {self.base_url}: {exc}"
+            ) from None
+        with stream:
+            for line in stream:
                 line = line.strip()
                 if line:
                     yield json.loads(line)

@@ -48,6 +48,25 @@ OPTION_FIELDS: dict[str, tuple[type, ...]] = {
 #: Cap on per-job cone worker processes a client may request.
 MAX_JOB_WORKERS = 8
 
+#: Cap on remote-worker ids / task ids crossing the work API (DoS hygiene:
+#: these land in dict keys and log lines verbatim).
+MAX_WORK_ID_LEN = 128
+
+
+def validate_work_id(value, field_name: str) -> str:
+    """Validate a worker/task identifier crossing the ``/work`` API."""
+    if not isinstance(value, str) or not value:
+        raise ApiError(
+            400, f"{field_name!r} must be a non-empty string", code="bad-work"
+        )
+    if len(value) > MAX_WORK_ID_LEN:
+        raise ApiError(
+            400,
+            f"{field_name!r} exceeds {MAX_WORK_ID_LEN} characters",
+            code="bad-work",
+        )
+    return value
+
 
 class ApiError(ReproError):
     """A structured API failure: HTTP status plus a JSON error payload."""
@@ -231,6 +250,12 @@ def report_to_dict(network, report, source_verified: bool, wall_s: float) -> dic
             "wall_s": round(trace.wall_s, 6),
             "retries": trace.retries,
             "requeues": trace.requeues,
+            "lease_expirations": trace.lease_expirations,
+            "remote_workers": trace.remote_workers,
+            "remote_fallback_tasks": trace.remote_fallback_tasks,
+            "remote_fallback_reason": trace.remote_fallback_reason,
+            "quarantined": len(trace.quarantined),
+            "degraded": len(trace.degraded),
         }
         result["cache"] = {
             "checker_calls": int(trace.total("checker_calls")),

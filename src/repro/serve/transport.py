@@ -1,0 +1,221 @@
+"""Shared HTTP transport for everything that talks to the daemon.
+
+One :class:`HttpTransport` instance backs the job-API client
+(:class:`~repro.serve.client.TelsClient`), the work-broker client
+(:class:`~repro.serve.broker.WorkClient`), and the network cache tier
+(:class:`~repro.cache.network.NetworkCacheClient`).  Centralizing the
+transport buys three properties every caller needs and none should
+re-implement:
+
+* **timeouts** — a connect/read timeout on every request, so a hung daemon
+  turns into a :class:`TransportError` instead of hanging the caller
+  forever;
+* **bounded retry with backoff** — transient transport failures (refused
+  connections, dropped sockets) retry through the deterministic
+  :mod:`repro.faults.retry` schedule before surfacing;
+* **chaos injection** — the ``TELS_CHAOS`` network sites (``net-refuse``,
+  ``net-disconnect``, ``net-latency``, ``net-dup``) fire here, on the real
+  request path, so the whole distribution layer is fault-testable exactly
+  like the engine.  Decisions are keyed on ``{method} {path}`` plus a
+  per-transport sequence number and the attempt, so a retried request
+  rolls the dice again.
+
+Retried POSTs can be delivered twice when the first response is lost
+mid-flight — the broker's idempotent result handling (first write wins,
+duplicates dropped) is what makes that safe, and the ``net-dup`` site
+exists to prove it stays safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.faults.injector import NET_LATENCY_SECONDS, get_injector
+from repro.faults.retry import RetryPolicy, retry_call
+
+#: Default per-request socket timeout (connect + read), seconds.
+DEFAULT_TIMEOUT_S = 30.0
+
+#: Default transport retry schedule for transient network failures.
+DEFAULT_RETRY = RetryPolicy(
+    max_attempts=3, base_backoff_s=0.05, max_backoff_s=0.5
+)
+
+
+class TransportError(OSError):
+    """The daemon could not be reached (after the retry budget)."""
+
+
+class HttpStatusError(Exception):
+    """A non-2xx HTTP response; carries the status and decoded body."""
+
+    def __init__(self, status: int, body: bytes, url: str):
+        super().__init__(f"HTTP {status} from {url}")
+        self.status = status
+        self.body = body
+
+    def payload(self) -> dict:
+        try:
+            decoded = json.loads(self.body)
+        except (json.JSONDecodeError, ValueError):
+            return {"error": {"message": self.body.decode(errors="replace")}}
+        return decoded if isinstance(decoded, dict) else {}
+
+
+class HttpTransport:
+    """Timeout-bounded, retrying, chaos-instrumented JSON-over-HTTP calls."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        retry: RetryPolicy | None = None,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retry = retry or DEFAULT_RETRY
+        self._seq = itertools.count(1)
+
+    # -- chaos ---------------------------------------------------------
+    def _chaos_key(self, method: str, path: str) -> str:
+        return f"{method} {path}|{next(self._seq)}"
+
+    @staticmethod
+    def _chaos_pre(key: str, attempt: int) -> None:
+        """Sites that fire before the request leaves: refuse + latency."""
+        injector = get_injector()
+        if injector is None:
+            return
+        if injector.decide("net-latency", f"{key}|a{attempt}"):
+            time.sleep(NET_LATENCY_SECONDS)
+        if injector.decide("net-refuse", f"{key}|a{attempt}"):
+            raise TransportError("chaos: connection refused")
+
+    @staticmethod
+    def _chaos_post(key: str, attempt: int) -> None:
+        """Mid-body disconnect: the request was sent, the reply is lost."""
+        injector = get_injector()
+        if injector is not None and injector.decide(
+            "net-disconnect", f"{key}|a{attempt}"
+        ):
+            raise TransportError("chaos: connection dropped mid-body")
+
+    @staticmethod
+    def _chaos_duplicate(key: str, method: str) -> bool:
+        """Should this successful POST be delivered a second time?"""
+        if method != "POST":
+            return False
+        injector = get_injector()
+        return injector is not None and injector.decide("net-dup", key)
+
+    # -- requests ------------------------------------------------------
+    def _send(
+        self,
+        method: str,
+        path: str,
+        data: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[int, bytes, dict[str, str]]:
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return (
+                    response.status,
+                    response.read(),
+                    dict(response.headers),
+                )
+        except urllib.error.HTTPError as exc:
+            # A structured status is a *response*, not a transport failure:
+            # never retried (the daemon already acted on the request).
+            raise HttpStatusError(
+                exc.code, exc.read(), self.base_url + path
+            ) from None
+        except urllib.error.URLError as exc:
+            raise TransportError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+        except (TimeoutError, ConnectionError, OSError) as exc:
+            raise TransportError(
+                f"transport failure against {self.base_url}: {exc}"
+            ) from None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Issue one request; returns ``(status, body, headers)``.
+
+        Transient transport failures (including injected ones) retry per
+        the policy; a non-2xx response raises :class:`HttpStatusError`
+        immediately (it is an answer, not an outage).
+        """
+        data = None
+        send_headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            send_headers["Content-Type"] = "application/json"
+        if headers:
+            send_headers.update(headers)
+        key = self._chaos_key(method, path)
+
+        def attempt_once(attempt: int) -> tuple[int, bytes, dict[str, str]]:
+            self._chaos_pre(key, attempt)
+            result = self._send(method, path, data, send_headers)
+            self._chaos_post(key, attempt)
+            return result
+
+        result = retry_call(
+            attempt_once,
+            self.retry,
+            retryable=(TransportError,),
+            key=key,
+        )
+        if self._chaos_duplicate(key, method):
+            # Duplicate delivery: replay the successful POST and discard
+            # the second answer — receivers must be idempotent.
+            try:
+                self._send(method, path, data, send_headers)
+            except (TransportError, HttpStatusError):
+                pass
+        return result
+
+    def json(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> dict:
+        """A JSON request/response round trip."""
+        _status, raw, _headers = self.request(method, path, body, headers)
+        return json.loads(raw) if raw.strip() else {}
+
+    def open_stream(self, method: str, path: str, headers: dict | None = None):
+        """A raw streaming response (event streams); no retry, one timeout."""
+        send_headers = {"Accept": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        request = urllib.request.Request(
+            self.base_url + path, headers=send_headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            raise HttpStatusError(
+                exc.code, exc.read(), self.base_url + path
+            ) from None
+        except urllib.error.URLError as exc:
+            raise TransportError(
+                f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None

@@ -77,6 +77,31 @@ class TestScc:
         b = Cover.from_strings(["--1", "1--"])
         assert a.canonical_key() == b.canonical_key()
 
+    def test_scc_marker_survives_pickling(self):
+        """An SCC-form cover must stay its own SCC form after a round trip.
+
+        The reduced cover's cube order is the parent cover's tie-break,
+        not a function of its own cubes — if pickling dropped the
+        ``scc() is self`` marker, a remote worker would re-reduce the
+        cover into a different cube order and distributed synthesis
+        would stop being byte-identical to serial.
+        """
+        import pickle
+
+        parent = random_cover(random.Random(7), nvars=6, max_cubes=24)
+        reduced = parent.scc()
+        assert reduced.scc() is reduced
+        clone = pickle.loads(pickle.dumps(reduced))
+        assert clone.scc() is clone
+        assert clone.cubes == reduced.cubes
+        assert clone.scc().cubes == reduced.scc().cubes
+        # A cover that never ran scc() still pickles through the plain
+        # constructor path and re-reduces deterministically.
+        fresh = pickle.loads(pickle.dumps(parent))
+        assert fresh.scc().cubes == pickle.loads(
+            pickle.dumps(fresh)
+        ).scc().cubes
+
 
 class TestCofactor:
     def test_shannon_partition(self):

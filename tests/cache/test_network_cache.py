@@ -1,0 +1,124 @@
+"""The network cache tier: HTTP round trips and the verify-before-trust path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.cache.network import NetworkCacheClient
+from repro.cache.store import ABSENT, values_etag
+from repro.core.threshold import WeightThresholdVector
+from repro.engine.store import _MISSING, ResultStore
+from repro.serve.app import ServeApp
+
+
+def and_key(delta_on: int = 0, delta_off: int = 1) -> tuple:
+    cover = Cover((Cube.from_literals({0: True, 1: True}, 2),), 2)
+    return (cover.canonical_key(), delta_on, delta_off, None)
+
+
+AND_VECTOR = WeightThresholdVector((1, 1), 2)
+
+
+@pytest.fixture
+def daemon():
+    app = ServeApp(port=0)  # no cache_dir: the memory tier backs /cache
+    app.start_background()
+    try:
+        yield app
+    finally:
+        app.shutdown()
+
+
+class TestHttpRoundTrip:
+    def test_put_get_and_absent(self, daemon):
+        client = NetworkCacheClient(daemon.url)
+        assert client.get("nothing-here") is ABSENT
+        assert client.absent == 1
+        assert client.put("k1", [1, 2, 3]) is True
+        assert client.put("k1", [9, 9, 9]) is False  # first write wins
+        assert client.get("k1") == [1, 2, 3]
+        assert client.get("k1|weird/chars?&=") is ABSENT  # quoting holds
+        assert len(client) == 1
+
+    def test_non_threshold_verdicts_round_trip(self, daemon):
+        client = NetworkCacheClient(daemon.url)
+        client.put("k-none", None)
+        assert client.get("k-none") is None
+        assert client.hits == 1
+
+    def test_fingerprint_mismatch_is_rejected_with_412(self, daemon):
+        good = NetworkCacheClient(daemon.url)
+        good.put("k1", [1, 2, 3])
+        stale = NetworkCacheClient(daemon.url, fingerprint="v0-old-canon")
+        assert stale.get("k1") is ABSENT
+        assert stale.fingerprint_rejects == 1
+        assert stale.put("k2", [4]) is False
+        assert stale.put_errors == 1
+
+    def test_unreachable_daemon_degrades_to_misses(self):
+        client = NetworkCacheClient("http://127.0.0.1:9")  # closed port
+        assert client.get("k1") is ABSENT
+        assert client.get_errors == 1
+        assert client.put("k1", [1]) is False
+        assert client.put_errors == 1
+
+    def test_etag_mismatch_is_rejected(self, daemon):
+        client = NetworkCacheClient(daemon.url)
+        client.put("k1", [1, 2, 3])
+
+        real_request = client.transport.request
+
+        def tampered(method, path, body=None, headers=None):
+            status, raw, resp_headers = real_request(method, path, body, headers)
+            if method == "GET":
+                resp_headers = dict(resp_headers)
+                resp_headers["ETag"] = values_etag([6, 6, 6])
+            return status, raw, resp_headers
+
+        client.transport.request = tampered
+        assert client.get("k1") is ABSENT
+        assert client.etag_rejects == 1
+
+
+class TestVerifyBeforeTrust:
+    """Served vectors flow through the store's transform+verify+reject path."""
+
+    def _store(self, url: str) -> ResultStore:
+        return ResultStore(persistent=NetworkCacheClient(url))
+
+    def test_cross_store_sharing_re_verifies(self, daemon):
+        writer = self._store(daemon.url)
+        writer.put_vector(and_key(), AND_VECTOR)
+        assert writer.persistent.puts == 1
+
+        reader = self._store(daemon.url)
+        found = reader.get_vector(and_key())
+        assert found is not _MISSING
+        assert tuple(found.weights) == (1, 1)
+        assert reader.stats.persistent_hits == 1
+        assert reader.stats.transform_rejects == 0
+
+    def test_corrupted_payload_is_rejected_not_trusted(
+        self, daemon, monkeypatch
+    ):
+        writer = self._store(daemon.url)
+        writer.put_vector(and_key(), AND_VECTOR)
+
+        # net-corrupt injects after the ETag check, so only the semantic
+        # re-verification can catch it — which is the property under test.
+        monkeypatch.setenv("TELS_CHAOS", "net-corrupt=1.0:7")
+        reader = self._store(daemon.url)
+        # The corrupt entry surfaces as a miss, never as a wrong gate.
+        assert reader.get_vector(and_key()) is _MISSING
+        assert reader.stats.transform_rejects == 1
+        assert reader.stats.persistent_misses == 1
+
+    def test_daemon_stats_count_cache_traffic(self, daemon):
+        store = self._store(daemon.url)
+        store.put_vector(and_key(), AND_VECTOR)
+        store.get_vector(and_key(2, 2))  # a miss
+        counters = daemon.manager.stats()["network_cache"]
+        assert counters["installs"] == 1
+        assert counters["misses"] >= 1

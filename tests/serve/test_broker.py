@@ -1,0 +1,199 @@
+"""Work-broker semantics: leases, expiry, idempotency, withdrawal."""
+
+from __future__ import annotations
+
+import base64
+
+import pytest
+
+from repro.serve.broker import (
+    MAX_CLAIM_TASKS,
+    WorkBroker,
+    payload_etag,
+)
+from repro.serve.schemas import ApiError
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for deterministic lease tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_broker(lease_s: float = 10.0) -> tuple[WorkBroker, FakeClock]:
+    clock = FakeClock()
+    return WorkBroker(lease_s=lease_s, clock=clock), clock
+
+
+def open_session(broker: WorkBroker, payload: bytes = b"pickle-bytes") -> str:
+    created = broker.create_session(
+        base64.b64encode(payload).decode("ascii"), meta={"kind": "test"}
+    )
+    return created["session"]
+
+
+def enqueue(broker: WorkBroker, sid: str, *task_ids: str) -> None:
+    broker.enqueue(
+        sid,
+        [{"task_id": t, "root": t, "attempt": 1} for t in task_ids],
+    )
+
+
+class TestSessions:
+    def test_payload_round_trip_with_etag(self):
+        broker, _clock = make_broker()
+        raw = b"\x00\x01network-options-store"
+        created = broker.create_session(
+            base64.b64encode(raw).decode("ascii")
+        )
+        assert created["etag"] == payload_etag(raw)
+        payload, etag = broker.payload(created["session"])
+        assert payload == raw
+        assert etag == created["etag"]
+
+    def test_bad_base64_is_rejected(self):
+        broker, _clock = make_broker()
+        with pytest.raises(ApiError) as err:
+            broker.create_session("not base64 at all!!!")
+        assert err.value.status == 400
+
+    def test_closed_session_rejects_access_and_frees_payload(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.close(sid)
+        with pytest.raises(ApiError) as err:
+            broker.collect(sid)
+        assert err.value.status == 404
+        # Closed sessions never hand out work.
+        assert broker.claim("w1", 4)["tasks"] == []
+
+
+class TestLeases:
+    def test_claim_then_post_round_trip(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1", "t2")
+        claim = broker.claim("w1", 1)
+        assert claim["session"] == sid
+        assert [t["task_id"] for t in claim["tasks"]] == ["t1"]
+        broker.post_results(
+            sid, "w1", [{"task_id": "t1", "blob": "QQ=="}], []
+        )
+        out = broker.collect(sid)
+        assert [r["task_id"] for r in out["results"]] == ["t1"]
+        assert out["queued"] == 1  # t2 still waiting
+        assert out["leased"] == 0
+
+    def test_claim_caps_batch_size(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, *[f"t{i}" for i in range(MAX_CLAIM_TASKS + 5)])
+        claim = broker.claim("w1", 999)
+        assert len(claim["tasks"]) == MAX_CLAIM_TASKS
+
+    def test_expired_lease_becomes_crash_failure(self):
+        broker, clock = make_broker(lease_s=10.0)
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.claim("w1", 4)
+        clock.advance(10.5)
+        out = broker.collect(sid)
+        (failure,) = out["failures"]
+        assert failure["task_id"] == "t1"
+        assert failure["kind"] == "crash"
+        assert failure["expired"] is True
+        assert "w1" in failure["message"]
+        assert broker.lease_expirations == 1
+
+    def test_heartbeat_renews_every_held_lease(self):
+        broker, clock = make_broker(lease_s=10.0)
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1", "t2")
+        broker.claim("w1", 4)
+        clock.advance(8.0)
+        broker.heartbeat("w1")  # deadline moves to t=18
+        clock.advance(9.0)  # t=17: still inside the renewed lease
+        assert broker.collect(sid)["failures"] == []
+        clock.advance(2.0)  # t=19: expired
+        out = broker.collect(sid)
+        assert {f["task_id"] for f in out["failures"]} == {"t1", "t2"}
+
+    def test_result_landing_before_sweep_wins_over_expiry(self):
+        broker, clock = make_broker(lease_s=10.0)
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.claim("w1", 4)
+        broker.post_results(
+            sid, "w1", [{"task_id": "t1", "blob": "QQ=="}], []
+        )
+        clock.advance(60.0)
+        out = broker.collect(sid)
+        assert [r["task_id"] for r in out["results"]] == ["t1"]
+        assert out["failures"] == []  # no phantom crash for a solved cone
+
+
+class TestIdempotency:
+    def test_duplicate_result_is_counted_and_dropped(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.claim("w1", 4)
+        row = {"task_id": "t1", "blob": "QQ=="}
+        first = broker.post_results(sid, "w1", [row], [])
+        second = broker.post_results(sid, "w2", [row], [])
+        assert first == {"accepted": 1, "duplicates": 0}
+        assert second == {"accepted": 0, "duplicates": 1}
+        assert len(broker.collect(sid)["results"]) == 1
+        assert broker.duplicate_results == 1
+
+    def test_duplicate_failure_report_is_deduped(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.claim("w1", 4)
+        row = {
+            "task_id": "t1",
+            "kind": "error",
+            "message": "flaky",
+            "attempt": 1,
+        }
+        broker.post_results(sid, "w1", [], [row])
+        broker.post_results(sid, "w1", [], [row])
+        assert len(broker.collect(sid)["failures"]) == 1
+        # A different attempt of the same cone is a fresh failure.
+        broker.post_results(sid, "w1", [], [dict(row, attempt=2)])
+        assert len(broker.collect(sid)["failures"]) == 1
+
+
+class TestWithdrawAndStats:
+    def test_withdraw_drains_only_unclaimed_tasks(self):
+        broker, _clock = make_broker()
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1", "t2", "t3")
+        broker.claim("w1", 1)  # t1 leased
+        withdrawn = broker.withdraw(sid)["tasks"]
+        assert [t["task_id"] for t in withdrawn] == ["t2", "t3"]
+        assert broker.collect(sid)["queued"] == 0
+        assert broker.collect(sid)["leased"] == 1
+
+    def test_stats_report_live_and_silent_workers(self):
+        broker, clock = make_broker(lease_s=10.0)
+        sid = open_session(broker)
+        enqueue(broker, sid, "t1")
+        broker.claim("w1", 4)
+        stats = broker.stats()
+        assert stats["workers"]["w1"]["live"] is True
+        assert stats["workers"]["w1"]["leases"] == 1
+        clock.advance(25.0)  # past worker_timeout_s = 2 * lease_s
+        stats = broker.stats()
+        assert stats["workers"]["w1"]["live"] is False
+        assert stats["live_workers"] == 0
+        assert stats["lease_expirations"] == 1

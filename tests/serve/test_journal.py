@@ -110,6 +110,41 @@ class TestRecovery:
         finally:
             manager.shutdown()
 
+    def test_torn_write_plus_reenqueue_recovers_under_chaos(
+        self, tmp_path, monkeypatch
+    ):
+        """A daemon SIGKILLed mid-journal-write restarts into chaos and wins.
+
+        The journal holds a running job whose terminal record was torn mid
+        write (the process died inside ``append``).  Recovery must drop
+        only the torn line, re-enqueue the in-flight job, and complete it
+        — here with ``TELS_CHAOS`` active on the solver and cache sites,
+        so the re-run also rides the retry/degradation ladder.
+        """
+        journal = JobJournal(tmp_path)
+        journal.append(
+            {
+                "id": "j000004",
+                "state": "running",
+                "submitted_at": 10.0,
+                "request": {"blif": MOTIVATIONAL_BLIF, "name": "torn"},
+            }
+        )
+        with open(journal.path, "a") as handle:
+            handle.write('{"id": "j000004", "state": "done", "resu')
+        monkeypatch.setenv("TELS_CHAOS", "solver=0.25,cache=0.5:11")
+        manager = JobManager(
+            journal_dir=str(tmp_path), cache_dir=str(tmp_path / "cache")
+        )
+        try:
+            assert manager.journal.corrupt_lines == 1
+            self._wait(manager, "j000004")
+            job = manager.get("j000004")
+            assert job.state == "done"
+            assert job.result["verified"] is True
+        finally:
+            manager.shutdown()
+
     def test_unparseable_journaled_request_fails_cleanly(self, tmp_path):
         journal = JobJournal(tmp_path)
         journal.append(
